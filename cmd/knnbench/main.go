@@ -1,0 +1,112 @@
+// Command knnbench regenerates the figures of the paper's evaluation
+// section (Figures 19–26) as text tables: for every figure it runs the
+// competing query evaluation plans over the benchmark workloads, verifies
+// that all plans return identical result cardinalities, and prints the
+// measured series next to the paper's expected qualitative outcome.
+//
+// Usage:
+//
+//	knnbench                    # run every figure at the reduced CI scale
+//	knnbench -fig 19            # run one figure
+//	knnbench -fig 19,26         # run a subset
+//	knnbench -scale paper       # the paper's cardinalities (slow by design:
+//	                            # the conceptual baselines are the point)
+//	knnbench -stats             # append operation-counter columns
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		figFlag   = flag.String("fig", "", "comma-separated figure numbers or ablation ids to run (e.g. \"19,26,abl-index\"); empty = all figures")
+		ablFlag   = flag.Bool("ablations", false, "run the ablation experiments (contour stop, index families, parallel join)")
+		scaleFlag = flag.String("scale", "ci", "workload scale: \"ci\" (reduced, minutes) or \"paper\" (full cardinalities)")
+		statsFlag = flag.Bool("stats", false, "print machine-independent operation counters per plan")
+	)
+	flag.Parse()
+
+	if err := run(*figFlag, *ablFlag, *scaleFlag, *statsFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "knnbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(figs string, ablations bool, scaleName string, withStats bool) error {
+	scale, err := bench.ParseScale(scaleName)
+	if err != nil {
+		return err
+	}
+
+	selected, err := selectExperiments(figs, ablations)
+	if err != nil {
+		return err
+	}
+
+	for i, e := range selected {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("running %s ...\n", e.ID)
+		res, err := bench.Run(e, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Format())
+		if withStats {
+			printStats(res)
+		}
+	}
+	return nil
+}
+
+func selectExperiments(figs string, ablations bool) ([]bench.Experiment, error) {
+	if figs == "" {
+		if ablations {
+			return bench.Ablations, nil
+		}
+		return bench.Experiments, nil
+	}
+	var out []bench.Experiment
+	for _, tok := range strings.Split(figs, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		id := tok
+		if !strings.HasPrefix(id, "fig") && !strings.HasPrefix(id, "abl") {
+			id = "fig" + id
+		}
+		e, ok := bench.AnyByID(id)
+		if !ok {
+			var known []string
+			for _, k := range bench.Experiments {
+				known = append(known, k.ID)
+			}
+			for _, k := range bench.Ablations {
+				known = append(known, k.ID)
+			}
+			return nil, fmt.Errorf("unknown experiment %q (known: %s)", tok, strings.Join(known, ", "))
+		}
+		out = append(out, e)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no experiments selected")
+	}
+	return out, nil
+}
+
+func printStats(res *bench.Result) {
+	fmt.Println("\noperation counters (machine-independent evidence):")
+	for _, row := range res.Rows {
+		for _, name := range res.PlanNames() {
+			fmt.Printf("  %s=%s %-18s %s\n", res.Experiment.XLabel, row.X, name, row.Stats[name])
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSelectExperimentsAllFigures(t *testing.T) {
+	exps, err := selectExperiments("", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != 8 {
+		t.Fatalf("default selection has %d experiments, want the 8 figures", len(exps))
+	}
+}
+
+func TestSelectExperimentsAblations(t *testing.T) {
+	exps, err := selectExperiments("", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != 3 {
+		t.Fatalf("ablation selection has %d experiments, want 3", len(exps))
+	}
+}
+
+func TestSelectExperimentsByNumber(t *testing.T) {
+	exps, err := selectExperiments("19, 26", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != 2 || exps[0].ID != "fig19" || exps[1].ID != "fig26" {
+		t.Fatalf("selection = %v", exps)
+	}
+}
+
+func TestSelectExperimentsMixed(t *testing.T) {
+	exps, err := selectExperiments("fig22,abl-index", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != 2 || exps[1].ID != "abl-index" {
+		t.Fatalf("selection = %v", exps)
+	}
+}
+
+func TestSelectExperimentsUnknown(t *testing.T) {
+	_, err := selectExperiments("99", false)
+	if err == nil {
+		t.Fatal("unknown figure must error")
+	}
+	if !strings.Contains(err.Error(), "fig19") {
+		t.Errorf("error should list known experiments, got %v", err)
+	}
+}
+
+func TestSelectExperimentsEmptyTokens(t *testing.T) {
+	if _, err := selectExperiments(",,", false); err == nil {
+		t.Fatal("empty selection must error")
+	}
+}

@@ -1,0 +1,242 @@
+// Command knnquery runs a spatial query with two kNN predicates over CSV
+// point files (or generated data) and prints the result together with the
+// EXPLAIN tree of the chosen plan and its operation counters.
+//
+// Query shapes (the -query flag):
+//
+//	select-inner-join   (E1 ⋈kNN E2) ∩ (E1 × σ_{kSel,f}(E2))   -outer -inner -fx -fy -kjoin -ksel
+//	select-outer-join   (σ_{kSel,f}(E1)) ⋈kNN E2               -outer -inner -fx -fy -kjoin -ksel
+//	unchained           (A⋈B) ∩B (C⋈B)                          -outer=A -inner=B -third=C -kjoin -ksel(=kCB)
+//	chained             A→B→C                                   -outer=A -inner=B -third=C -kjoin(=kAB) -ksel(=kBC)
+//	two-selects         σ_{k1,f1}(E) ∩ σ_{k2,f2}(E)             -outer=E -fx -fy -f2x -f2y -kjoin(=k1) -ksel(=k2)
+//
+// Point files are CSV "x,y" lines (see cmd/datagen). When a file flag is
+// empty, a deterministic BerlinMOD-substitute dataset is generated instead,
+// so the command is runnable with no inputs at all:
+//
+//	knnquery -query select-inner-join -kjoin 2 -ksel 2 -fx 5000 -fy 5000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	twoknn "repro"
+	"repro/internal/berlinmod"
+	"repro/internal/pointio"
+)
+
+func main() {
+	var (
+		query = flag.String("query", "select-inner-join", "query shape: select-inner-join, select-outer-join, unchained, chained, two-selects")
+		outer = flag.String("outer", "", "CSV file for the outer relation (E1/A/E); empty generates data")
+		inner = flag.String("inner", "", "CSV file for the inner relation (E2/B); empty generates data")
+		third = flag.String("third", "", "CSV file for the third relation (C); empty generates data")
+		fx    = flag.Float64("fx", 5000, "focal point x (first predicate)")
+		fy    = flag.Float64("fy", 5000, "focal point y (first predicate)")
+		f2x   = flag.Float64("f2x", 5100, "second focal point x (two-selects)")
+		f2y   = flag.Float64("f2y", 4900, "second focal point y (two-selects)")
+		kJoin = flag.Int("kjoin", 2, "k of the join (or k1 for two-selects)")
+		kSel  = flag.Int("ksel", 2, "k of the select (kCB/kBC for two joins, k2 for two-selects)")
+		alg   = flag.String("algorithm", "auto", "strategy for *-inner-join: auto, conceptual, counting, block-marking")
+		index = flag.String("index", "grid", "index kind: grid, quadtree, rtree, kdtree")
+		limit = flag.Int("limit", 20, "maximum result rows to print (0 = all)")
+		genN  = flag.Int("gen-n", 20000, "points per generated relation when a file flag is empty")
+	)
+	flag.Parse()
+
+	if err := run(params{
+		query: *query, outer: *outer, inner: *inner, third: *third,
+		f1: twoknn.Point{X: *fx, Y: *fy}, f2: twoknn.Point{X: *f2x, Y: *f2y},
+		kJoin: *kJoin, kSel: *kSel, alg: *alg, index: *index, limit: *limit, genN: *genN,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "knnquery:", err)
+		os.Exit(1)
+	}
+}
+
+type params struct {
+	query, outer, inner, third string
+	f1, f2                     twoknn.Point
+	kJoin, kSel                int
+	alg, index                 string
+	limit, genN                int
+}
+
+func run(p params) error {
+	kind, err := parseIndexKind(p.index)
+	if err != nil {
+		return err
+	}
+	algorithm, err := parseAlgorithm(p.alg)
+	if err != nil {
+		return err
+	}
+
+	load := func(name, path string, seed int64) (*twoknn.Relation, error) {
+		var (
+			pts []twoknn.Point
+			err error
+		)
+		if path == "" {
+			pts, err = berlinmod.Points(p.genN, berlinmod.Config{Seed: seed})
+			if err == nil {
+				fmt.Printf("%s: generated %d BerlinMOD-substitute points (seed %d)\n", name, len(pts), seed)
+			}
+		} else {
+			pts, err = pointio.ReadFile(path)
+			if err == nil {
+				fmt.Printf("%s: loaded %d points from %s\n", name, len(pts), path)
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		return twoknn.NewRelation(name, pts, twoknn.WithIndexKind(kind))
+	}
+
+	var explain string
+	var st twoknn.Stats
+	opts := []twoknn.QueryOption{
+		twoknn.WithAlgorithm(algorithm),
+		twoknn.WithExplain(&explain),
+		twoknn.WithStats(&st),
+	}
+
+	switch p.query {
+	case "select-inner-join", "select-outer-join":
+		outer, err := load("outer", p.outer, 1)
+		if err != nil {
+			return err
+		}
+		inner, err := load("inner", p.inner, 2)
+		if err != nil {
+			return err
+		}
+		var pairs []twoknn.Pair
+		if p.query == "select-inner-join" {
+			pairs, err = twoknn.SelectInnerJoin(outer, inner, p.f1, p.kJoin, p.kSel, opts...)
+		} else {
+			pairs, err = twoknn.SelectOuterJoin(outer, inner, p.f1, p.kSel, p.kJoin, opts...)
+		}
+		if err != nil {
+			return err
+		}
+		printPlanAndStats(explain, &st)
+		printPairs(pairs, p.limit)
+
+	case "unchained", "chained":
+		a, err := load("A", p.outer, 1)
+		if err != nil {
+			return err
+		}
+		b, err := load("B", p.inner, 2)
+		if err != nil {
+			return err
+		}
+		c, err := load("C", p.third, 3)
+		if err != nil {
+			return err
+		}
+		var triples []twoknn.Triple
+		if p.query == "unchained" {
+			triples, err = twoknn.UnchainedJoins(a, b, c, p.kJoin, p.kSel, opts...)
+		} else {
+			triples, err = twoknn.ChainedJoins(a, b, c, p.kJoin, p.kSel, opts...)
+		}
+		if err != nil {
+			return err
+		}
+		printPlanAndStats(explain, &st)
+		printTriples(triples, p.limit)
+
+	case "two-selects":
+		e, err := load("E", p.outer, 1)
+		if err != nil {
+			return err
+		}
+		pts, err := twoknn.TwoSelects(e, p.f1, p.kJoin, p.f2, p.kSel, opts...)
+		if err != nil {
+			return err
+		}
+		printPlanAndStats(explain, &st)
+		printPoints(pts, p.limit)
+
+	default:
+		return fmt.Errorf("unknown query %q", p.query)
+	}
+	return nil
+}
+
+func parseIndexKind(s string) (twoknn.IndexKind, error) {
+	switch s {
+	case "grid":
+		return twoknn.GridIndex, nil
+	case "quadtree":
+		return twoknn.QuadtreeIndex, nil
+	case "rtree":
+		return twoknn.RTreeIndex, nil
+	case "kdtree":
+		return twoknn.KDTreeIndex, nil
+	default:
+		return 0, fmt.Errorf("unknown index kind %q", s)
+	}
+}
+
+func parseAlgorithm(s string) (twoknn.Algorithm, error) {
+	switch s {
+	case "auto":
+		return twoknn.AlgorithmAuto, nil
+	case "conceptual":
+		return twoknn.AlgorithmConceptual, nil
+	case "counting":
+		return twoknn.AlgorithmCounting, nil
+	case "block-marking":
+		return twoknn.AlgorithmBlockMarking, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q", s)
+	}
+}
+
+func printPlanAndStats(explain string, st *twoknn.Stats) {
+	fmt.Println("\nEXPLAIN")
+	fmt.Print(explain)
+	fmt.Printf("counters: %s\n\n", st)
+}
+
+func printPairs(pairs []twoknn.Pair, limit int) {
+	twoknn.SortPairs(pairs)
+	fmt.Printf("%d result pairs\n", len(pairs))
+	for i, pr := range pairs {
+		if limit > 0 && i >= limit {
+			fmt.Printf("... (%d more)\n", len(pairs)-limit)
+			return
+		}
+		fmt.Printf("  %v  %v\n", pr.Left, pr.Right)
+	}
+}
+
+func printTriples(triples []twoknn.Triple, limit int) {
+	twoknn.SortTriples(triples)
+	fmt.Printf("%d result triples\n", len(triples))
+	for i, tr := range triples {
+		if limit > 0 && i >= limit {
+			fmt.Printf("... (%d more)\n", len(triples)-limit)
+			return
+		}
+		fmt.Printf("  %v  %v  %v\n", tr.A, tr.B, tr.C)
+	}
+}
+
+func printPoints(pts []twoknn.Point, limit int) {
+	twoknn.SortPoints(pts)
+	fmt.Printf("%d result points\n", len(pts))
+	for i, p := range pts {
+		if limit > 0 && i >= limit {
+			fmt.Printf("... (%d more)\n", len(pts)-limit)
+			return
+		}
+		fmt.Printf("  %v\n", p)
+	}
+}

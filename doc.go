@@ -1,0 +1,54 @@
+// Package twoknn is a Go implementation of the query-processing algorithms
+// from "Spatial Queries with Two kNN Predicates" (Ahmed M. Aly, Walid G.
+// Aref, Mourad Ouzzani; PVLDB 5(11), VLDB 2012).
+//
+// The package evaluates spatial queries that combine TWO k-nearest-neighbor
+// predicates over sets of 2-D points — the combinations where classical
+// optimizer rewrites silently change query answers:
+//
+//   - a kNN-select on the inner relation of a kNN-join (SelectInnerJoin):
+//     pushing the select below the join is invalid; the package evaluates it
+//     correctly with the paper's Counting or Block-Marking algorithms, which
+//     are orders of magnitude faster than the conceptual plan;
+//   - a kNN-select on the outer relation of a kNN-join (SelectOuterJoin):
+//     the pushdown is valid and is what the implementation does;
+//   - two unchained kNN-joins sharing their inner relation (UnchainedJoins):
+//     both joins are evaluated independently and intersected on the shared
+//     relation, with Candidate/Safe block pruning and automatic join
+//     ordering by cluster coverage;
+//   - two chained kNN-joins A→B→C (ChainedJoins): evaluated with the
+//     nested-join plan and a neighborhood cache;
+//   - two kNN-selects over one relation (TwoSelects): evaluated with the
+//     2-kNN-select algorithm that clips the larger predicate's locality;
+//   - a rectangular range selection on the inner relation of a kNN-join
+//     (RangeInnerJoin): the paper's footnote-1 extension.
+//
+// # Quick start
+//
+//	hotels, _ := twoknn.NewRelation("hotels", hotelPoints)
+//	shops, _ := twoknn.NewRelation("mechanics", shopPoints)
+//
+//	// (mechanic, hotel) pairs where the hotel is among the 2 nearest to the
+//	// mechanic AND among the 2 nearest to the shopping center.
+//	pairs, err := twoknn.SelectInnerJoin(shops, hotels, shoppingCenter, 2, 2)
+//
+// Relations are built once over a point snapshot and indexed with a uniform
+// grid by default; quadtree and R-tree indexes are available through
+// WithIndexKind — the algorithms are index-agnostic, as in the paper.
+//
+// All query functions accept options: WithAlgorithm forces a strategy,
+// WithStats collects operation counters, WithExplain captures an EXPLAIN
+// tree of the chosen plan.
+//
+// # Determinism
+//
+// Exact distance ties are broken by (distance, X, Y) everywhere, so every
+// evaluation strategy for a query returns the identical result set, and
+// results are reproducible across runs.
+//
+// # Concurrency
+//
+// A Relation holds reusable search buffers and must not be used from
+// multiple goroutines concurrently; Clone creates an independent handle
+// sharing the same immutable index.
+package twoknn

@@ -1,0 +1,243 @@
+package berlinmod
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func smallNetworkConfig(seed int64) NetworkConfig {
+	return NetworkConfig{Cols: 10, Rows: 10, Bounds: geom.NewRect(0, 0, 1000, 1000), Seed: seed}
+}
+
+func TestGenerateNetworkConnected(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		net := GenerateNetwork(smallNetworkConfig(seed))
+		if !net.Connected() {
+			t.Fatalf("seed %d: network not connected", seed)
+		}
+		if net.NumNodes() != 100 {
+			t.Fatalf("seed %d: %d nodes, want 100", seed, net.NumNodes())
+		}
+		for _, p := range net.Nodes {
+			if !net.Bounds().Contains(p) {
+				t.Fatalf("node %v outside bounds", p)
+			}
+		}
+	}
+}
+
+func TestNetworkEdgesSymmetric(t *testing.T) {
+	net := GenerateNetwork(smallNetworkConfig(1))
+	for u := 0; u < net.NumNodes(); u++ {
+		for _, e := range net.Edges(u) {
+			back := false
+			for _, r := range net.Edges(e.To) {
+				if r.To == u && r.Length == e.Length && r.Speed == e.Speed {
+					back = true
+					break
+				}
+			}
+			if !back {
+				t.Fatalf("edge %d->%d has no symmetric reverse", u, e.To)
+			}
+			if e.Length <= 0 || e.Speed <= 0 {
+				t.Fatalf("edge %d->%d has non-positive length/speed", u, e.To)
+			}
+		}
+	}
+}
+
+func TestNetworkHasArterials(t *testing.T) {
+	net := GenerateNetwork(smallNetworkConfig(2))
+	fast := 0
+	for u := 0; u < net.NumNodes(); u++ {
+		for _, e := range net.Edges(u) {
+			if e.Speed > 1 {
+				fast++
+			}
+		}
+	}
+	if fast == 0 {
+		t.Fatalf("expected some arterial (fast) edges")
+	}
+}
+
+func TestShortestPathProperties(t *testing.T) {
+	net := GenerateNetwork(smallNetworkConfig(3))
+
+	if p := net.ShortestPath(5, 5); len(p) != 1 || p[0] != 5 {
+		t.Fatalf("path to self = %v, want [5]", p)
+	}
+
+	path := net.ShortestPath(0, net.NumNodes()-1)
+	if len(path) < 2 {
+		t.Fatalf("expected a path between opposite corners, got %v", path)
+	}
+	if path[0] != 0 || path[len(path)-1] != net.NumNodes()-1 {
+		t.Fatalf("path endpoints wrong: %v", path)
+	}
+	// Consecutive path nodes must be joined by a road.
+	for i := 0; i+1 < len(path); i++ {
+		found := false
+		for _, e := range net.Edges(path[i]) {
+			if e.To == path[i+1] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("path step %d->%d is not a road", path[i], path[i+1])
+		}
+	}
+}
+
+func TestShortestPathPrefersArterials(t *testing.T) {
+	// Tiny triangle network: direct slow road vs a two-hop fast detour of
+	// identical geometry cannot be built from the generator, so build the
+	// comparison directly on travel times: cost of the returned path must
+	// not exceed the cost of any alternative simple path we can find by
+	// brute force on a small generated network.
+	net := GenerateNetwork(NetworkConfig{Cols: 4, Rows: 4, Bounds: geom.NewRect(0, 0, 100, 100), Seed: 4})
+	cost := func(path []int) float64 {
+		total := 0.0
+		for i := 0; i+1 < len(path); i++ {
+			for _, e := range net.Edges(path[i]) {
+				if e.To == path[i+1] {
+					total += e.Length / e.Speed
+					break
+				}
+			}
+		}
+		return total
+	}
+	from, to := 0, net.NumNodes()-1
+	best := net.ShortestPath(from, to)
+	bestCost := cost(best)
+
+	// Exhaustive DFS over simple paths (16 nodes, tractable).
+	var dfs func(u int, visited map[int]bool, path []int)
+	checked := 0
+	dfs = func(u int, visited map[int]bool, path []int) {
+		if checked > 200000 {
+			return
+		}
+		if u == to {
+			checked++
+			if c := cost(path); c < bestCost-1e-9 {
+				t.Fatalf("found cheaper path %v (cost %v) than Dijkstra's %v (cost %v)", path, c, best, bestCost)
+			}
+			return
+		}
+		for _, e := range net.Edges(u) {
+			if !visited[e.To] {
+				visited[e.To] = true
+				dfs(e.To, visited, append(path, e.To))
+				visited[e.To] = false
+			}
+		}
+	}
+	dfs(from, map[int]bool{from: true}, []int{from})
+}
+
+func TestSimulationDeterministic(t *testing.T) {
+	cfg := Config{Network: smallNetworkConfig(5), Vehicles: 50, Seed: 6}
+	a, err := Points(500, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Points(500, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same config must reproduce the same snapshot points")
+	}
+}
+
+func TestPointsCardinalityAndBounds(t *testing.T) {
+	cfg := Config{Network: smallNetworkConfig(7), Vehicles: 40, Seed: 8}
+	pts, err := Points(777, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 777 {
+		t.Fatalf("len = %d, want 777", len(pts))
+	}
+	bounds := geom.NewRect(0, 0, 1000, 1000)
+	for _, p := range pts {
+		if !bounds.Contains(p) {
+			t.Fatalf("point %v outside bounds", p)
+		}
+	}
+}
+
+func TestPointsInvalidN(t *testing.T) {
+	if _, err := Points(0, Config{Network: smallNetworkConfig(1)}); err == nil {
+		t.Fatalf("n=0 must error")
+	}
+}
+
+// TestTrafficConcentratesOnNetwork checks the property the substitution
+// must preserve: snapshot points are anisotropic — they cluster near the
+// road network rather than covering space uniformly. We verify that the
+// fraction of occupied coarse cells is well below one (uniform data of the
+// same size fills nearly all cells).
+func TestTrafficConcentratesOnNetwork(t *testing.T) {
+	cfg := Config{Network: smallNetworkConfig(9), Vehicles: 100, Seed: 10}
+	pts, err := Points(4000, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cells = 40
+	occupied := make(map[int]bool)
+	for _, p := range pts {
+		cx := int(p.X / 1000 * cells)
+		cy := int(p.Y / 1000 * cells)
+		if cx >= cells {
+			cx = cells - 1
+		}
+		if cy >= cells {
+			cy = cells - 1
+		}
+		occupied[cy*cells+cx] = true
+	}
+	frac := float64(len(occupied)) / float64(cells*cells)
+	if frac > 0.8 {
+		t.Fatalf("snapshot occupies %.0f%% of cells; expected road-constrained (non-uniform) coverage", frac*100)
+	}
+	if frac < 0.02 {
+		t.Fatalf("snapshot occupies only %.1f%% of cells; fleet never left home", frac*100)
+	}
+}
+
+func TestSimulationStepAdvances(t *testing.T) {
+	sim, err := NewSimulation(Config{Network: smallNetworkConfig(11), Vehicles: 20, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Tick() != 0 {
+		t.Fatalf("fresh simulation tick = %d", sim.Tick())
+	}
+	before := sim.Positions()
+	for i := 0; i < 20; i++ {
+		sim.Step()
+	}
+	after := sim.Positions()
+	if sim.Tick() != 20 {
+		t.Fatalf("tick = %d, want 20", sim.Tick())
+	}
+	moved := 0
+	for i := range before {
+		if before[i] != after[i] {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatalf("no vehicle moved in 20 ticks")
+	}
+	if sim.Network() == nil {
+		t.Fatalf("Network accessor returned nil")
+	}
+}

@@ -1,0 +1,382 @@
+// Package berlinmod is the repository's substitute for the BerlinMOD
+// benchmark data used in the paper's experiments (Section 6: "about two
+// thousand cars report their movement over Berlin City for 28 days. We
+// remove the time dimension from the data to deal with snapshots of
+// points."). The original data is an external download; this package
+// reproduces the property the experiments actually consume — the spatial
+// distribution of vehicle positions concentrated on a road network — by
+// simulating it:
+//
+//  1. a road network is generated as a perturbed grid of streets with a
+//     randomized subset of edges (kept connected through a spanning tree)
+//     plus a few high-speed arterial corridors;
+//  2. a fleet of vehicles drives shortest-path (travel-time) trips between
+//     home and work nodes with occasional errands, so traffic concentrates
+//     on the arterials;
+//  3. vehicle positions are sampled at simulation ticks and accumulated
+//     into a time-free point set of any requested cardinality, exactly as
+//     the paper collapses trajectories into snapshots.
+//
+// Everything is deterministic in the configured seed.
+package berlinmod
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// Network is a connected road graph embedded in the plane.
+type Network struct {
+	// Nodes holds the junction positions.
+	Nodes []geom.Point
+
+	// adj[u] lists the road segments leaving node u.
+	adj [][]Edge
+
+	bounds geom.Rect
+}
+
+// Edge is a directed road segment of the network (every road is stored in
+// both directions).
+type Edge struct {
+	// To is the destination node index.
+	To int
+
+	// Length is the Euclidean length of the segment.
+	Length float64
+
+	// Speed is the travel speed on the segment; arterials are faster, so
+	// shortest-travel-time routes prefer them.
+	Speed float64
+}
+
+// NetworkConfig parameterizes network generation.
+type NetworkConfig struct {
+	// Cols, Rows are the street-grid dimensions; defaults 24 x 24.
+	Cols, Rows int
+
+	// Bounds is the covered region; default (0,0)-(10000,10000).
+	Bounds geom.Rect
+
+	// KeepProb is the probability of keeping a non-spanning-tree street
+	// edge; default 0.55 (sparser than a full grid, like a real city).
+	KeepProb float64
+
+	// Arterials is the number of high-speed corridors; default 6.
+	Arterials int
+
+	// ArterialSpeed and StreetSpeed are the edge speeds; defaults 3 and 1.
+	ArterialSpeed, StreetSpeed float64
+
+	// Jitter displaces junctions from exact grid positions by up to this
+	// fraction of the cell size; default 0.35.
+	Jitter float64
+
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (cfg *NetworkConfig) applyDefaults() {
+	if cfg.Cols <= 1 {
+		cfg.Cols = 24
+	}
+	if cfg.Rows <= 1 {
+		cfg.Rows = 24
+	}
+	if cfg.Bounds.Area() <= 0 {
+		cfg.Bounds = geom.NewRect(0, 0, 10000, 10000)
+	}
+	if cfg.KeepProb <= 0 || cfg.KeepProb > 1 {
+		cfg.KeepProb = 0.55
+	}
+	if cfg.Arterials < 0 {
+		cfg.Arterials = 0
+	} else if cfg.Arterials == 0 {
+		cfg.Arterials = 6
+	}
+	if cfg.ArterialSpeed <= 0 {
+		cfg.ArterialSpeed = 3
+	}
+	if cfg.StreetSpeed <= 0 {
+		cfg.StreetSpeed = 1
+	}
+	if cfg.Jitter < 0 || cfg.Jitter >= 0.5 {
+		cfg.Jitter = 0.35
+	}
+}
+
+// GenerateNetwork builds a connected road network per cfg.
+func GenerateNetwork(cfg NetworkConfig) *Network {
+	cfg.applyDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	cols, rows := cfg.Cols, cfg.Rows
+	cellW := cfg.Bounds.Width() / float64(cols-1)
+	cellH := cfg.Bounds.Height() / float64(rows-1)
+
+	n := &Network{
+		Nodes:  make([]geom.Point, cols*rows),
+		adj:    make([][]Edge, cols*rows),
+		bounds: cfg.Bounds,
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			jx := (rng.Float64()*2 - 1) * cfg.Jitter * cellW
+			jy := (rng.Float64()*2 - 1) * cfg.Jitter * cellH
+			x := cfg.Bounds.MinX + float64(c)*cellW + jx
+			y := cfg.Bounds.MinY + float64(r)*cellH + jy
+			n.Nodes[r*cols+c] = geom.Point{
+				X: clamp(x, cfg.Bounds.MinX, cfg.Bounds.MaxX),
+				Y: clamp(y, cfg.Bounds.MinY, cfg.Bounds.MaxY),
+			}
+		}
+	}
+
+	// Candidate street edges: the 4-neighborhood of the grid.
+	type cand struct{ u, v int }
+	var cands []cand
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			u := r*cols + c
+			if c+1 < cols {
+				cands = append(cands, cand{u, u + 1})
+			}
+			if r+1 < rows {
+				cands = append(cands, cand{u, u + cols})
+			}
+		}
+	}
+	rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+
+	// Keep the network connected: a spanning tree over the shuffled
+	// candidates is always kept; the remaining edges survive with KeepProb.
+	uf := newUnionFind(len(n.Nodes))
+	for _, e := range cands {
+		inTree := uf.union(e.u, e.v)
+		if inTree || rng.Float64() < cfg.KeepProb {
+			n.addRoad(e.u, e.v, cfg.StreetSpeed)
+		}
+	}
+
+	// Arterials: fast corridors between far-apart boundary nodes. Upgrading
+	// the street path's speed concentrates shortest-travel-time routes on
+	// these corridors.
+	for i := 0; i < cfg.Arterials; i++ {
+		from := randomBorderNode(cols, rows, rng)
+		to := randomBorderNode(cols, rows, rng)
+		if from == to {
+			continue
+		}
+		path := n.ShortestPath(from, to)
+		for j := 0; j+1 < len(path); j++ {
+			n.setSpeed(path[j], path[j+1], cfg.ArterialSpeed)
+		}
+	}
+	return n
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func randomBorderNode(cols, rows int, rng *rand.Rand) int {
+	switch rng.Intn(4) {
+	case 0:
+		return rng.Intn(cols) // bottom row
+	case 1:
+		return (rows-1)*cols + rng.Intn(cols) // top row
+	case 2:
+		return rng.Intn(rows) * cols // left column
+	default:
+		return rng.Intn(rows)*cols + cols - 1 // right column
+	}
+}
+
+// addRoad inserts the segment in both directions.
+func (n *Network) addRoad(u, v int, speed float64) {
+	length := n.Nodes[u].Dist(n.Nodes[v])
+	n.adj[u] = append(n.adj[u], Edge{To: v, Length: length, Speed: speed})
+	n.adj[v] = append(n.adj[v], Edge{To: u, Length: length, Speed: speed})
+}
+
+// setSpeed upgrades the speed of an existing segment (both directions).
+func (n *Network) setSpeed(u, v int, speed float64) {
+	for i := range n.adj[u] {
+		if n.adj[u][i].To == v && n.adj[u][i].Speed < speed {
+			n.adj[u][i].Speed = speed
+		}
+	}
+	for i := range n.adj[v] {
+		if n.adj[v][i].To == u && n.adj[v][i].Speed < speed {
+			n.adj[v][i].Speed = speed
+		}
+	}
+}
+
+// Edges returns the segments leaving node u. The slice is owned by the
+// network.
+func (n *Network) Edges(u int) []Edge { return n.adj[u] }
+
+// Bounds returns the region the network covers.
+func (n *Network) Bounds() geom.Rect { return n.bounds }
+
+// NumNodes returns the node count.
+func (n *Network) NumNodes() int { return len(n.Nodes) }
+
+// Connected reports whether every node is reachable from node 0. Generated
+// networks always are; tests assert it.
+func (n *Network) Connected() bool {
+	if len(n.Nodes) == 0 {
+		return true
+	}
+	seen := make([]bool, len(n.Nodes))
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range n.adj[u] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				count++
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return count == len(n.Nodes)
+}
+
+// ShortestPath returns the minimum-travel-time node path from u to v
+// (inclusive) using Dijkstra's algorithm; edge cost is Length/Speed. It
+// returns nil if v is unreachable (generated networks are connected, so this
+// only happens for foreign graphs).
+func (n *Network) ShortestPath(u, v int) []int {
+	if u == v {
+		return []int{u}
+	}
+	const unvisited = -1
+	dist := make([]float64, len(n.Nodes))
+	prev := make([]int, len(n.Nodes))
+	done := make([]bool, len(n.Nodes))
+	for i := range dist {
+		dist[i] = -1
+		prev[i] = unvisited
+	}
+	dist[u] = 0
+
+	pq := &nodeQueue{{node: u, cost: 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(nodeItem)
+		if done[item.node] {
+			continue
+		}
+		done[item.node] = true
+		if item.node == v {
+			break
+		}
+		for _, e := range n.adj[item.node] {
+			cost := item.cost + e.Length/e.Speed
+			if dist[e.To] < 0 || cost < dist[e.To] {
+				dist[e.To] = cost
+				prev[e.To] = item.node
+				heap.Push(pq, nodeItem{node: e.To, cost: cost})
+			}
+		}
+	}
+	if prev[v] == unvisited {
+		return nil
+	}
+	var path []int
+	for at := v; at != unvisited; at = prev[at] {
+		path = append(path, at)
+		if at == u {
+			break
+		}
+	}
+	// Reverse into u..v order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	if path[0] != u {
+		return nil
+	}
+	return path
+}
+
+// nodeItem / nodeQueue implement the Dijkstra priority queue.
+type nodeItem struct {
+	node int
+	cost float64
+}
+
+type nodeQueue []nodeItem
+
+func (q nodeQueue) Len() int           { return len(q) }
+func (q nodeQueue) Less(i, j int) bool { return q[i].cost < q[j].cost }
+func (q nodeQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *nodeQueue) Push(x any)        { *q = append(*q, x.(nodeItem)) }
+func (q *nodeQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// unionFind is a standard disjoint-set structure used to keep the generated
+// network connected.
+type unionFind struct {
+	parent []int
+	rank   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+// union merges the sets of a and b, reporting whether a merge happened
+// (false when they were already connected).
+func (uf *unionFind) union(a, b int) bool {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return false
+	}
+	if uf.rank[ra] < uf.rank[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	if uf.rank[ra] == uf.rank[rb] {
+		uf.rank[ra]++
+	}
+	return true
+}
+
+// validate reports configuration errors for Simulation construction.
+func (cfg *NetworkConfig) validate() error {
+	if cfg.Cols < 0 || cfg.Rows < 0 {
+		return fmt.Errorf("berlinmod: negative grid dimensions %dx%d", cfg.Cols, cfg.Rows)
+	}
+	return nil
+}

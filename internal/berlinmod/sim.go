@@ -1,0 +1,246 @@
+package berlinmod
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// Config parameterizes a traffic simulation.
+type Config struct {
+	// Network configures the road network the fleet drives on.
+	Network NetworkConfig
+
+	// Vehicles is the fleet size; default 2000, matching the BerlinMOD
+	// scale-1.0 fleet the paper uses.
+	Vehicles int
+
+	// TripBias is the probability that a finished vehicle starts its next
+	// trip toward its home/work anchor rather than a random errand;
+	// default 0.7. Anchored trips make traffic patterns repeatable and
+	// corridor-heavy, like commuting.
+	TripBias float64
+
+	// MaxDwell is the maximum number of ticks a vehicle rests between
+	// trips; default 3.
+	MaxDwell int
+
+	// Seed drives vehicle behavior (independent from the network seed).
+	Seed int64
+}
+
+func (cfg *Config) applyDefaults() {
+	if cfg.Vehicles <= 0 {
+		cfg.Vehicles = 2000
+	}
+	if cfg.TripBias <= 0 || cfg.TripBias > 1 {
+		cfg.TripBias = 0.7
+	}
+	if cfg.MaxDwell <= 0 {
+		cfg.MaxDwell = 3
+	}
+}
+
+// vehicle is one car of the fleet.
+type vehicle struct {
+	home, work int // anchor nodes
+	atNode     int // current node when dwelling
+	dwell      int // remaining rest ticks; 0 while driving
+
+	// trip state while driving
+	path     []int   // node path of the current trip
+	leg      int     // index into path of the current segment start
+	progress float64 // distance covered on the current segment
+	toWork   bool    // direction of the next anchored trip
+}
+
+// Simulation is a deterministic traffic simulation over a generated
+// network. Advance it with Step and read vehicle positions with Positions.
+type Simulation struct {
+	net  *Network
+	cfg  Config
+	rng  *rand.Rand
+	cars []vehicle
+	tick int
+}
+
+// NewSimulation builds the network and places the fleet.
+func NewSimulation(cfg Config) (*Simulation, error) {
+	cfg.applyDefaults()
+	if err := cfg.Network.validate(); err != nil {
+		return nil, err
+	}
+	net := GenerateNetwork(cfg.Network)
+	if !net.Connected() {
+		return nil, fmt.Errorf("berlinmod: generated network is not connected")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	s := &Simulation{net: net, cfg: cfg, rng: rng}
+	s.cars = make([]vehicle, cfg.Vehicles)
+	for i := range s.cars {
+		home := rng.Intn(net.NumNodes())
+		work := rng.Intn(net.NumNodes())
+		s.cars[i] = vehicle{home: home, work: work, atNode: home, dwell: rng.Intn(cfg.MaxDwell) + 1, toWork: true}
+	}
+	return s, nil
+}
+
+// Network returns the simulated road network.
+func (s *Simulation) Network() *Network { return s.net }
+
+// Tick returns how many steps have been simulated.
+func (s *Simulation) Tick() int { return s.tick }
+
+// Step advances every vehicle by one tick. A tick moves a driving vehicle
+// by speed*cellScale along its path (arterial segments are covered faster),
+// counts down dwell time for resting vehicles, and starts new trips.
+func (s *Simulation) Step() {
+	// A tick's base travel distance: one grid cell on a normal street.
+	base := s.net.Bounds().Width() / float64(max(s.cfg.Network.Cols, 2))
+	for i := range s.cars {
+		s.stepVehicle(&s.cars[i], base)
+	}
+	s.tick++
+}
+
+func (s *Simulation) stepVehicle(v *vehicle, base float64) {
+	if v.dwell > 0 {
+		v.dwell--
+		if v.dwell == 0 {
+			s.startTrip(v)
+		}
+		return
+	}
+	// Driving: consume distance along the path, segment by segment.
+	budget := base * (0.8 + 0.4*s.rng.Float64())
+	for budget > 0 && v.leg+1 < len(v.path) {
+		u, w := v.path[v.leg], v.path[v.leg+1]
+		edge := s.findEdge(u, w)
+		speed := 1.0
+		length := s.net.Nodes[u].Dist(s.net.Nodes[w])
+		if edge != nil {
+			speed = edge.Speed
+			length = edge.Length
+		}
+		remain := length - v.progress
+		advance := budget * speed
+		if advance < remain {
+			v.progress += advance
+			budget = 0
+		} else {
+			budget -= remain / speed
+			v.leg++
+			v.progress = 0
+		}
+	}
+	if v.leg+1 >= len(v.path) {
+		// Arrived.
+		v.atNode = v.path[len(v.path)-1]
+		v.path = nil
+		v.dwell = s.rng.Intn(s.cfg.MaxDwell) + 1
+	}
+}
+
+// startTrip routes the vehicle to its next destination.
+func (s *Simulation) startTrip(v *vehicle) {
+	var dest int
+	if s.rng.Float64() < s.cfg.TripBias {
+		if v.toWork {
+			dest = v.work
+		} else {
+			dest = v.home
+		}
+		v.toWork = !v.toWork
+	} else {
+		dest = s.rng.Intn(s.net.NumNodes())
+	}
+	if dest == v.atNode {
+		v.dwell = 1
+		return
+	}
+	path := s.net.ShortestPath(v.atNode, dest)
+	if len(path) < 2 {
+		v.dwell = 1
+		return
+	}
+	v.path = path
+	v.leg = 0
+	v.progress = 0
+}
+
+// findEdge returns the segment u->w, or nil if the path references a road
+// that does not exist (never for generated paths).
+func (s *Simulation) findEdge(u, w int) *Edge {
+	for i := range s.net.adj[u] {
+		if s.net.adj[u][i].To == w {
+			return &s.net.adj[u][i]
+		}
+	}
+	return nil
+}
+
+// Positions returns the current position of every vehicle: resting vehicles
+// sit at their node, driving vehicles are interpolated along their current
+// segment.
+func (s *Simulation) Positions() []geom.Point {
+	out := make([]geom.Point, len(s.cars))
+	for i := range s.cars {
+		out[i] = s.position(&s.cars[i])
+	}
+	return out
+}
+
+func (s *Simulation) position(v *vehicle) geom.Point {
+	if v.dwell > 0 || v.leg+1 >= len(v.path) {
+		return s.net.Nodes[v.atNode]
+	}
+	u, w := v.path[v.leg], v.path[v.leg+1]
+	a, b := s.net.Nodes[u], s.net.Nodes[w]
+	length := a.Dist(b)
+	if length == 0 {
+		return a
+	}
+	t := v.progress / length
+	if t > 1 {
+		t = 1
+	}
+	return geom.Point{X: a.X + (b.X-a.X)*t, Y: a.Y + (b.Y-a.Y)*t}
+}
+
+// Points runs a simulation until n vehicle positions have been accumulated
+// across ticks and returns exactly n points — the package-level convenience
+// the experiments use ("remove the time dimension ... to deal with snapshots
+// of points"). A few warm-up ticks run first so the fleet disperses from its
+// home nodes onto the roads.
+func Points(n int, cfg Config) ([]geom.Point, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("berlinmod: requested %d points", n)
+	}
+	sim, err := NewSimulation(cfg)
+	if err != nil {
+		return nil, err
+	}
+	const warmup = 8
+	for i := 0; i < warmup; i++ {
+		sim.Step()
+	}
+	pts := make([]geom.Point, 0, n)
+	for len(pts) < n {
+		sim.Step()
+		for _, p := range sim.Positions() {
+			pts = append(pts, p)
+			if len(pts) == n {
+				break
+			}
+		}
+	}
+	return pts, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,311 @@
+// Package continuous provides incremental evaluation of kNN-select
+// predicates — and of the two-kNN-select query — over a changing point set.
+// The paper's Section 7 names "incremental evaluation of continuous queries
+// with two kNN predicates" as future work; this package implements the
+// snapshot-to-continuous step for the select/select case, the combination
+// whose one-shot form Procedure 5 optimizes.
+//
+// The model: a mutable relation (grid.Dynamic) receives point insertions
+// and removals (e.g. vehicles reporting new positions). Each registered
+// monitor maintains its predicate's current answer and emits change events
+// instead of recomputing from scratch:
+//
+//   - an insertion enters a neighborhood iff it beats the current k-th
+//     neighbor (O(k) check, no index traversal);
+//   - a removal triggers a fresh neighborhood computation only when the
+//     removed point was a member (removals of non-members are free);
+//   - the two-select monitor derives intersection changes from the two
+//     membership deltas alone.
+//
+// Monitors are not safe for concurrent use; updates and reads must be
+// serialized by the caller, matching the single-writer shape of a
+// location-update stream.
+package continuous
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/index/grid"
+	"repro/internal/locality"
+	"repro/internal/stats"
+)
+
+// EventKind classifies a change to a monitored answer set.
+type EventKind int
+
+// The event kinds.
+const (
+	// Added reports a point entering the answer.
+	Added EventKind = iota
+
+	// Removed reports a point leaving the answer.
+	Removed
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	if k == Removed {
+		return "removed"
+	}
+	return "added"
+}
+
+// Event is one change to a monitored answer set.
+type Event struct {
+	Kind  EventKind
+	Point geom.Point
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string { return fmt.Sprintf("%s %v", e.Kind, e.Point) }
+
+// Relation is a mutable point set shared by any number of monitors. Every
+// mutation must go through Insert/Remove so all registered monitors observe
+// it.
+type Relation struct {
+	ix       *grid.Dynamic
+	s        *locality.Searcher
+	monitors []monitor
+}
+
+// monitor is the internal update interface of registered predicates.
+type monitor interface {
+	onInsert(p geom.Point)
+	onRemove(p geom.Point)
+}
+
+// NewRelation builds a mutable relation over bounds with a cols x rows
+// grid, pre-populated with pts.
+func NewRelation(bounds geom.Rect, cols, rows int, pts []geom.Point) (*Relation, error) {
+	ix, err := grid.NewDynamic(bounds, cols, rows, pts)
+	if err != nil {
+		return nil, err
+	}
+	return &Relation{ix: ix, s: locality.NewSearcher(ix)}, nil
+}
+
+// Len returns the current cardinality.
+func (r *Relation) Len() int { return r.ix.Len() }
+
+// Insert adds a point and updates every registered monitor.
+func (r *Relation) Insert(p geom.Point) error {
+	if err := r.ix.Insert(p); err != nil {
+		return err
+	}
+	for _, m := range r.monitors {
+		m.onInsert(p)
+	}
+	return nil
+}
+
+// Remove deletes one instance of p and updates every registered monitor.
+// It reports whether an instance existed.
+func (r *Relation) Remove(p geom.Point) bool {
+	if !r.ix.Remove(p) {
+		return false
+	}
+	for _, m := range r.monitors {
+		m.onRemove(p)
+	}
+	return true
+}
+
+// Move is a convenience for location updates: remove the old position,
+// insert the new one.
+func (r *Relation) Move(from, to geom.Point) error {
+	if !r.Remove(from) {
+		return fmt.Errorf("continuous: Move source %v not present", from)
+	}
+	return r.Insert(to)
+}
+
+// SelectMonitor maintains σ_{k,f}(E) continuously.
+type SelectMonitor struct {
+	rel *Relation
+	f   geom.Point
+	k   int
+
+	nbr    *locality.Neighborhood
+	events []Event
+	stats  stats.Counters
+}
+
+// MonitorSelect registers a continuous kNN-select over the relation and
+// returns its monitor, primed with the current answer (priming emits no
+// events).
+func (r *Relation) MonitorSelect(f geom.Point, k int) (*SelectMonitor, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("continuous: k must be positive, got %d", k)
+	}
+	m := &SelectMonitor{rel: r, f: f, k: k}
+	m.nbr = r.s.Neighborhood(f, k, &m.stats)
+	r.monitors = append(r.monitors, m)
+	return m, nil
+}
+
+// Current returns the predicate's current answer, ascending by distance to
+// the focal point. The slice is owned by the monitor.
+func (m *SelectMonitor) Current() []geom.Point { return m.nbr.Points }
+
+// Contains reports whether p is in the current answer.
+func (m *SelectMonitor) Contains(p geom.Point) bool { return m.nbr.Contains(p) }
+
+// Drain returns the events accumulated since the last call and resets the
+// buffer.
+func (m *SelectMonitor) Drain() []Event {
+	ev := m.events
+	m.events = nil
+	return ev
+}
+
+// Stats returns the operation counters accumulated by the monitor,
+// including the priming computation.
+func (m *SelectMonitor) Stats() stats.Counters { return m.stats }
+
+// onInsert implements monitor: the new point enters the neighborhood iff it
+// ranks before the current k-th neighbor (or the neighborhood is not full).
+func (m *SelectMonitor) onInsert(p geom.Point) {
+	n := m.nbr
+	if len(n.Points) >= m.k {
+		kth := n.Points[len(n.Points)-1]
+		if !p.CloserTo(m.f, kth) {
+			return // ranks behind the k-th neighbor: answer unchanged
+		}
+	}
+	// Insert p at its rank.
+	pos := len(n.Points)
+	for i, q := range n.Points {
+		if p.CloserTo(m.f, q) {
+			pos = i
+			break
+		}
+	}
+	n.Points = append(n.Points, geom.Point{})
+	copy(n.Points[pos+1:], n.Points[pos:])
+	n.Points[pos] = p
+	n.Dists = append(n.Dists, 0)
+	copy(n.Dists[pos+1:], n.Dists[pos:])
+	n.Dists[pos] = p.Dist(m.f)
+	m.events = append(m.events, Event{Kind: Added, Point: p})
+
+	if len(n.Points) > m.k {
+		evicted := n.Points[m.k]
+		n.Points = n.Points[:m.k]
+		n.Dists = n.Dists[:m.k]
+		m.events = append(m.events, Event{Kind: Removed, Point: evicted})
+	}
+}
+
+// onRemove implements monitor: a removal only matters when the removed
+// instance was a member; the replacement neighbor requires an index search.
+func (m *SelectMonitor) onRemove(p geom.Point) {
+	if !m.nbr.Contains(p) {
+		// With duplicate coordinates the removed instance may not be the
+		// member instance, but membership is by coordinate, so a remaining
+		// duplicate keeps the answer unchanged — Contains covers both.
+		return
+	}
+	// Membership is by coordinate: if another instance with the same
+	// coordinates remains in the relation, the answer is unchanged.
+	old := m.nbr
+	m.nbr = m.rel.s.Neighborhood(m.f, m.k, &m.stats)
+	for _, q := range old.Points {
+		if !m.nbr.Contains(q) {
+			m.events = append(m.events, Event{Kind: Removed, Point: q})
+		}
+	}
+	for _, q := range m.nbr.Points {
+		if !old.Contains(q) {
+			m.events = append(m.events, Event{Kind: Added, Point: q})
+		}
+	}
+}
+
+// TwoSelectMonitor maintains σ_{k1,f1}(E) ∩ σ_{k2,f2}(E) continuously by
+// composing two SelectMonitors and tracking their membership deltas.
+type TwoSelectMonitor struct {
+	m1, m2 *SelectMonitor
+	inter  map[geom.Point]struct{}
+	events []Event
+}
+
+// MonitorTwoSelects registers a continuous two-kNN-select query.
+func (r *Relation) MonitorTwoSelects(f1 geom.Point, k1 int, f2 geom.Point, k2 int) (*TwoSelectMonitor, error) {
+	m1, err := r.MonitorSelect(f1, k1)
+	if err != nil {
+		return nil, err
+	}
+	m2, err := r.MonitorSelect(f2, k2)
+	if err != nil {
+		return nil, err
+	}
+	t := &TwoSelectMonitor{m1: m1, m2: m2, inter: make(map[geom.Point]struct{})}
+	for _, p := range m1.Current() {
+		if m2.Contains(p) {
+			t.inter[p] = struct{}{}
+		}
+	}
+	r.monitors = append(r.monitors, t)
+	return t, nil
+}
+
+// Current returns the intersection's current answer in canonical point
+// order.
+func (t *TwoSelectMonitor) Current() []geom.Point {
+	out := make([]geom.Point, 0, len(t.inter))
+	for p := range t.inter {
+		out = append(out, p)
+	}
+	sortPoints(out)
+	return out
+}
+
+// Drain returns the intersection-change events accumulated since the last
+// call and resets the buffer. The underlying per-predicate monitors retain
+// their own event streams.
+func (t *TwoSelectMonitor) Drain() []Event {
+	ev := t.events
+	t.events = nil
+	return ev
+}
+
+// onInsert implements monitor. It runs AFTER the two component monitors
+// (registration order), so their answers are already up to date; the
+// intersection is reconciled from their membership.
+func (t *TwoSelectMonitor) onInsert(geom.Point) { t.reconcile() }
+
+// onRemove implements monitor.
+func (t *TwoSelectMonitor) onRemove(geom.Point) { t.reconcile() }
+
+// reconcile applies the component monitors' pending membership to the
+// intersection set. Component answers are small (k points), so the
+// reconciliation walks them directly — no index work.
+func (t *TwoSelectMonitor) reconcile() {
+	fresh := make(map[geom.Point]struct{})
+	for _, p := range t.m1.Current() {
+		if t.m2.Contains(p) {
+			fresh[p] = struct{}{}
+		}
+	}
+	for p := range t.inter {
+		if _, ok := fresh[p]; !ok {
+			t.events = append(t.events, Event{Kind: Removed, Point: p})
+		}
+	}
+	for p := range fresh {
+		if _, ok := t.inter[p]; !ok {
+			t.events = append(t.events, Event{Kind: Added, Point: p})
+		}
+	}
+	t.inter = fresh
+}
+
+// sortPoints orders points canonically; local copy to avoid importing core.
+func sortPoints(ps []geom.Point) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].Less(ps[j-1]); j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"repro/internal/geom"
+	"repro/internal/stats"
+)
+
+// This file implements Section 4.2 of the paper: two *chained* kNN-joins
+// A → B → C,
+//
+//	(A ⋈kNN B) ∩_B (B ⋈kNN C)
+//
+// — triplets (a, b, c) where b is among the kA-B nearest neighbors of a and
+// c is among the kB-C nearest neighbors of b. Unlike the unchained case, the
+// first join acts as a selection on the *outer* relation of the second join,
+// which is a valid pushdown, so the three QEPs of Figure 13 are equivalent:
+//
+//	QEP1 (right-deep):        A ⋈kNN (B ⋈kNN C), materializing B ⋈ C first;
+//	QEP2 (join-intersection): both joins in full, intersected on B;
+//	QEP3 (nested join):       (A ⋈kNN B) ⋈kNN C, computing c-neighborhoods
+//	                          only for b values the first join produced.
+//
+// QEP3 avoids the redundant work of QEP1/QEP2 on b values no a selects, but
+// recomputes the neighborhood of a b selected by several a's; the paper
+// fixes that with a hash-table cache keyed by b (Section 4.2, Figure 24).
+
+// ChainedQEP identifies one of the chained-join evaluation plans.
+type ChainedQEP int
+
+const (
+	// ChainedAuto uses the nested join with caching, the paper's winner.
+	ChainedAuto ChainedQEP = iota
+
+	// ChainedRightDeep is QEP1.
+	ChainedRightDeep
+
+	// ChainedJoinIntersection is QEP2.
+	ChainedJoinIntersection
+
+	// ChainedNestedJoin is QEP3 without the neighborhood cache.
+	ChainedNestedJoin
+
+	// ChainedNestedJoinCached is QEP3 with the neighborhood cache.
+	ChainedNestedJoinCached
+)
+
+// String implements fmt.Stringer.
+func (q ChainedQEP) String() string {
+	switch q {
+	case ChainedRightDeep:
+		return "right-deep"
+	case ChainedJoinIntersection:
+		return "join-intersection"
+	case ChainedNestedJoin:
+		return "nested-join"
+	case ChainedNestedJoinCached:
+		return "nested-join-cached"
+	default:
+		return "auto"
+	}
+}
+
+// ChainedJoins evaluates the chained query with the chosen QEP. All QEPs
+// produce the same triple set (a property the tests enforce).
+func ChainedJoins(a, b, cRel *Relation, kAB, kBC int, qep ChainedQEP, c *stats.Counters) []Triple {
+	switch qep {
+	case ChainedRightDeep:
+		return chainedRightDeep(a, b, cRel, kAB, kBC, c)
+	case ChainedJoinIntersection:
+		return chainedJoinIntersection(a, b, cRel, kAB, kBC, c)
+	case ChainedNestedJoin:
+		return chainedNestedJoin(a, b, cRel, kAB, kBC, false, c)
+	default: // ChainedAuto, ChainedNestedJoinCached
+		return chainedNestedJoin(a, b, cRel, kAB, kBC, true, c)
+	}
+}
+
+// chainedRightDeep is QEP1: materialize the full join (B ⋈kNN C) as a map
+// from b to its C-neighborhood, then probe it for every b produced by
+// (A ⋈kNN B). No output is produced until the inner join completes, and
+// neighborhoods are computed even for b values never selected by any a.
+func chainedRightDeep(a, b, cRel *Relation, kAB, kBC int, c *stats.Counters) []Triple {
+	bc := make(map[geom.Point][]geom.Point, b.Len())
+	b.ForEachPoint(func(bp geom.Point) {
+		nbr := cRel.S.Neighborhood(bp, kBC, c)
+		pts := make([]geom.Point, len(nbr.Points))
+		copy(pts, nbr.Points)
+		bc[bp] = pts
+	})
+
+	var out []Triple
+	a.ForEachPoint(func(ap geom.Point) {
+		nbrA := b.S.Neighborhood(ap, kAB, c)
+		for _, bp := range nbrA.Points {
+			for _, cp := range bc[bp] {
+				out = append(out, Triple{A: ap, B: bp, C: cp})
+			}
+		}
+	})
+	return out
+}
+
+// chainedJoinIntersection is QEP2: both joins run independently and their
+// pair sets are intersected on B.
+func chainedJoinIntersection(a, b, cRel *Relation, kAB, kBC int, c *stats.Counters) []Triple {
+	abPairs := KNNJoin(a, b, kAB, c)
+	bcPairs := KNNJoin(b, cRel, kBC, c)
+
+	// B may hold duplicate coordinates (e.g. co-located observations), and
+	// each duplicate instance contributes an identical neighborhood run to
+	// bcPairs. Keep exactly one list per distinct b value — the other QEPs
+	// probe one list per b value too. Every neighborhood has exactly
+	// min(kBC, |C|) entries, so capping the list length keeps the first
+	// full copy and drops repeats, regardless of run interleaving.
+	nbrLen := kBC
+	if cLen := cRel.Len(); cLen < nbrLen {
+		nbrLen = cLen
+	}
+	cByB := make(map[geom.Point][]geom.Point)
+	for _, pr := range bcPairs {
+		if lst := cByB[pr.Left]; len(lst) < nbrLen {
+			cByB[pr.Left] = append(lst, pr.Right)
+		}
+	}
+	var out []Triple
+	for _, pr := range abPairs {
+		for _, cp := range cByB[pr.Right] {
+			out = append(out, Triple{A: pr.Left, B: pr.Right, C: cp})
+		}
+	}
+	return out
+}
+
+// chainedNestedJoin is QEP3: for every pair (a, b) of the first join,
+// compute (or fetch from the cache) the C-neighborhood of b. Only b values
+// that some a actually selects incur neighborhood computations.
+func chainedNestedJoin(a, b, cRel *Relation, kAB, kBC int, useCache bool, c *stats.Counters) []Triple {
+	var cache map[geom.Point][]geom.Point
+	if useCache {
+		cache = make(map[geom.Point][]geom.Point)
+	}
+
+	neighborhoodOfB := func(bp geom.Point) []geom.Point {
+		if useCache {
+			if pts, ok := cache[bp]; ok {
+				c.AddCacheHit()
+				return pts
+			}
+			c.AddCacheMiss()
+		}
+		nbr := cRel.S.Neighborhood(bp, kBC, c)
+		pts := make([]geom.Point, len(nbr.Points))
+		copy(pts, nbr.Points)
+		if useCache {
+			cache[bp] = pts
+		}
+		return pts
+	}
+
+	var out []Triple
+	a.ForEachPoint(func(ap geom.Point) {
+		nbrA := b.S.Neighborhood(ap, kAB, c)
+		for _, bp := range nbrA.Points {
+			for _, cp := range neighborhoodOfB(bp) {
+				out = append(out, Triple{A: ap, B: bp, C: cp})
+			}
+		}
+	})
+	return out
+}

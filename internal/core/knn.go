@@ -1,0 +1,57 @@
+package core
+
+import (
+	"repro/internal/geom"
+	"repro/internal/locality"
+	"repro/internal/stats"
+)
+
+// KNNSelect evaluates σ_{k,f}(E): the k points of rel closest to the focal
+// point f. Fewer than k points are returned only when the relation holds
+// fewer than k points.
+func KNNSelect(rel *Relation, f geom.Point, k int, c *stats.Counters) []geom.Point {
+	nbr := rel.S.Neighborhood(f, k, c)
+	out := make([]geom.Point, len(nbr.Points))
+	copy(out, nbr.Points)
+	return out
+}
+
+// KNNJoin evaluates outer ⋈kNN inner: all pairs (e1, e2) with e1 from the
+// outer relation and e2 among the k nearest neighbors of e1 in the inner
+// relation. This is the paper's basic join building block; every point of
+// the outer relation incurs one neighborhood computation.
+func KNNJoin(outer, inner *Relation, k int, c *stats.Counters) []Pair {
+	if k <= 0 {
+		return nil
+	}
+	out := make([]Pair, 0, outer.Len()*min(k, inner.Len()))
+	outer.ForEachPoint(func(e1 geom.Point) {
+		nbr := inner.S.Neighborhood(e1, k, c)
+		for _, e2 := range nbr.Points {
+			out = append(out, Pair{Left: e1, Right: e2})
+		}
+	})
+	return out
+}
+
+// intersectPairs keeps the join pairs whose Right component belongs to sel.
+func intersectPairs(pairs []Pair, sel map[geom.Point]struct{}) []Pair {
+	out := pairs[:0:0] // fresh slice, same capacity hint not needed
+	for _, pr := range pairs {
+		if _, ok := sel[pr.Right]; ok {
+			out = append(out, pr)
+		}
+	}
+	return out
+}
+
+// emitIntersection appends a pair (e1, i) for every point i present in both
+// neighborhoods, preserving nbrE1's order.
+func emitIntersection(dst []Pair, e1 geom.Point, nbrE1 *locality.Neighborhood, selSet map[geom.Point]struct{}) []Pair {
+	for _, i := range nbrE1.Points {
+		if _, ok := selSet[i]; ok {
+			dst = append(dst, Pair{Left: e1, Right: i})
+		}
+	}
+	return dst
+}

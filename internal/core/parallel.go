@@ -1,0 +1,78 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// KNNJoinParallel evaluates outer ⋈kNN inner with the outer relation's
+// blocks distributed over a pool of workers. Each worker owns a cloned
+// searcher (searchers hold scratch buffers) and private counters, merged at
+// the end. The result is identical — including order — to the sequential
+// KNNJoin: per-block outputs are concatenated in block-ID order.
+//
+// workers ≤ 1 falls back to the sequential join; workers ≤ 0 uses
+// GOMAXPROCS.
+func KNNJoinParallel(outer, inner *Relation, k, workers int, c *stats.Counters) []Pair {
+	if k <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	blocks := outer.Ix.Blocks()
+	if workers == 1 || len(blocks) < 2 {
+		return KNNJoin(outer, inner, k, c)
+	}
+	if workers > len(blocks) {
+		workers = len(blocks)
+	}
+
+	perBlock := make([][]Pair, len(blocks))
+	counters := make([]stats.Counters, workers)
+	next := make(chan int)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := inner.S.Clone()
+			ctr := &counters[w]
+			for bi := range next {
+				b := blocks[bi]
+				if b.Count() == 0 {
+					continue
+				}
+				out := make([]Pair, 0, b.Count()*k)
+				for _, e1 := range b.Points {
+					nbr := s.Neighborhood(e1, k, ctr)
+					for _, e2 := range nbr.Points {
+						out = append(out, Pair{Left: e1, Right: e2})
+					}
+				}
+				perBlock[bi] = out
+			}
+		}(w)
+	}
+	for bi := range blocks {
+		next <- bi
+	}
+	close(next)
+	wg.Wait()
+
+	for w := range counters {
+		c.Add(&counters[w])
+	}
+	total := 0
+	for _, ps := range perBlock {
+		total += len(ps)
+	}
+	out := make([]Pair, 0, total)
+	for _, ps := range perBlock {
+		out = append(out, ps...)
+	}
+	return out
+}

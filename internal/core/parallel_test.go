@@ -1,0 +1,66 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/stats"
+	"repro/internal/testutil"
+)
+
+// TestKNNJoinParallelMatchesSequential checks the parallel join returns the
+// exact sequential result (same pairs, same order) for various worker
+// counts and index kinds. Run with -race to validate the synchronization.
+func TestKNNJoinParallelMatchesSequential(t *testing.T) {
+	bounds := geom.NewRect(0, 0, 1000, 1000)
+	for _, kind := range testutil.AllIndexKinds {
+		outer := testutil.BuildRelation(t, kind, testutil.UniformPoints(500, bounds, 1301))
+		inner := testutil.BuildRelation(t, kind, testutil.UniformPoints(700, bounds, 1302))
+
+		want := core.KNNJoin(outer, inner, 4, nil)
+		for _, workers := range []int{0, 1, 2, 4, 16, 1000} {
+			got := core.KNNJoinParallel(outer, inner, 4, workers, nil)
+			if len(got) != len(want) {
+				t.Fatalf("%s workers=%d: %d pairs, want %d", kind, workers, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s workers=%d: pair %d = %v, want %v (order must match sequential)",
+						kind, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestKNNJoinParallelCounters(t *testing.T) {
+	bounds := geom.NewRect(0, 0, 100, 100)
+	outer := testutil.BuildRelation(t, testutil.Grid, testutil.UniformPoints(300, bounds, 1311))
+	inner := testutil.BuildRelation(t, testutil.Grid, testutil.UniformPoints(300, bounds, 1312))
+
+	var seq, par stats.Counters
+	core.KNNJoin(outer, inner, 3, &seq)
+	core.KNNJoinParallel(outer, inner, 3, 4, &par)
+
+	if par.Neighborhoods != seq.Neighborhoods {
+		t.Errorf("parallel neighborhoods = %d, sequential = %d", par.Neighborhoods, seq.Neighborhoods)
+	}
+	if par.PointsCompared != seq.PointsCompared {
+		t.Errorf("parallel points = %d, sequential = %d", par.PointsCompared, seq.PointsCompared)
+	}
+}
+
+func TestKNNJoinParallelDegenerate(t *testing.T) {
+	bounds := geom.NewRect(0, 0, 10, 10)
+	outer := testutil.BuildRelation(t, testutil.Grid, testutil.UniformPoints(5, bounds, 1321))
+	inner := testutil.BuildRelation(t, testutil.Grid, testutil.UniformPoints(5, bounds, 1322))
+
+	if got := core.KNNJoinParallel(outer, inner, 0, 4, nil); len(got) != 0 {
+		t.Errorf("k=0 must return no pairs")
+	}
+	got := core.KNNJoinParallel(outer, inner, 10, 4, nil)
+	if len(got) != 25 {
+		t.Errorf("oversized k: %d pairs, want 25", len(got))
+	}
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"repro/internal/geom"
+	"repro/internal/index"
+	"repro/internal/stats"
+)
+
+// This file implements Section 3 of the paper: queries that combine a
+// kNN-join with a kNN-select,
+//
+//	(E1 ⋈kNN E2) ∩ (E1 × σ_{kσ,f}(E2))
+//
+// i.e. pairs (e1, e2) such that e2 is among the k⋈ nearest neighbors of e1
+// AND among the kσ nearest neighbors of the focal point f. The select is on
+// the *inner* relation, where pushing it below the join is invalid; the
+// Counting and Block-Marking algorithms recover the pruning a pushdown would
+// have provided without changing the answer.
+
+// SelectInnerJoinConceptual is the conceptually correct QEP of Figure 1:
+// evaluate the full kNN-join, evaluate the kNN-select independently, and
+// intersect. It is the correctness baseline and the slow comparator of
+// Figures 19–21.
+func SelectInnerJoinConceptual(outer, inner *Relation, f geom.Point, kJoin, kSel int, c *stats.Counters) []Pair {
+	nbrF := inner.S.Neighborhood(f, kSel, c)
+	sel := nbrF.Set()
+	pairs := KNNJoin(outer, inner, kJoin, c)
+	return intersectPairs(pairs, sel)
+}
+
+// InvalidInnerPushdown is the plan of Figure 2: the kNN-select is pushed
+// below the inner relation of the kNN-join, so the join sees only the kσ
+// selected points. The paper proves this plan WRONG — it is implemented
+// solely so the semantics tests can reproduce Figures 1 vs 2. Building the
+// reduced inner relation uses the supplied constructor so the caller
+// controls the index kind.
+func InvalidInnerPushdown(outer, inner *Relation, f geom.Point, kJoin, kSel int,
+	build func(pts []geom.Point) (*Relation, error), c *stats.Counters) ([]Pair, error) {
+
+	selected := KNNSelect(inner, f, kSel, c)
+	reduced, err := build(selected)
+	if err != nil {
+		return nil, err
+	}
+	return KNNJoin(outer, reduced, kJoin, c), nil
+}
+
+// SelectOuterJoin evaluates a query with the kNN-select on the *outer*
+// relation of the join: (σ_{kσ,f}(E1)) ⋈kNN E2. Pushing the selection below
+// the outer relation is valid (Figure 3 of the paper), so this simply
+// selects and then joins the selected points.
+func SelectOuterJoin(outer, inner *Relation, f geom.Point, kSel, kJoin int, c *stats.Counters) []Pair {
+	selected := KNNSelect(outer, f, kSel, c)
+	if kJoin <= 0 {
+		return nil
+	}
+	out := make([]Pair, 0, len(selected)*kJoin)
+	for _, e1 := range selected {
+		nbr := inner.S.Neighborhood(e1, kJoin, c)
+		for _, e2 := range nbr.Points {
+			out = append(out, Pair{Left: e1, Right: e2})
+		}
+	}
+	return out
+}
+
+// SelectInnerJoinCounting is the Counting algorithm (Procedure 1). For each
+// outer point e1 it derives a search threshold — the distance from e1 to the
+// nearest point of f's neighborhood — and counts inner points in blocks that
+// lie entirely (strictly) within that threshold. Once the count reaches k⋈,
+// e1's neighborhood provably cannot reach f's neighborhood and e1 is skipped
+// without a neighborhood computation.
+//
+// The implementation uses strict comparisons (count blocks with
+// MAXDIST < threshold, skip at count ≥ k⋈), which is safe under exact
+// distance ties; see DESIGN.md §3.2.
+func SelectInnerJoinCounting(outer, inner *Relation, f geom.Point, kJoin, kSel int, c *stats.Counters) []Pair {
+	if kJoin <= 0 || kSel <= 0 {
+		return nil
+	}
+	nbrF := inner.S.Neighborhood(f, kSel, c)
+	if nbrF.Len() == 0 {
+		return nil
+	}
+	sel := nbrF.Set()
+
+	var out []Pair
+	outer.ForEachPoint(func(e1 geom.Point) {
+		thr := nbrF.NearestDistTo(e1)
+		thrSq := thr * thr
+
+		count := 0
+		scan := index.MaxDistOrder(inner.Ix, e1)
+		scanned := 0
+		for count < kJoin {
+			b, maxSq, ok := scan.Next()
+			if !ok {
+				break
+			}
+			scanned++
+			if maxSq >= thrSq {
+				break // this block and all following are not strictly inside
+			}
+			count += b.Count()
+		}
+		c.AddBlocksScanned(scanned)
+
+		if count >= kJoin {
+			// ≥ k⋈ inner points strictly closer to e1 than any point of
+			// nbr(f): e1 cannot contribute.
+			c.AddOuterSkipped(1)
+			return
+		}
+		nbrE1 := inner.S.Neighborhood(e1, kJoin, c)
+		out = emitIntersection(out, e1, nbrE1, sel)
+	})
+	return out
+}
+
+// BlockMarkingOptions tune the Block-Marking algorithm.
+type BlockMarkingOptions struct {
+	// Exhaustive disables the contour early-stop of the preprocessing phase
+	// (Procedure 3): every outer block is checked individually. Exhaustive
+	// preprocessing is automatically used when the outer index does not
+	// tile space (R-trees), where the contour argument does not hold.
+	Exhaustive bool
+}
+
+// SelectInnerJoinBlockMarking is the Block-Marking algorithm (Procedures 2
+// and 3). A preprocessing pass over the blocks of the *outer* relation marks
+// each block Contributing or Non-Contributing using the neighborhood of the
+// block center (Theorem 1: the center minimizes the search threshold); the
+// join then runs only over points in Contributing blocks.
+func SelectInnerJoinBlockMarking(outer, inner *Relation, f geom.Point, kJoin, kSel int,
+	opt BlockMarkingOptions, c *stats.Counters) []Pair {
+
+	if kJoin <= 0 || kSel <= 0 {
+		return nil
+	}
+	nbrF := inner.S.Neighborhood(f, kSel, c)
+	if nbrF.Len() == 0 {
+		return nil
+	}
+	sel := nbrF.Set()
+
+	contributing := markContributingBlocks(outer, inner, f, nbrF.FarthestDist(), kJoin, opt, c)
+
+	var out []Pair
+	for _, b := range contributing {
+		for _, e1 := range b.Points {
+			nbrE1 := inner.S.Neighborhood(e1, kJoin, c)
+			out = emitIntersection(out, e1, nbrE1, sel)
+		}
+	}
+	return out
+}
+
+// markContributingBlocks is the preprocessing phase (Procedure 3). It scans
+// the outer blocks in MINDIST order from f. A block is Non-Contributing when
+//
+//	r + diagonal + fFarthest < fCenter,
+//
+// where r is the distance from the block center to the k⋈-th neighbor of the
+// center in the inner relation, fFarthest the radius of f's neighborhood and
+// fCenter the distance from f to the block center. With the contour
+// optimization enabled, scanning stops once a complete cycle of
+// Non-Contributing blocks has been closed: when the scan reaches a block
+// whose MINDIST from f is at least the MAXDIST (M) of the first
+// Non-Contributing block of the current cycle, all remaining blocks are
+// pruned without inspection.
+func markContributingBlocks(outer, inner *Relation, f geom.Point, fFarthest float64,
+	kJoin int, opt BlockMarkingOptions, c *stats.Counters) []*index.Block {
+
+	exhaustive := opt.Exhaustive || !index.TilesSpace(outer.Ix)
+	total := len(outer.Ix.Blocks())
+
+	var contributing []*index.Block
+	scan := index.MinDistOrder(outer.Ix, f)
+	mSq := -1.0 // squared MAXDIST of the first NC block of the open cycle; <0: no open cycle
+	scanned := 0
+	for {
+		b, minSq, ok := scan.Next()
+		if !ok {
+			break
+		}
+		if !exhaustive && mSq >= 0 && minSq >= mSq {
+			// Contour closed: every block with MINDIST < M was scanned and
+			// found Non-Contributing; the rest cannot contribute.
+			c.AddBlocksPruned(total - scanned)
+			break
+		}
+		scanned++
+
+		center := b.Center()
+		nbr := inner.S.Neighborhood(center, kJoin, c)
+		r := nbr.FarthestDist()
+		fCenter := center.Dist(f)
+
+		// The NC guarantee needs a full-size neighborhood: with fewer than
+		// k⋈ inner points inside radius r, the bound on a block point's
+		// k⋈-th-NN distance does not hold.
+		nonContributing := nbr.Len() == kJoin && r+b.Diagonal()+fFarthest < fCenter
+
+		if nonContributing {
+			c.AddBlocksPruned(1)
+			if mSq < 0 {
+				mSq = b.Bounds.MaxDistSq(f) // first NC block of a new cycle
+			}
+		} else {
+			if b.Count() > 0 {
+				contributing = append(contributing, b)
+			}
+			mSq = -1 // cycle broken; start over
+		}
+	}
+	c.AddBlocksScanned(scanned)
+	return contributing
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"repro/internal/geom"
+	"repro/internal/index"
+	"repro/internal/stats"
+)
+
+// This file implements Section 4.1 of the paper: two *unchained* kNN-joins
+//
+//	(A ⋈kNN B) ∩_B (C ⋈kNN B)
+//
+// — triplets (a, b, c) where b is among the kA-B nearest neighbors of a AND
+// among the kC-B nearest neighbors of c. Evaluating either join "first" and
+// feeding its output into the other is wrong (Figures 8–9); the correct
+// conceptual plan evaluates both joins independently and intersects their
+// pair sets on the shared B component (Figure 10). The Block-Marking plan
+// (Procedure 4) prunes blocks of the second join's outer relation using
+// Candidate/Safe marks on B's blocks.
+
+// JoinOrder selects which of the two unchained joins is evaluated first.
+type JoinOrder int
+
+const (
+	// OrderAuto picks the join whose outer relation has the smaller cluster
+	// coverage (Section 4.1.2: start with the more clustered relation).
+	OrderAuto JoinOrder = iota
+
+	// OrderABFirst evaluates (A ⋈ B) first and prunes blocks of C.
+	OrderABFirst
+
+	// OrderCBFirst evaluates (C ⋈ B) first and prunes blocks of A.
+	OrderCBFirst
+)
+
+// String implements fmt.Stringer.
+func (o JoinOrder) String() string {
+	switch o {
+	case OrderABFirst:
+		return "ab-first"
+	case OrderCBFirst:
+		return "cb-first"
+	default:
+		return "auto"
+	}
+}
+
+// UnchainedConceptual is the conceptually correct QEP of Figure 10: both
+// joins run in full and their outputs are intersected on B.
+func UnchainedConceptual(a, b, cRel *Relation, kAB, kCB int, c *stats.Counters) []Triple {
+	abPairs := KNNJoin(a, b, kAB, c)
+	cbPairs := KNNJoin(cRel, b, kCB, c)
+	return intersectOnB(abPairs, cbPairs)
+}
+
+// intersectOnB matches (a, b) pairs with (c, b) pairs sharing the same b.
+func intersectOnB(abPairs, cbPairs []Pair) []Triple {
+	cByB := make(map[geom.Point][]geom.Point)
+	for _, pr := range cbPairs {
+		cByB[pr.Right] = append(cByB[pr.Right], pr.Left)
+	}
+	var out []Triple
+	for _, pr := range abPairs {
+		for _, cpt := range cByB[pr.Right] {
+			out = append(out, Triple{A: pr.Left, B: pr.Right, C: cpt})
+		}
+	}
+	return out
+}
+
+// SequentialUnchained evaluates the WRONG plans of Figures 8 and 9: one join
+// runs first and its B-projection replaces the inner relation of the other
+// join. abFirst selects which join runs first. Implemented only for the
+// semantics tests that reproduce the paper's counter-example.
+func SequentialUnchained(a, b, cRel *Relation, kAB, kCB int, abFirst bool,
+	build func(pts []geom.Point) (*Relation, error), c *stats.Counters) ([]Triple, error) {
+
+	if abFirst {
+		abPairs := KNNJoin(a, b, kAB, c)
+		reduced, err := build(projectB(abPairs))
+		if err != nil {
+			return nil, err
+		}
+		cbPairs := KNNJoin(cRel, reduced, kCB, c)
+		return intersectOnB(abPairs, cbPairs), nil
+	}
+	cbPairs := KNNJoin(cRel, b, kCB, c)
+	reduced, err := build(projectB(cbPairs))
+	if err != nil {
+		return nil, err
+	}
+	abPairs := KNNJoin(a, reduced, kAB, c)
+	return intersectOnB(abPairs, cbPairs), nil
+}
+
+// projectB returns the distinct Right (B) components of pairs.
+func projectB(pairs []Pair) []geom.Point {
+	seen := make(map[geom.Point]struct{}, len(pairs))
+	var out []geom.Point
+	for _, pr := range pairs {
+		if _, ok := seen[pr.Right]; !ok {
+			seen[pr.Right] = struct{}{}
+			out = append(out, pr.Right)
+		}
+	}
+	return out
+}
+
+// UnchainedBlockMarking is the optimized plan of Procedure 4. The first join
+// runs in full; blocks of B that received at least one join result are
+// marked Candidate (all others are Safe). The outer relation of the second
+// join is then preprocessed: a block is Non-Contributing when no Candidate
+// block of B lies within (r + diagonal) of its center, where r is the
+// distance from the center to its kSecond-th neighbor in B. Points of
+// Non-Contributing blocks never reach a Candidate b and are skipped.
+//
+// order chooses the first join; OrderAuto applies the Section 4.1.2
+// heuristic (start with the relation of smaller cluster coverage).
+func UnchainedBlockMarking(a, b, cRel *Relation, kAB, kCB int, order JoinOrder, c *stats.Counters) []Triple {
+	if order == OrderAuto {
+		if EstimateClusterCoverage(a) <= EstimateClusterCoverage(cRel) {
+			order = OrderABFirst
+		} else {
+			order = OrderCBFirst
+		}
+	}
+	if order == OrderABFirst {
+		abPairs := KNNJoin(a, b, kAB, c)
+		cbPairs := prunedSecondJoin(cRel, b, kCB, abPairs, c)
+		return intersectOnB(abPairs, cbPairs)
+	}
+	cbPairs := KNNJoin(cRel, b, kCB, c)
+	abPairs := prunedSecondJoin(a, b, kAB, cbPairs, c)
+	return intersectOnB(abPairs, cbPairs)
+}
+
+// prunedSecondJoin evaluates (second ⋈kNN b) restricted to points in
+// Contributing blocks, given the pairs produced by the first join.
+func prunedSecondJoin(second, b *Relation, k int, firstPairs []Pair, c *stats.Counters) []Pair {
+	candidates := candidateBlocks(b, firstPairs)
+	var out []Pair
+	for _, blk := range second.Ix.Blocks() {
+		if blk.Count() == 0 {
+			continue
+		}
+		if !blockContributes(blk, b, k, candidates, c) {
+			c.AddBlocksPruned(1)
+			continue
+		}
+		for _, p := range blk.Points {
+			nbr := b.S.Neighborhood(p, k, c)
+			for _, q := range nbr.Points {
+				out = append(out, Pair{Left: p, Right: q})
+			}
+		}
+	}
+	return out
+}
+
+// candidateBlocks returns the blocks of b's index holding at least one
+// Right component of the first join's results (the paper's Candidate
+// blocks; every other block of B is Safe).
+func candidateBlocks(b *Relation, firstPairs []Pair) []*index.Block {
+	marked := make([]bool, len(b.Ix.Blocks()))
+	var out []*index.Block
+	for _, pr := range firstPairs {
+		blk := b.Ix.Locate(pr.Right)
+		if blk != nil && !marked[blk.ID] {
+			marked[blk.ID] = true
+			out = append(out, blk)
+		}
+	}
+	return out
+}
+
+// blockContributes applies the Procedure 4 test to one block of the second
+// join's outer relation: the block contributes if any Candidate block of B
+// is fully or partially within the search threshold r + diagonal of the
+// block's center.
+func blockContributes(blk *index.Block, b *Relation, k int, candidates []*index.Block, c *stats.Counters) bool {
+	center := blk.Center()
+	nbr := b.S.Neighborhood(center, k, c)
+	if nbr.Len() < k {
+		// Fewer than k points in B: the pruning bound does not apply.
+		return true
+	}
+	thr := nbr.FarthestDist() + blk.Diagonal()
+	thrSq := thr * thr
+	for _, cand := range candidates {
+		if cand.Bounds.MinDistSq(center) <= thrSq {
+			return true
+		}
+	}
+	return false
+}
+
+// EstimateClusterCoverage estimates what fraction of the indexed region a
+// relation's points actually occupy: the total area of non-empty blocks over
+// the area of the bounds. Uniform data approaches 1; tightly clustered data
+// approaches the clusters' relative area. The Section 4.1.2 join-order
+// heuristic starts with the relation of smaller coverage.
+func EstimateClusterCoverage(rel *Relation) float64 {
+	total := rel.Ix.Bounds().Area()
+	if total <= 0 {
+		return 1
+	}
+	occupied := 0.0
+	for _, blk := range rel.Ix.Blocks() {
+		if blk.Count() > 0 {
+			occupied += blk.Bounds.Area()
+		}
+	}
+	frac := occupied / total
+	if frac > 1 {
+		frac = 1 // R-tree leaf areas can overlap bounds slightly
+	}
+	return frac
+}

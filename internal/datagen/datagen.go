@@ -1,0 +1,167 @@
+// Package datagen provides the deterministic synthetic point generators used
+// by the paper's experiments (Section 6): uniform data, and clustered data
+// with a configurable number of equal-size, equal-area, non-overlapping
+// clusters ("All the clusters have the same number of points (4000), have
+// the same area, and are non-overlapping" — Section 6.2.1).
+//
+// All generators are pure functions of their parameters and seed.
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// Uniform returns n points independently and uniformly distributed over
+// bounds.
+func Uniform(n int, bounds geom.Rect, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{
+			X: bounds.MinX + rng.Float64()*bounds.Width(),
+			Y: bounds.MinY + rng.Float64()*bounds.Height(),
+		}
+	}
+	return pts
+}
+
+// ClusterConfig parameterizes Clustered.
+type ClusterConfig struct {
+	// NumClusters is the number of clusters; must be positive.
+	NumClusters int
+
+	// PointsPerCluster is the number of points in each cluster; must be
+	// positive. The paper's Figure 23 setup uses 4000.
+	PointsPerCluster int
+
+	// Radius is the cluster radius: points are placed uniformly inside a
+	// disk of this radius around the cluster center, giving every cluster
+	// the same area. When zero, a radius is derived so all clusters
+	// together cover roughly 5% of the bounds.
+	Radius float64
+
+	// Bounds is the region cluster centers are placed in; required.
+	Bounds geom.Rect
+
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Clustered generates cfg.NumClusters non-overlapping equal-area clusters of
+// cfg.PointsPerCluster points each. Cluster centers are placed by rejection
+// sampling so that cluster disks do not overlap; if the bounds cannot fit
+// the requested clusters, an error is returned.
+func Clustered(cfg ClusterConfig) ([]geom.Point, error) {
+	if cfg.NumClusters <= 0 {
+		return nil, fmt.Errorf("datagen: NumClusters must be positive, got %d", cfg.NumClusters)
+	}
+	if cfg.PointsPerCluster <= 0 {
+		return nil, fmt.Errorf("datagen: PointsPerCluster must be positive, got %d", cfg.PointsPerCluster)
+	}
+	if cfg.Bounds.Area() <= 0 {
+		return nil, fmt.Errorf("datagen: Bounds must have positive area, got %v", cfg.Bounds)
+	}
+	radius := cfg.Radius
+	if radius <= 0 {
+		// All clusters together cover ~5% of the bounds.
+		radius = math.Sqrt(0.05 * cfg.Bounds.Area() / (math.Pi * float64(cfg.NumClusters)))
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	centers, err := placeCenters(cfg.NumClusters, radius, cfg.Bounds, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	pts := make([]geom.Point, 0, cfg.NumClusters*cfg.PointsPerCluster)
+	for _, c := range centers {
+		for i := 0; i < cfg.PointsPerCluster; i++ {
+			pts = append(pts, randomInDisk(c, radius, rng))
+		}
+	}
+	return pts, nil
+}
+
+// ClusterCenters places n non-overlapping cluster centers for disks of the
+// given radius inside bounds, deterministically in seed. It exposes the
+// placement step of Clustered so callers can build families of clustered
+// datasets with *nested* coverage (e.g. the paper's Figure 23, where
+// relation A has the same clusters as relation C plus extra ones).
+func ClusterCenters(n int, radius float64, bounds geom.Rect, seed int64) ([]geom.Point, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("datagen: ClusterCenters n must be positive, got %d", n)
+	}
+	if radius <= 0 {
+		return nil, fmt.Errorf("datagen: ClusterCenters radius must be positive, got %v", radius)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return placeCenters(n, radius, bounds, rng)
+}
+
+// ClusteredAt generates perCluster points uniformly inside a disk of the
+// given radius around each center. Unlike Clustered, the centers are caller
+// supplied, so different relations can share cluster locations.
+func ClusteredAt(centers []geom.Point, perCluster int, radius float64, seed int64) ([]geom.Point, error) {
+	if perCluster <= 0 {
+		return nil, fmt.Errorf("datagen: ClusteredAt perCluster must be positive, got %d", perCluster)
+	}
+	if radius <= 0 {
+		return nil, fmt.Errorf("datagen: ClusteredAt radius must be positive, got %v", radius)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, 0, len(centers)*perCluster)
+	for _, c := range centers {
+		for i := 0; i < perCluster; i++ {
+			pts = append(pts, randomInDisk(c, radius, rng))
+		}
+	}
+	return pts, nil
+}
+
+// placeCenters rejection-samples cluster centers whose disks of the given
+// radius neither overlap each other nor cross the bounds.
+func placeCenters(n int, radius float64, bounds geom.Rect, rng *rand.Rand) ([]geom.Point, error) {
+	inner := geom.Rect{
+		MinX: bounds.MinX + radius, MinY: bounds.MinY + radius,
+		MaxX: bounds.MaxX - radius, MaxY: bounds.MaxY - radius,
+	}
+	if inner.MinX >= inner.MaxX || inner.MinY >= inner.MaxY {
+		return nil, fmt.Errorf("datagen: cluster radius %v does not fit in bounds %v", radius, bounds)
+	}
+	const maxAttempts = 20000
+	centers := make([]geom.Point, 0, n)
+	minSepSq := (2 * radius) * (2 * radius)
+	for attempt := 0; len(centers) < n; attempt++ {
+		if attempt >= maxAttempts {
+			return nil, fmt.Errorf("datagen: could not place %d non-overlapping clusters of radius %v in %v after %d attempts",
+				n, radius, bounds, maxAttempts)
+		}
+		c := geom.Point{
+			X: inner.MinX + rng.Float64()*inner.Width(),
+			Y: inner.MinY + rng.Float64()*inner.Height(),
+		}
+		ok := true
+		for _, o := range centers {
+			if c.DistSq(o) < minSepSq {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			centers = append(centers, c)
+		}
+	}
+	return centers, nil
+}
+
+// randomInDisk returns a point uniform over the disk of the given radius
+// around c (area-uniform via the sqrt transform).
+func randomInDisk(c geom.Point, radius float64, rng *rand.Rand) geom.Point {
+	r := radius * math.Sqrt(rng.Float64())
+	theta := 2 * math.Pi * rng.Float64()
+	return geom.Point{X: c.X + r*math.Cos(theta), Y: c.Y + r*math.Sin(theta)}
+}

@@ -1,0 +1,137 @@
+package datagen
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestUniformBasics(t *testing.T) {
+	bounds := geom.NewRect(10, 20, 110, 220)
+	pts := Uniform(500, bounds, 42)
+	if len(pts) != 500 {
+		t.Fatalf("len = %d, want 500", len(pts))
+	}
+	for _, p := range pts {
+		if !bounds.Contains(p) {
+			t.Fatalf("point %v outside bounds %v", p, bounds)
+		}
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	bounds := geom.NewRect(0, 0, 1, 1)
+	a := Uniform(100, bounds, 7)
+	b := Uniform(100, bounds, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed must reproduce the same points")
+	}
+	c := Uniform(100, bounds, 8)
+	if reflect.DeepEqual(a, c) {
+		t.Fatalf("different seeds should differ")
+	}
+}
+
+func TestUniformZero(t *testing.T) {
+	if pts := Uniform(0, geom.NewRect(0, 0, 1, 1), 1); len(pts) != 0 {
+		t.Fatalf("n=0 must produce no points")
+	}
+}
+
+func TestClusteredBasics(t *testing.T) {
+	bounds := geom.NewRect(0, 0, 1000, 1000)
+	cfg := ClusterConfig{NumClusters: 4, PointsPerCluster: 250, Radius: 50, Bounds: bounds, Seed: 5}
+	pts, err := Clustered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1000 {
+		t.Fatalf("len = %d, want 1000", len(pts))
+	}
+	for _, p := range pts {
+		if !bounds.Contains(p) {
+			t.Fatalf("point %v outside bounds", p)
+		}
+	}
+}
+
+// TestClusteredNonOverlapping verifies the Section 6.2.1 requirement: the
+// clusters are disjoint disks. We recover the clusters from the generator's
+// structure (points come out grouped) and check pairwise center distances.
+func TestClusteredNonOverlapping(t *testing.T) {
+	cfg := ClusterConfig{NumClusters: 6, PointsPerCluster: 100, Radius: 40,
+		Bounds: geom.NewRect(0, 0, 1000, 1000), Seed: 11}
+	pts, err := Clustered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	centers := make([]geom.Point, cfg.NumClusters)
+	for i := 0; i < cfg.NumClusters; i++ {
+		group := pts[i*cfg.PointsPerCluster : (i+1)*cfg.PointsPerCluster]
+		var cx, cy float64
+		for _, p := range group {
+			cx += p.X
+			cy += p.Y
+		}
+		centers[i] = geom.Point{X: cx / float64(len(group)), Y: cy / float64(len(group))}
+		// Every point within its cluster radius of the empirical center
+		// (allow slack for the center estimate).
+		for _, p := range group {
+			if p.Dist(centers[i]) > 2*cfg.Radius {
+				t.Fatalf("cluster %d point %v too far from center %v", i, p, centers[i])
+			}
+		}
+	}
+	for i := 0; i < len(centers); i++ {
+		for j := i + 1; j < len(centers); j++ {
+			if d := centers[i].Dist(centers[j]); d < 2*cfg.Radius-20 {
+				t.Fatalf("clusters %d and %d overlap: center distance %v < %v", i, j, d, 2*cfg.Radius)
+			}
+		}
+	}
+}
+
+func TestClusteredDeterministic(t *testing.T) {
+	cfg := ClusterConfig{NumClusters: 3, PointsPerCluster: 50, Radius: 30,
+		Bounds: geom.NewRect(0, 0, 500, 500), Seed: 9}
+	a, err := Clustered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Clustered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same config must reproduce the same points")
+	}
+}
+
+func TestClusteredDefaultRadius(t *testing.T) {
+	cfg := ClusterConfig{NumClusters: 5, PointsPerCluster: 10,
+		Bounds: geom.NewRect(0, 0, 100, 100), Seed: 3}
+	pts, err := Clustered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 50 {
+		t.Fatalf("len = %d, want 50", len(pts))
+	}
+}
+
+func TestClusteredErrors(t *testing.T) {
+	bounds := geom.NewRect(0, 0, 100, 100)
+	cases := []ClusterConfig{
+		{NumClusters: 0, PointsPerCluster: 10, Bounds: bounds},
+		{NumClusters: 2, PointsPerCluster: 0, Bounds: bounds},
+		{NumClusters: 2, PointsPerCluster: 10},                              // no bounds
+		{NumClusters: 2, PointsPerCluster: 10, Radius: 500, Bounds: bounds}, // radius too large
+		{NumClusters: 50, PointsPerCluster: 10, Radius: 40, Bounds: bounds}, // cannot fit
+	}
+	for i, cfg := range cases {
+		if _, err := Clustered(cfg); err == nil {
+			t.Errorf("case %d: expected error for config %+v", i, cfg)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+// Package geom provides the two-dimensional geometric primitives used by all
+// spatial-query algorithms in this repository: points, axis-aligned
+// rectangles, Euclidean distance, and the MINDIST/MAXDIST metrics between a
+// point and a rectangle (Roussopoulos, Kelley, Vincent: "Nearest neighbor
+// queries", SIGMOD 1995).
+//
+// Distances are compared through squared values whenever possible to avoid
+// square roots on hot paths. A total ordering of points by
+// (distance-to-query, X, Y) is provided so that k-nearest-neighbor sets are
+// deterministic even under exact distance ties; every algorithm in this
+// repository uses that ordering, which makes results from different
+// evaluation strategies exactly comparable.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the two-dimensional Euclidean plane.
+//
+// Point is a comparable value type: it can be used directly as a map key,
+// which the query algorithms exploit when intersecting result sets.
+type Point struct {
+	X, Y float64
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("(%.6g, %.6g)", p.X, p.Y)
+}
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Sqrt(p.DistSq(q))
+}
+
+// DistSq returns the squared Euclidean distance between p and q.
+func (p Point) DistSq(q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return dx*dx + dy*dy
+}
+
+// Less reports whether p orders before q in the canonical (X, Y)
+// lexicographic order. It is used as the final tie-break when two candidate
+// neighbors are at exactly the same distance from a query point.
+func (p Point) Less(q Point) bool {
+	if p.X != q.X {
+		return p.X < q.X
+	}
+	return p.Y < q.Y
+}
+
+// CloserTo reports whether p is strictly closer to the query point q than r
+// is, breaking exact distance ties by the canonical point order. It induces
+// a strict total order on distinct points for any fixed q.
+func (p Point) CloserTo(q, r Point) bool {
+	dp, dr := p.DistSq(q), r.DistSq(q)
+	if dp != dr {
+		return dp < dr
+	}
+	return p.Less(r)
+}
+
+// Rect is a closed axis-aligned rectangle [MinX, MaxX] x [MinY, MaxY].
+//
+// The zero Rect is the degenerate rectangle containing only the origin. An
+// empty rectangle (Min > Max on either axis) is never produced by this
+// package; constructors normalize their inputs.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// NewRect returns the rectangle spanning the two corner points, normalizing
+// coordinate order.
+func NewRect(x1, y1, x2, y2 float64) Rect {
+	if x2 < x1 {
+		x1, x2 = x2, x1
+	}
+	if y2 < y1 {
+		y1, y2 = y2, y1
+	}
+	return Rect{MinX: x1, MinY: y1, MaxX: x2, MaxY: y2}
+}
+
+// RectFromPoints returns the minimum bounding rectangle of pts.
+// It panics if pts is empty; callers index at least one point.
+func RectFromPoints(pts []Point) Rect {
+	if len(pts) == 0 {
+		panic("geom: RectFromPoints on empty slice")
+	}
+	r := Rect{MinX: pts[0].X, MinY: pts[0].Y, MaxX: pts[0].X, MaxY: pts[0].Y}
+	for _, p := range pts[1:] {
+		r = r.ExpandPoint(p)
+	}
+	return r
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%.6g,%.6g]x[%.6g,%.6g]", r.MinX, r.MaxX, r.MinY, r.MaxY)
+}
+
+// Width returns the extent of r along the X axis.
+func (r Rect) Width() float64 { return r.MaxX - r.MinX }
+
+// Height returns the extent of r along the Y axis.
+func (r Rect) Height() float64 { return r.MaxY - r.MinY }
+
+// Area returns the area of r.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Center returns the center point of r.
+func (r Rect) Center() Point {
+	return Point{X: (r.MinX + r.MaxX) / 2, Y: (r.MinY + r.MaxY) / 2}
+}
+
+// Diagonal returns the length of the diagonal of r. The Block-Marking
+// algorithm adds this length to a neighborhood radius to form its search
+// threshold (Theorem 1 of the paper: the diagonal is the tight bound when the
+// neighborhood is computed at the block center).
+func (r Rect) Diagonal() float64 {
+	return math.Hypot(r.Width(), r.Height())
+}
+
+// Contains reports whether p lies inside the closed rectangle r.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// ContainsRect reports whether s lies entirely inside r.
+func (r Rect) ContainsRect(s Rect) bool {
+	return s.MinX >= r.MinX && s.MaxX <= r.MaxX && s.MinY >= r.MinY && s.MaxY <= r.MaxY
+}
+
+// Intersects reports whether r and s share at least one point (closed
+// rectangles: touching edges intersect).
+func (r Rect) Intersects(s Rect) bool {
+	return r.MinX <= s.MaxX && s.MinX <= r.MaxX && r.MinY <= s.MaxY && s.MinY <= r.MaxY
+}
+
+// ExpandPoint returns the smallest rectangle containing both r and p.
+func (r Rect) ExpandPoint(p Point) Rect {
+	if p.X < r.MinX {
+		r.MinX = p.X
+	}
+	if p.X > r.MaxX {
+		r.MaxX = p.X
+	}
+	if p.Y < r.MinY {
+		r.MinY = p.Y
+	}
+	if p.Y > r.MaxY {
+		r.MaxY = p.Y
+	}
+	return r
+}
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	if s.MinX < r.MinX {
+		r.MinX = s.MinX
+	}
+	if s.MaxX > r.MaxX {
+		r.MaxX = s.MaxX
+	}
+	if s.MinY < r.MinY {
+		r.MinY = s.MinY
+	}
+	if s.MaxY > r.MaxY {
+		r.MaxY = s.MaxY
+	}
+	return r
+}
+
+// MinDistSq returns the squared minimum distance between p and any point of
+// r. It is zero when p lies inside r.
+func (r Rect) MinDistSq(p Point) float64 {
+	dx := axisDist(p.X, r.MinX, r.MaxX)
+	dy := axisDist(p.Y, r.MinY, r.MaxY)
+	return dx*dx + dy*dy
+}
+
+// MinDist returns the MINDIST metric: the minimum possible distance between
+// p and any point inside r.
+func (r Rect) MinDist(p Point) float64 {
+	return math.Sqrt(r.MinDistSq(p))
+}
+
+// MaxDistSq returns the squared maximum distance between p and any point of
+// r, attained at the corner of r farthest from p.
+func (r Rect) MaxDistSq(p Point) float64 {
+	dx := math.Max(math.Abs(p.X-r.MinX), math.Abs(p.X-r.MaxX))
+	dy := math.Max(math.Abs(p.Y-r.MinY), math.Abs(p.Y-r.MaxY))
+	return dx*dx + dy*dy
+}
+
+// MaxDist returns the MAXDIST metric: the maximum possible distance between
+// p and any point inside r.
+func (r Rect) MaxDist(p Point) float64 {
+	return math.Sqrt(r.MaxDistSq(p))
+}
+
+// axisDist returns the distance from coordinate v to the interval [lo, hi],
+// zero when v lies inside it.
+func axisDist(v, lo, hi float64) float64 {
+	switch {
+	case v < lo:
+		return lo - v
+	case v > hi:
+		return v - hi
+	default:
+		return 0
+	}
+}

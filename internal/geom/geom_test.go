@@ -1,0 +1,261 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointDist(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		want float64
+	}{
+		{Point{0, 0}, Point{0, 0}, 0},
+		{Point{0, 0}, Point{3, 4}, 5},
+		{Point{-1, -1}, Point{2, 3}, 5},
+		{Point{1.5, 2.5}, Point{1.5, 2.5}, 0},
+	}
+	for _, c := range cases {
+		if got := c.p.Dist(c.q); got != c.want {
+			t.Errorf("Dist(%v, %v) = %v, want %v", c.p, c.q, got, c.want)
+		}
+		if got := c.p.DistSq(c.q); got != c.want*c.want {
+			t.Errorf("DistSq(%v, %v) = %v, want %v", c.p, c.q, got, c.want*c.want)
+		}
+	}
+}
+
+func TestDistSymmetry(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a, b := Point{ax, ay}, Point{bx, by}
+		return a.DistSq(b) == b.DistSq(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPointLessTotalOrder(t *testing.T) {
+	a := Point{1, 2}
+	b := Point{1, 3}
+	c := Point{2, 0}
+	if !a.Less(b) || !a.Less(c) || !b.Less(c) {
+		t.Fatalf("expected a < b < c")
+	}
+	if a.Less(a) {
+		t.Fatalf("Less must be irreflexive")
+	}
+}
+
+func TestCloserTo(t *testing.T) {
+	q := Point{0, 0}
+	near := Point{1, 0}
+	far := Point{2, 0}
+	if !near.CloserTo(q, far) {
+		t.Errorf("near should be closer to q than far")
+	}
+	if far.CloserTo(q, near) {
+		t.Errorf("far should not be closer to q than near")
+	}
+	// Exact tie: distance 5 both ways; (3,4) < (4,3) lexicographically.
+	t1, t2 := Point{3, 4}, Point{4, 3}
+	if !t1.CloserTo(q, t2) {
+		t.Errorf("tie should break to the lexicographically smaller point")
+	}
+	if t2.CloserTo(q, t1) {
+		t.Errorf("tie-break must be antisymmetric")
+	}
+}
+
+func TestNewRectNormalizes(t *testing.T) {
+	r := NewRect(5, 7, 1, 2)
+	want := Rect{MinX: 1, MinY: 2, MaxX: 5, MaxY: 7}
+	if r != want {
+		t.Errorf("NewRect = %v, want %v", r, want)
+	}
+}
+
+func TestRectFromPoints(t *testing.T) {
+	pts := []Point{{1, 5}, {-2, 3}, {4, -1}}
+	r := RectFromPoints(pts)
+	want := Rect{MinX: -2, MinY: -1, MaxX: 4, MaxY: 5}
+	if r != want {
+		t.Errorf("RectFromPoints = %v, want %v", r, want)
+	}
+	for _, p := range pts {
+		if !r.Contains(p) {
+			t.Errorf("bounding rect %v must contain %v", r, p)
+		}
+	}
+}
+
+func TestRectFromPointsEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic on empty input")
+		}
+	}()
+	RectFromPoints(nil)
+}
+
+func TestRectAccessors(t *testing.T) {
+	r := NewRect(0, 0, 3, 4)
+	if r.Width() != 3 || r.Height() != 4 {
+		t.Errorf("Width/Height = %v/%v, want 3/4", r.Width(), r.Height())
+	}
+	if r.Area() != 12 {
+		t.Errorf("Area = %v, want 12", r.Area())
+	}
+	if got, want := r.Center(), (Point{1.5, 2}); got != want {
+		t.Errorf("Center = %v, want %v", got, want)
+	}
+	if r.Diagonal() != 5 {
+		t.Errorf("Diagonal = %v, want 5", r.Diagonal())
+	}
+}
+
+func TestRectContainment(t *testing.T) {
+	r := NewRect(0, 0, 10, 10)
+	inside := []Point{{0, 0}, {10, 10}, {5, 5}, {0, 10}}
+	outside := []Point{{-0.1, 5}, {10.1, 5}, {5, -0.1}, {5, 10.1}}
+	for _, p := range inside {
+		if !r.Contains(p) {
+			t.Errorf("%v should contain %v", r, p)
+		}
+	}
+	for _, p := range outside {
+		if r.Contains(p) {
+			t.Errorf("%v should not contain %v", r, p)
+		}
+	}
+	if !r.ContainsRect(NewRect(1, 1, 9, 9)) {
+		t.Errorf("inner rect should be contained")
+	}
+	if r.ContainsRect(NewRect(1, 1, 11, 9)) {
+		t.Errorf("overflowing rect should not be contained")
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	r := NewRect(0, 0, 10, 10)
+	cases := []struct {
+		s    Rect
+		want bool
+	}{
+		{NewRect(5, 5, 15, 15), true},
+		{NewRect(10, 10, 20, 20), true}, // touching corner: closed rects intersect
+		{NewRect(11, 11, 20, 20), false},
+		{NewRect(-5, -5, -1, -1), false},
+		{NewRect(2, 2, 3, 3), true}, // contained
+	}
+	for _, c := range cases {
+		if got := r.Intersects(c.s); got != c.want {
+			t.Errorf("Intersects(%v, %v) = %v, want %v", r, c.s, got, c.want)
+		}
+		if got := c.s.Intersects(r); got != c.want {
+			t.Errorf("Intersects must be symmetric for %v", c.s)
+		}
+	}
+}
+
+func TestUnionExpand(t *testing.T) {
+	r := NewRect(0, 0, 1, 1)
+	s := NewRect(2, -1, 3, 0.5)
+	u := r.Union(s)
+	if !u.ContainsRect(r) || !u.ContainsRect(s) {
+		t.Errorf("union %v must contain both operands", u)
+	}
+	e := r.ExpandPoint(Point{-2, 5})
+	if !e.Contains(Point{-2, 5}) || !e.ContainsRect(r) {
+		t.Errorf("ExpandPoint result %v must contain point and original rect", e)
+	}
+}
+
+func TestMinMaxDistKnownValues(t *testing.T) {
+	r := NewRect(0, 0, 2, 2)
+	cases := []struct {
+		p        Point
+		min, max float64
+	}{
+		{Point{1, 1}, 0, math.Sqrt(2)},                // center
+		{Point{0, 0}, 0, 2 * math.Sqrt2},              // corner
+		{Point{-3, 1}, 3, math.Hypot(5, 1)},           // left of rect
+		{Point{1, 5}, 3, math.Hypot(1, 5)},            // above rect
+		{Point{-1, -1}, math.Sqrt2, math.Hypot(3, 3)}, // diagonal out
+	}
+	for _, c := range cases {
+		if got := r.MinDist(c.p); math.Abs(got-c.min) > 1e-12 {
+			t.Errorf("MinDist(%v) = %v, want %v", c.p, got, c.min)
+		}
+		if got := r.MaxDist(c.p); math.Abs(got-c.max) > 1e-12 {
+			t.Errorf("MaxDist(%v) = %v, want %v", c.p, got, c.max)
+		}
+	}
+}
+
+// TestMinMaxDistBracketsSamples is the central property the query algorithms
+// rely on: for every point q inside a rectangle r and every external point p,
+// MINDIST(p, r) <= dist(p, q) <= MAXDIST(p, r).
+func TestMinMaxDistBracketsSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		r := NewRect(rng.Float64()*100-50, rng.Float64()*100-50,
+			rng.Float64()*100-50, rng.Float64()*100-50)
+		p := Point{rng.Float64()*400 - 200, rng.Float64()*400 - 200}
+		q := Point{
+			X: r.MinX + rng.Float64()*r.Width(),
+			Y: r.MinY + rng.Float64()*r.Height(),
+		}
+		d := p.Dist(q)
+		if min := r.MinDist(p); d < min-1e-9 {
+			t.Fatalf("dist %v < MinDist %v for p=%v q=%v r=%v", d, min, p, q, r)
+		}
+		if max := r.MaxDist(p); d > max+1e-9 {
+			t.Fatalf("dist %v > MaxDist %v for p=%v q=%v r=%v", d, max, p, q, r)
+		}
+	}
+}
+
+func TestMinDistZeroIffInside(t *testing.T) {
+	r := NewRect(0, 0, 4, 4)
+	if r.MinDist(Point{2, 2}) != 0 {
+		t.Errorf("MinDist of interior point must be 0")
+	}
+	if r.MinDist(Point{4, 4}) != 0 {
+		t.Errorf("MinDist of boundary point must be 0")
+	}
+	if r.MinDist(Point{5, 2}) == 0 {
+		t.Errorf("MinDist of exterior point must be positive")
+	}
+}
+
+func TestMinLEMaxProperty(t *testing.T) {
+	f := func(px, py, x1, y1, x2, y2 float64) bool {
+		r := NewRect(clampf(x1), clampf(y1), clampf(x2), clampf(y2))
+		p := Point{clampf(px), clampf(py)}
+		return r.MinDistSq(p) <= r.MaxDistSq(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// clampf maps arbitrary float64 test inputs (which may be NaN/Inf) into a
+// finite range so geometric identities are well-defined.
+func clampf(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 1e6)
+}
+
+func TestStringFormats(t *testing.T) {
+	if s := (Point{1, 2}).String(); s == "" {
+		t.Errorf("Point.String must not be empty")
+	}
+	if s := NewRect(0, 0, 1, 1).String(); s == "" {
+		t.Errorf("Rect.String must not be empty")
+	}
+}

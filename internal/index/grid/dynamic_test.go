@@ -1,0 +1,136 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/index"
+)
+
+func TestNewDynamicValidation(t *testing.T) {
+	if _, err := NewDynamic(geom.Rect{}, 4, 4, nil); err == nil {
+		t.Errorf("zero bounds must error")
+	}
+	if _, err := NewDynamic(geom.NewRect(0, 0, 1, 1), 0, 4, nil); err == nil {
+		t.Errorf("non-positive dims must error")
+	}
+	if _, err := NewDynamic(geom.NewRect(0, 0, 1, 1), 2, 2,
+		[]geom.Point{{X: 5, Y: 5}}); err == nil {
+		t.Errorf("initial point outside bounds must error")
+	}
+}
+
+func TestDynamicInsertRemove(t *testing.T) {
+	bounds := geom.NewRect(0, 0, 100, 100)
+	d, err := NewDynamic(bounds, 8, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 {
+		t.Fatalf("fresh dynamic grid Len = %d", d.Len())
+	}
+
+	p := geom.Point{X: 10, Y: 20}
+	if err := d.Insert(p); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 1 || index.TotalCount(d) != 1 {
+		t.Fatalf("after insert: Len=%d total=%d", d.Len(), index.TotalCount(d))
+	}
+	if b := d.Locate(p); b == nil || b.Count() != 1 {
+		t.Fatalf("Locate after insert failed")
+	}
+	if err := d.Insert(geom.Point{X: 200, Y: 0}); err == nil {
+		t.Fatalf("insert outside bounds must error")
+	}
+
+	if !d.Remove(p) {
+		t.Fatalf("Remove must find the point")
+	}
+	if d.Remove(p) {
+		t.Fatalf("second Remove must find nothing")
+	}
+	if d.Len() != 0 {
+		t.Fatalf("after remove: Len = %d", d.Len())
+	}
+}
+
+func TestDynamicRemovesOneDuplicateInstance(t *testing.T) {
+	d, err := NewDynamic(geom.NewRect(0, 0, 10, 10), 2, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := geom.Point{X: 5, Y: 5}
+	for i := 0; i < 3; i++ {
+		if err := d.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !d.Remove(p) || d.Len() != 2 {
+		t.Fatalf("Remove must delete exactly one instance; Len = %d", d.Len())
+	}
+}
+
+// TestDynamicMatchesStaticQueries checks that after a mutation sequence,
+// scans over the dynamic grid agree with a static grid built from the same
+// final point set.
+func TestDynamicMatchesStaticQueries(t *testing.T) {
+	bounds := geom.NewRect(0, 0, 100, 100)
+	d, err := NewDynamic(bounds, 10, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	var live []geom.Point
+	for step := 0; step < 600; step++ {
+		if rng.Intn(3) > 0 || len(live) == 0 {
+			p := geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+			if err := d.Insert(p); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, p)
+		} else {
+			i := rng.Intn(len(live))
+			if !d.Remove(live[i]) {
+				t.Fatalf("step %d: Remove failed", step)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+
+	static, err := New(live, Options{Bounds: bounds, Cols: 10, Rows: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != static.Len() {
+		t.Fatalf("Len mismatch: %d vs %d", d.Len(), static.Len())
+	}
+	// Per-cell point multisets must coincide (order may differ after
+	// swap-removals).
+	for i, db := range d.Blocks() {
+		sb := static.Blocks()[i]
+		if db.Count() != sb.Count() {
+			t.Fatalf("cell %d count %d vs %d", i, db.Count(), sb.Count())
+		}
+		counts := make(map[geom.Point]int)
+		for _, p := range db.Points {
+			counts[p]++
+		}
+		for _, p := range sb.Points {
+			counts[p]--
+		}
+		for p, n := range counts {
+			if n != 0 {
+				t.Fatalf("cell %d: multiset mismatch at %v (%d)", i, p, n)
+			}
+		}
+	}
+	if !index.TilesSpace(d) {
+		t.Fatalf("dynamic grid must tile space")
+	}
+	if _, ok := interface{}(d).(index.IncrementalScanner); !ok {
+		t.Fatalf("dynamic grid must provide incremental scans")
+	}
+}

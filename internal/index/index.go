@@ -1,0 +1,87 @@
+// Package index defines the spatial-index contract shared by every query
+// algorithm in this repository, together with the MINDIST and MAXDIST block
+// orderings the algorithms traverse.
+//
+// The algorithms of the paper are index-agnostic (its Section 2): they only
+// require that the data be partitioned into blocks, that each block know how
+// many points it holds, and that blocks can be enumerated in increasing
+// MINDIST or MAXDIST order from an arbitrary point. Package index captures
+// exactly that contract; the grid, quadtree and rtree subpackages provide
+// concrete partitions.
+package index
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Block is a leaf region of a spatial index: a rectangle of space together
+// with the data points that fall inside it. Blocks of one index never share
+// points; every data point belongs to exactly one block.
+//
+// Blocks are created by index constructors and must be treated as read-only
+// by algorithms.
+type Block struct {
+	// ID is the position of the block in its index's Blocks() slice. It is
+	// used by algorithms to attach per-block state (marks, counts) in flat
+	// slices instead of maps.
+	ID int
+
+	// Bounds is the region of space the block is responsible for. All points
+	// of the block lie inside Bounds, but Bounds may be larger than the
+	// bounding box of the points (a grid cell, for example).
+	Bounds geom.Rect
+
+	// Points holds the data points of the block.
+	Points []geom.Point
+}
+
+// Count returns the number of points stored in the block. The paper assumes
+// the index maintains this count per block; here it is simply the length of
+// the point slice.
+func (b *Block) Count() int { return len(b.Points) }
+
+// Center returns the center of the block's region. The Block-Marking
+// algorithm computes neighborhoods of block centers (Theorem 1 of the paper
+// shows the center minimizes the search threshold).
+func (b *Block) Center() geom.Point { return b.Bounds.Center() }
+
+// Diagonal returns the diagonal length of the block's region.
+func (b *Block) Diagonal() float64 { return b.Bounds.Diagonal() }
+
+// String implements fmt.Stringer.
+func (b *Block) String() string {
+	return fmt.Sprintf("block#%d %v (%d pts)", b.ID, b.Bounds, len(b.Points))
+}
+
+// Index is a static partition of a point set into blocks. Implementations
+// are built once over a snapshot of points and are immutable afterwards,
+// matching the paper's snapshot-query setting.
+type Index interface {
+	// Blocks returns all leaf blocks. The slice is owned by the index and
+	// must not be modified. Block b satisfies Blocks()[b.ID] == b.
+	Blocks() []*Block
+
+	// Locate returns the block whose region contains p, or nil if p lies
+	// outside the indexed space. For points of the indexed set, Locate
+	// always returns the block that stores the point.
+	Locate(p geom.Point) *Block
+
+	// Len returns the total number of indexed points.
+	Len() int
+
+	// Bounds returns the region covered by the index (the union of all
+	// block regions).
+	Bounds() geom.Rect
+}
+
+// TotalCount returns the sum of point counts over blocks; used by
+// conformance tests to check that indexes neither drop nor duplicate points.
+func TotalCount(ix Index) int {
+	n := 0
+	for _, b := range ix.Blocks() {
+		n += b.Count()
+	}
+	return n
+}

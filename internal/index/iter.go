@@ -1,0 +1,47 @@
+package index
+
+import "repro/internal/geom"
+
+// BlockIter enumerates blocks in increasing order of a distance metric from
+// a query point. Next returns the block, its squared metric key, and false
+// when the enumeration is exhausted.
+//
+// Two implementations exist: the eager *Scan (heap over all blocks, O(B)
+// setup) and index-provided incremental iterators that only touch blocks
+// near the query point. Algorithms obtain iterators through MinDistOrder /
+// MaxDistOrder, which pick the best available implementation — this is what
+// makes the paper's per-query costs proportional to the locality size
+// instead of the total block count.
+type BlockIter interface {
+	Next() (b *Block, keySq float64, ok bool)
+}
+
+// IncrementalScanner is an optional interface an Index implements to
+// provide lazy MINDIST/MAXDIST orderings. Grid indexes enumerate cells in
+// expanding rings around the query point, touching O(popped) cells instead
+// of all of them.
+type IncrementalScanner interface {
+	NewMinDistIter(p geom.Point) BlockIter
+	NewMaxDistIter(p geom.Point) BlockIter
+}
+
+// MinDistOrder returns an iterator over ix's blocks in increasing MINDIST
+// order from p, incremental when the index supports it.
+func MinDistOrder(ix Index, p geom.Point) BlockIter {
+	if inc, ok := ix.(IncrementalScanner); ok {
+		return inc.NewMinDistIter(p)
+	}
+	return NewMinDistScan(ix.Blocks(), p)
+}
+
+// MaxDistOrder returns an iterator over ix's blocks in increasing MAXDIST
+// order from p, incremental when the index supports it.
+func MaxDistOrder(ix Index, p geom.Point) BlockIter {
+	if inc, ok := ix.(IncrementalScanner); ok {
+		return inc.NewMaxDistIter(p)
+	}
+	return NewMaxDistScan(ix.Blocks(), p)
+}
+
+// Statically assert that the eager scan satisfies BlockIter.
+var _ BlockIter = (*Scan)(nil)

@@ -1,0 +1,240 @@
+// Package kdtree implements a bulk-built k-d tree index: space is
+// recursively split at the median coordinate, alternating axes, until each
+// leaf holds at most a configured number of points. Leaf *regions* (not
+// bounding boxes) are exposed as blocks, so the partition tiles space —
+// like the grid and the quadtree, and unlike the R-tree — which makes the
+// contour early-stop of Block-Marking preprocessing applicable.
+//
+// The k-d tree is the fourth index family behind the paper's Section 2
+// claim that the algorithms are index-agnostic: unlike the grid and the
+// quadtree its split positions adapt to the data distribution, so dense
+// regions get proportionally more, smaller blocks.
+package kdtree
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/index"
+)
+
+// Tree is a static k-d tree over a point set.
+type Tree struct {
+	root    *node
+	bounds  geom.Rect
+	blocks  []*index.Block
+	n       int
+	leafCap int
+}
+
+var _ index.Index = (*Tree)(nil)
+
+type node struct {
+	// axis is 0 for a vertical split (on X) and 1 for a horizontal split
+	// (on Y); split is the coordinate of the dividing line.
+	axis  int
+	split float64
+
+	lo, hi *node        // children: coordinates < split go to lo
+	block  *index.Block // non-nil for a leaf
+}
+
+// Options configure k-d tree construction.
+type Options struct {
+	// LeafCapacity is the maximum number of points per leaf before a
+	// split; defaults to 64.
+	LeafCapacity int
+
+	// Bounds forces the indexed region; when zero the (inflated) bounding
+	// box of the points is used.
+	Bounds geom.Rect
+}
+
+// New builds a k-d tree over pts.
+func New(pts []geom.Point, opt Options) (*Tree, error) {
+	if opt.LeafCapacity <= 0 {
+		opt.LeafCapacity = 64
+	}
+	bounds := opt.Bounds
+	if bounds == (geom.Rect{}) {
+		if len(pts) == 0 {
+			return nil, fmt.Errorf("kdtree: empty point set and no explicit bounds")
+		}
+		bounds = inflate(geom.RectFromPoints(pts))
+	}
+	for _, p := range pts {
+		if !bounds.Contains(p) {
+			return nil, fmt.Errorf("kdtree: point %v outside explicit bounds %v", p, bounds)
+		}
+	}
+	t := &Tree{bounds: bounds, n: len(pts), leafCap: opt.LeafCapacity}
+	owned := make([]geom.Point, len(pts))
+	copy(owned, pts)
+	t.root = t.build(owned, bounds, 0)
+	return t, nil
+}
+
+// build recursively splits pts at the median of the alternating axis. The
+// region rectangle — not the bounding box of the points — becomes the leaf
+// block's bounds, preserving the tiling property.
+func (t *Tree) build(pts []geom.Point, region geom.Rect, axis int) *node {
+	if len(pts) > capOf(t) && !canSplit(pts, axis) {
+		// The preferred axis is degenerate (all coordinates equal); fall
+		// back to the other axis — collinear point sets would otherwise
+		// never split.
+		axis = 1 - axis
+	}
+	if len(pts) <= capOf(t) || !canSplit(pts, axis) {
+		b := &index.Block{ID: len(t.blocks), Bounds: region, Points: pts}
+		t.blocks = append(t.blocks, b)
+		return &node{block: b}
+	}
+	split := medianSplit(pts, axis)
+	var loRegion, hiRegion geom.Rect
+	if axis == 0 {
+		loRegion = geom.Rect{MinX: region.MinX, MinY: region.MinY, MaxX: split, MaxY: region.MaxY}
+		hiRegion = geom.Rect{MinX: split, MinY: region.MinY, MaxX: region.MaxX, MaxY: region.MaxY}
+	} else {
+		loRegion = geom.Rect{MinX: region.MinX, MinY: region.MinY, MaxX: region.MaxX, MaxY: split}
+		hiRegion = geom.Rect{MinX: region.MinX, MinY: split, MaxX: region.MaxX, MaxY: region.MaxY}
+	}
+	var lo, hi []geom.Point
+	for _, p := range pts {
+		if coord(p, axis) < split {
+			lo = append(lo, p)
+		} else {
+			hi = append(hi, p)
+		}
+	}
+	nd := &node{axis: axis, split: split}
+	nd.lo = t.build(lo, loRegion, 1-axis)
+	nd.hi = t.build(hi, hiRegion, 1-axis)
+	return nd
+}
+
+// capOf returns the configured leaf capacity, stashed on the Tree to avoid
+// threading it through the recursion.
+func capOf(t *Tree) int { return t.leafCap }
+
+// canSplit reports whether pts contains at least two distinct coordinates
+// on the axis — a degenerate (all-equal) axis cannot be median-split.
+func canSplit(pts []geom.Point, axis int) bool {
+	first := coord(pts[0], axis)
+	for _, p := range pts[1:] {
+		if coord(p, axis) != first {
+			return true
+		}
+	}
+	return false
+}
+
+// medianSplit returns a split coordinate that puts roughly half the points
+// strictly below it. It is guaranteed to be strictly inside the coordinate
+// range, so both sides are non-empty.
+func medianSplit(pts []geom.Point, axis int) float64 {
+	coords := make([]float64, len(pts))
+	for i, p := range pts {
+		coords[i] = coord(p, axis)
+	}
+	sort.Float64s(coords)
+	split := coords[len(coords)/2]
+	if split == coords[0] {
+		// All lower-half coordinates equal the minimum; move the split up
+		// to the next distinct value so the low side is non-empty.
+		for _, c := range coords {
+			if c > split {
+				split = c
+				break
+			}
+		}
+	}
+	return split
+}
+
+func coord(p geom.Point, axis int) float64 {
+	if axis == 0 {
+		return p.X
+	}
+	return p.Y
+}
+
+// Blocks implements index.Index.
+func (t *Tree) Blocks() []*index.Block { return t.blocks }
+
+// Len implements index.Index.
+func (t *Tree) Len() int { return t.n }
+
+// Bounds implements index.Index.
+func (t *Tree) Bounds() geom.Rect { return t.bounds }
+
+// TilesSpace reports that k-d tree leaf regions tile the indexed region
+// exactly, enabling the contour early-stop in Block-Marking preprocessing.
+func (t *Tree) TilesSpace() bool { return true }
+
+// Locate implements index.Index by descending the split tree.
+func (t *Tree) Locate(p geom.Point) *index.Block {
+	if !t.bounds.Contains(p) {
+		return nil
+	}
+	nd := t.root
+	for nd.block == nil {
+		if coord(p, nd.axis) < nd.split {
+			nd = nd.lo
+		} else {
+			nd = nd.hi
+		}
+	}
+	return nd.block
+}
+
+func inflate(r geom.Rect) geom.Rect {
+	const rel = 1e-9
+	w, h := r.Width(), r.Height()
+	padX := w*rel + 1e-9
+	padY := h*rel + 1e-9
+	if w == 0 {
+		padX = 0.5
+	}
+	if h == 0 {
+		padY = 0.5
+	}
+	return geom.Rect{MinX: r.MinX - padX, MinY: r.MinY - padY, MaxX: r.MaxX + padX, MaxY: r.MaxY + padY}
+}
+
+// kd-tree nodes do not store their region (only the split); the traversal
+// wrapper carries the region down the tree for index.TreeNode.
+type regionNode struct {
+	nd     *node
+	region geom.Rect
+}
+
+// NodeBounds implements index.TreeNode.
+func (r regionNode) NodeBounds() geom.Rect { return r.region }
+
+// NodeBlock implements index.TreeNode.
+func (r regionNode) NodeBlock() *index.Block { return r.nd.block }
+
+// NodeChildren implements index.TreeNode.
+func (r regionNode) NodeChildren(dst []index.TreeNode) []index.TreeNode {
+	lo, hi := r.region, r.region
+	if r.nd.axis == 0 {
+		lo.MaxX, hi.MinX = r.nd.split, r.nd.split
+	} else {
+		lo.MaxY, hi.MinY = r.nd.split, r.nd.split
+	}
+	return append(dst, regionNode{nd: r.nd.lo, region: lo}, regionNode{nd: r.nd.hi, region: hi})
+}
+
+// NewMinDistIter implements index.IncrementalScanner through best-first
+// tree traversal.
+func (t *Tree) NewMinDistIter(p geom.Point) index.BlockIter {
+	return index.NewTreeMinDistIter(regionNode{nd: t.root, region: t.bounds}, p)
+}
+
+// NewMaxDistIter implements index.IncrementalScanner.
+func (t *Tree) NewMaxDistIter(p geom.Point) index.BlockIter {
+	return index.NewTreeMaxDistIter(regionNode{nd: t.root, region: t.bounds}, p)
+}
+
+var _ index.IncrementalScanner = (*Tree)(nil)

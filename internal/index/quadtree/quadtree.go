@@ -1,0 +1,198 @@
+// Package quadtree implements a PR (point-region) quadtree index: space is
+// recursively partitioned into four quadrants until each leaf holds at most
+// a configured number of points. The paper's Section 2 names quadtree
+// variants as one of the index families its algorithms run on unmodified;
+// this package exists to substantiate that index-agnosticism claim in tests
+// and benchmarks.
+package quadtree
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/index"
+)
+
+// Tree is a PR quadtree over a static point set. Only its leaves carry
+// points; leaves are exposed as index blocks.
+type Tree struct {
+	root   *node
+	bounds geom.Rect
+	blocks []*index.Block
+	n      int
+}
+
+var _ index.Index = (*Tree)(nil)
+
+type node struct {
+	bounds   geom.Rect
+	children [4]*node     // nil for a leaf
+	block    *index.Block // non-nil for a leaf
+}
+
+func (nd *node) isLeaf() bool { return nd.children[0] == nil }
+
+// Options configure quadtree construction.
+type Options struct {
+	// LeafCapacity is the maximum number of points per leaf before a split;
+	// defaults to 64.
+	LeafCapacity int
+
+	// MaxDepth bounds the number of tree levels (Depth() never exceeds
+	// it) so duplicate-heavy inputs terminate; defaults to 24.
+	MaxDepth int
+
+	// Bounds forces the indexed region; when zero the (inflated) bounding
+	// box of the points is used.
+	Bounds geom.Rect
+}
+
+// New builds a quadtree over pts.
+func New(pts []geom.Point, opt Options) (*Tree, error) {
+	if opt.LeafCapacity <= 0 {
+		opt.LeafCapacity = 64
+	}
+	if opt.MaxDepth <= 0 {
+		opt.MaxDepth = 24
+	}
+	bounds := opt.Bounds
+	if bounds == (geom.Rect{}) {
+		if len(pts) == 0 {
+			return nil, fmt.Errorf("quadtree: empty point set and no explicit bounds")
+		}
+		bounds = inflate(geom.RectFromPoints(pts))
+	}
+	for _, p := range pts {
+		if !bounds.Contains(p) {
+			return nil, fmt.Errorf("quadtree: point %v outside explicit bounds %v", p, bounds)
+		}
+	}
+	t := &Tree{bounds: bounds, n: len(pts)}
+	owned := make([]geom.Point, len(pts))
+	copy(owned, pts)
+	t.root = t.build(bounds, owned, opt, 0)
+	return t, nil
+}
+
+func (t *Tree) build(bounds geom.Rect, pts []geom.Point, opt Options, depth int) *node {
+	nd := &node{bounds: bounds}
+	if len(pts) <= opt.LeafCapacity || depth >= opt.MaxDepth-1 {
+		b := &index.Block{ID: len(t.blocks), Bounds: bounds, Points: pts}
+		t.blocks = append(t.blocks, b)
+		nd.block = b
+		return nd
+	}
+	cx := (bounds.MinX + bounds.MaxX) / 2
+	cy := (bounds.MinY + bounds.MaxY) / 2
+	quads := [4]geom.Rect{
+		{MinX: bounds.MinX, MinY: bounds.MinY, MaxX: cx, MaxY: cy}, // SW
+		{MinX: cx, MinY: bounds.MinY, MaxX: bounds.MaxX, MaxY: cy}, // SE
+		{MinX: bounds.MinX, MinY: cy, MaxX: cx, MaxY: bounds.MaxY}, // NW
+		{MinX: cx, MinY: cy, MaxX: bounds.MaxX, MaxY: bounds.MaxY}, // NE
+	}
+	var parts [4][]geom.Point
+	for _, p := range pts {
+		parts[quadrant(p, cx, cy)] = append(parts[quadrant(p, cx, cy)], p)
+	}
+	for i := range quads {
+		nd.children[i] = t.build(quads[i], parts[i], opt, depth+1)
+	}
+	return nd
+}
+
+// quadrant assigns a point to one of the four child quadrants. Points on the
+// split lines go to the higher-coordinate quadrant, matching Locate.
+func quadrant(p geom.Point, cx, cy float64) int {
+	q := 0
+	if p.X >= cx {
+		q |= 1
+	}
+	if p.Y >= cy {
+		q |= 2
+	}
+	return q
+}
+
+// Blocks implements index.Index.
+func (t *Tree) Blocks() []*index.Block { return t.blocks }
+
+// Len implements index.Index.
+func (t *Tree) Len() int { return t.n }
+
+// Bounds implements index.Index.
+func (t *Tree) Bounds() geom.Rect { return t.bounds }
+
+// Depth returns the height of the tree (a single leaf has depth 1).
+func (t *Tree) Depth() int { return depth(t.root) }
+
+func depth(nd *node) int {
+	if nd.isLeaf() {
+		return 1
+	}
+	d := 0
+	for _, c := range nd.children {
+		if cd := depth(c); cd > d {
+			d = cd
+		}
+	}
+	return d + 1
+}
+
+// Locate implements index.Index by descending the tree.
+func (t *Tree) Locate(p geom.Point) *index.Block {
+	if !t.bounds.Contains(p) {
+		return nil
+	}
+	nd := t.root
+	for !nd.isLeaf() {
+		cx := (nd.bounds.MinX + nd.bounds.MaxX) / 2
+		cy := (nd.bounds.MinY + nd.bounds.MaxY) / 2
+		nd = nd.children[quadrant(p, cx, cy)]
+	}
+	return nd.block
+}
+
+func inflate(r geom.Rect) geom.Rect {
+	const rel = 1e-9
+	w, h := r.Width(), r.Height()
+	padX := w*rel + 1e-9
+	padY := h*rel + 1e-9
+	if w == 0 {
+		padX = 0.5
+	}
+	if h == 0 {
+		padY = 0.5
+	}
+	return geom.Rect{MinX: r.MinX - padX, MinY: r.MinY - padY, MaxX: r.MaxX + padX, MaxY: r.MaxY + padY}
+}
+
+// TilesSpace reports that quadtree leaves tile the indexed region exactly.
+// This enables the contour early-stop in Block-Marking preprocessing.
+func (t *Tree) TilesSpace() bool { return true }
+
+// NodeBounds implements index.TreeNode.
+func (nd *node) NodeBounds() geom.Rect { return nd.bounds }
+
+// NodeBlock implements index.TreeNode.
+func (nd *node) NodeBlock() *index.Block { return nd.block }
+
+// NodeChildren implements index.TreeNode.
+func (nd *node) NodeChildren(dst []index.TreeNode) []index.TreeNode {
+	for _, c := range nd.children {
+		dst = append(dst, c)
+	}
+	return dst
+}
+
+// NewMinDistIter implements index.IncrementalScanner through best-first
+// tree traversal.
+func (t *Tree) NewMinDistIter(p geom.Point) index.BlockIter {
+	return index.NewTreeMinDistIter(t.root, p)
+}
+
+// NewMaxDistIter implements index.IncrementalScanner.
+func (t *Tree) NewMaxDistIter(p geom.Point) index.BlockIter {
+	return index.NewTreeMaxDistIter(t.root, p)
+}
+
+var _ index.IncrementalScanner = (*Tree)(nil)

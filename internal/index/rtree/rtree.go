@@ -1,0 +1,260 @@
+// Package rtree implements an STR (Sort-Tile-Recursive) bulk-loaded R-tree
+// over a static point set. The paper's Section 2 names the R-tree and its
+// variants as index families its algorithms run on unmodified; this package
+// exists to substantiate that claim.
+//
+// STR packing (Leutenegger, Lopez, Edgington 1997) sorts points by X, cuts
+// them into vertical slabs, sorts each slab by Y and cuts runs of the leaf
+// capacity. For static snapshots — the paper's setting — the resulting tree
+// is near-optimally packed. Leaf minimum bounding rectangles do not tile
+// space (there are gaps between them), which the contour optimization of the
+// Block-Marking preprocessing cannot rely on; the tree therefore reports
+// TilesSpace() == false and algorithms fall back to exhaustive block
+// preprocessing.
+package rtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/index"
+)
+
+// Tree is an STR bulk-loaded R-tree.
+type Tree struct {
+	root   *node
+	bounds geom.Rect
+	blocks []*index.Block
+	n      int
+	height int
+}
+
+var _ index.Index = (*Tree)(nil)
+
+type node struct {
+	bounds   geom.Rect
+	children []*node      // nil for a leaf
+	block    *index.Block // non-nil for a leaf
+}
+
+// Options configure R-tree construction.
+type Options struct {
+	// LeafCapacity is the number of points packed per leaf; defaults to 64.
+	LeafCapacity int
+
+	// Fanout is the number of children packed per internal node; defaults
+	// to 16.
+	Fanout int
+}
+
+// New builds an STR-packed R-tree over pts. It returns an error for an empty
+// point set: an R-tree over nothing has no region.
+func New(pts []geom.Point, opt Options) (*Tree, error) {
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("rtree: empty point set")
+	}
+	if opt.LeafCapacity <= 0 {
+		opt.LeafCapacity = 64
+	}
+	if opt.Fanout <= 1 {
+		opt.Fanout = 16
+	}
+
+	owned := make([]geom.Point, len(pts))
+	copy(owned, pts)
+	t := &Tree{n: len(owned)}
+
+	leaves := t.packLeaves(owned, opt.LeafCapacity)
+	level := leaves
+	for len(level) > 1 {
+		level = packNodes(level, opt.Fanout)
+	}
+	t.root = level[0]
+	t.bounds = t.root.bounds
+	t.height = measureHeight(t.root)
+	return t, nil
+}
+
+// packLeaves applies one round of STR tiling to the points and creates the
+// leaf nodes/blocks.
+func (t *Tree) packLeaves(pts []geom.Point, cap int) []*node {
+	nLeaves := (len(pts) + cap - 1) / cap
+	slabs := int(math.Ceil(math.Sqrt(float64(nLeaves))))
+	perSlab := slabs * cap
+
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].X != pts[j].X {
+			return pts[i].X < pts[j].X
+		}
+		return pts[i].Y < pts[j].Y
+	})
+
+	var leaves []*node
+	for start := 0; start < len(pts); start += perSlab {
+		end := start + perSlab
+		if end > len(pts) {
+			end = len(pts)
+		}
+		slab := pts[start:end]
+		sort.Slice(slab, func(i, j int) bool {
+			if slab[i].Y != slab[j].Y {
+				return slab[i].Y < slab[j].Y
+			}
+			return slab[i].X < slab[j].X
+		})
+		for ls := 0; ls < len(slab); ls += cap {
+			le := ls + cap
+			if le > len(slab) {
+				le = len(slab)
+			}
+			leafPts := slab[ls:le]
+			b := &index.Block{
+				ID:     len(t.blocks),
+				Bounds: geom.RectFromPoints(leafPts),
+				Points: leafPts,
+			}
+			t.blocks = append(t.blocks, b)
+			leaves = append(leaves, &node{bounds: b.Bounds, block: b})
+		}
+	}
+	return leaves
+}
+
+// packNodes groups one level of nodes into parents using the same STR
+// tiling, keyed by node-MBR centers.
+func packNodes(level []*node, fanout int) []*node {
+	nParents := (len(level) + fanout - 1) / fanout
+	slabs := int(math.Ceil(math.Sqrt(float64(nParents))))
+	perSlab := slabs * fanout
+
+	sort.Slice(level, func(i, j int) bool {
+		ci, cj := level[i].bounds.Center(), level[j].bounds.Center()
+		if ci.X != cj.X {
+			return ci.X < cj.X
+		}
+		return ci.Y < cj.Y
+	})
+
+	var parents []*node
+	for start := 0; start < len(level); start += perSlab {
+		end := start + perSlab
+		if end > len(level) {
+			end = len(level)
+		}
+		slab := level[start:end]
+		sort.Slice(slab, func(i, j int) bool {
+			ci, cj := slab[i].bounds.Center(), slab[j].bounds.Center()
+			if ci.Y != cj.Y {
+				return ci.Y < cj.Y
+			}
+			return ci.X < cj.X
+		})
+		for ls := 0; ls < len(slab); ls += fanout {
+			le := ls + fanout
+			if le > len(slab) {
+				le = len(slab)
+			}
+			children := make([]*node, le-ls)
+			copy(children, slab[ls:le])
+			bounds := children[0].bounds
+			for _, c := range children[1:] {
+				bounds = bounds.Union(c.bounds)
+			}
+			parents = append(parents, &node{bounds: bounds, children: children})
+		}
+	}
+	return parents
+}
+
+func measureHeight(nd *node) int {
+	h := 1
+	for nd.children != nil {
+		nd = nd.children[0]
+		h++
+	}
+	return h
+}
+
+// Blocks implements index.Index.
+func (t *Tree) Blocks() []*index.Block { return t.blocks }
+
+// Len implements index.Index.
+func (t *Tree) Len() int { return t.n }
+
+// Bounds implements index.Index.
+func (t *Tree) Bounds() geom.Rect { return t.bounds }
+
+// Height returns the number of levels in the tree (a lone leaf is height 1).
+func (t *Tree) Height() int { return t.height }
+
+// TilesSpace reports that R-tree leaves do not tile space; see the package
+// comment. Algorithms that need a space-tiling partition (the contour
+// early-stop of Block-Marking preprocessing) must not rely on this index.
+func (t *Tree) TilesSpace() bool { return false }
+
+// Locate implements index.Index. For indexed points it returns the leaf that
+// stores the point. For arbitrary points it returns some leaf whose MBR
+// contains the point, or nil when no leaf covers it (R-tree leaves leave
+// gaps).
+func (t *Tree) Locate(p geom.Point) *index.Block {
+	if !t.bounds.Contains(p) {
+		return nil
+	}
+	var fallback *index.Block
+	var walk func(nd *node) *index.Block
+	walk = func(nd *node) *index.Block {
+		if nd.block != nil {
+			if fallback == nil {
+				fallback = nd.block
+			}
+			for _, q := range nd.block.Points {
+				if q == p {
+					return nd.block
+				}
+			}
+			return nil
+		}
+		for _, c := range nd.children {
+			if c.bounds.Contains(p) {
+				if b := walk(c); b != nil {
+					return b
+				}
+			}
+		}
+		return nil
+	}
+	if b := walk(t.root); b != nil {
+		return b
+	}
+	// Not an indexed point: return any covering leaf if one exists.
+	return fallback
+}
+
+// NodeBounds implements index.TreeNode.
+func (nd *node) NodeBounds() geom.Rect { return nd.bounds }
+
+// NodeBlock implements index.TreeNode.
+func (nd *node) NodeBlock() *index.Block { return nd.block }
+
+// NodeChildren implements index.TreeNode.
+func (nd *node) NodeChildren(dst []index.TreeNode) []index.TreeNode {
+	for _, c := range nd.children {
+		dst = append(dst, c)
+	}
+	return dst
+}
+
+// NewMinDistIter implements index.IncrementalScanner through best-first
+// tree traversal.
+func (t *Tree) NewMinDistIter(p geom.Point) index.BlockIter {
+	return index.NewTreeMinDistIter(t.root, p)
+}
+
+// NewMaxDistIter implements index.IncrementalScanner.
+func (t *Tree) NewMaxDistIter(p geom.Point) index.BlockIter {
+	return index.NewTreeMaxDistIter(t.root, p)
+}
+
+var _ index.IncrementalScanner = (*Tree)(nil)

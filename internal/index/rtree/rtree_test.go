@@ -1,0 +1,112 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/index"
+)
+
+func uniformPoints(n int, bounds geom.Rect, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{
+			X: bounds.MinX + rng.Float64()*bounds.Width(),
+			Y: bounds.MinY + rng.Float64()*bounds.Height(),
+		}
+	}
+	return pts
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Options{}); err == nil {
+		t.Errorf("empty point set must error")
+	}
+}
+
+func TestLeafPackingAndCounts(t *testing.T) {
+	pts := uniformPoints(1500, geom.NewRect(0, 0, 100, 100), 11)
+	tr, err := New(pts, Options{LeafCapacity: 20, Fanout: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range tr.Blocks() {
+		if b.Count() == 0 || b.Count() > 20 {
+			t.Fatalf("leaf holds %d points, want 1..20", b.Count())
+		}
+		// Leaf bounds are MBRs: every point inside, and tight.
+		mbr := geom.RectFromPoints(b.Points)
+		if b.Bounds != mbr {
+			t.Fatalf("leaf bounds %v are not the MBR %v", b.Bounds, mbr)
+		}
+	}
+	if got := index.TotalCount(tr); got != 1500 {
+		t.Fatalf("blocks hold %d points, want 1500", got)
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("1500 points at capacity 20 and fanout 4 must have internal levels")
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	tr, err := New([]geom.Point{{X: 3, Y: 4}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() != 1 || len(tr.Blocks()) != 1 {
+		t.Fatalf("single point must build a lone leaf")
+	}
+	if b := tr.Locate(geom.Point{X: 3, Y: 4}); b == nil {
+		t.Fatalf("Locate failed for the stored point")
+	}
+}
+
+func TestDoesNotTileSpace(t *testing.T) {
+	pts := uniformPoints(200, geom.NewRect(0, 0, 100, 100), 12)
+	tr, err := New(pts, Options{LeafCapacity: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TilesSpace() {
+		t.Fatalf("R-tree leaves must not claim to tile space")
+	}
+	if index.TilesSpace(tr) {
+		t.Fatalf("index.TilesSpace must report false for R-trees")
+	}
+}
+
+func TestLocateNonIndexedPoint(t *testing.T) {
+	pts := uniformPoints(400, geom.NewRect(0, 0, 100, 100), 13)
+	tr, err := New(pts, Options{LeafCapacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A point inside the root MBR: Locate may return a covering leaf or
+	// nil (leaves have gaps), but must never return a leaf that does not
+	// cover the point.
+	q := geom.Point{X: 50.123, Y: 49.876}
+	if b := tr.Locate(q); b != nil && !b.Bounds.Contains(q) {
+		t.Fatalf("Locate returned a non-covering leaf %v for %v", b, q)
+	}
+	// A point far outside must return nil.
+	if b := tr.Locate(geom.Point{X: 1e6, Y: 1e6}); b != nil {
+		t.Fatalf("Locate(far outside) = %v, want nil", b)
+	}
+}
+
+func TestStructureInvariant(t *testing.T) {
+	// Every internal node's MBR must contain its children's MBRs; checked
+	// indirectly: root bounds contain every leaf's bounds.
+	pts := uniformPoints(900, geom.NewRect(-50, -50, 50, 50), 14)
+	tr, err := New(pts, Options{LeafCapacity: 12, Fanout: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range tr.Blocks() {
+		if !tr.Bounds().ContainsRect(b.Bounds) {
+			t.Fatalf("leaf %v escapes root bounds %v", b.Bounds, tr.Bounds())
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package index
+
+import (
+	"container/heap"
+
+	"repro/internal/geom"
+)
+
+// A Scan enumerates the blocks of an index in increasing order of a distance
+// key from a fixed query point. The paper's algorithms interleave MINDIST
+// and MAXDIST orderings (its "MINDIST ordering" / "MAXDIST ordering"); Scan
+// provides both through NewMinDistScan and NewMaxDistScan.
+//
+// A Scan is lazy: keys for all blocks are computed up front (O(B)) and the
+// heap is established in O(B), but ordering work is only paid for the blocks
+// actually popped (O(log B) each). Algorithms that stop early — all of the
+// paper's algorithms do — pay far less than a full sort.
+type Scan struct {
+	h blockHeap
+}
+
+// NewMinDistScan returns a scan over blocks in increasing MINDIST order from
+// p. Ties on the key are broken by block ID, so scans are deterministic.
+func NewMinDistScan(blocks []*Block, p geom.Point) *Scan {
+	return newScan(blocks, p, geom.Rect.MinDistSq)
+}
+
+// NewMaxDistScan returns a scan over blocks in increasing MAXDIST order from
+// p. Ties on the key are broken by block ID, so scans are deterministic.
+func NewMaxDistScan(blocks []*Block, p geom.Point) *Scan {
+	return newScan(blocks, p, geom.Rect.MaxDistSq)
+}
+
+func newScan(blocks []*Block, p geom.Point, keyFn func(geom.Rect, geom.Point) float64) *Scan {
+	s := &Scan{h: make(blockHeap, 0, len(blocks))}
+	for _, b := range blocks {
+		s.h = append(s.h, blockEntry{block: b, key: keyFn(b.Bounds, p)})
+	}
+	heap.Init(&s.h)
+	return s
+}
+
+// Next returns the next block in the scan order together with its key (the
+// squared MINDIST or MAXDIST). ok is false when the scan is exhausted.
+func (s *Scan) Next() (b *Block, keySq float64, ok bool) {
+	if s.h.Len() == 0 {
+		return nil, 0, false
+	}
+	e := heap.Pop(&s.h).(blockEntry)
+	return e.block, e.key, true
+}
+
+// Remaining returns how many blocks have not been popped yet.
+func (s *Scan) Remaining() int { return s.h.Len() }
+
+// blockEntry pairs a block with its precomputed squared-distance key.
+type blockEntry struct {
+	block *Block
+	key   float64
+}
+
+type blockHeap []blockEntry
+
+func (h blockHeap) Len() int { return len(h) }
+func (h blockHeap) Less(i, j int) bool {
+	if h[i].key != h[j].key {
+		return h[i].key < h[j].key
+	}
+	return h[i].block.ID < h[j].block.ID
+}
+func (h blockHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *blockHeap) Push(x any) { *h = append(*h, x.(blockEntry)) }
+func (h *blockHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

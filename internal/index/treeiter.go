@@ -1,0 +1,116 @@
+package index
+
+import (
+	"container/heap"
+
+	"repro/internal/geom"
+)
+
+// TreeNode is the traversal interface hierarchical indexes (quadtree, k-d
+// tree, R-tree) implement to obtain incremental MINDIST/MAXDIST orderings
+// through best-first search: only the subtrees near the query point are
+// expanded, so a query that stops early touches O(popped · log) nodes
+// instead of every block.
+type TreeNode interface {
+	// NodeBounds returns the region the subtree is responsible for.
+	NodeBounds() geom.Rect
+
+	// NodeBlock returns the node's block when the node is a leaf, nil
+	// otherwise.
+	NodeBlock() *Block
+
+	// NodeChildren appends the node's children to dst and returns it;
+	// called only on internal nodes.
+	NodeChildren(dst []TreeNode) []TreeNode
+}
+
+// NewTreeMinDistIter returns blocks in increasing MINDIST order from p by
+// best-first traversal from root. The order (including ties, broken by
+// block ID) is identical to the eager scan's.
+func NewTreeMinDistIter(root TreeNode, p geom.Point) BlockIter {
+	return newTreeIter(root, p, geom.Rect.MinDistSq)
+}
+
+// NewTreeMaxDistIter returns blocks in increasing MAXDIST order from p.
+// Internal nodes are prioritized by their MINDIST — a valid lower bound on
+// every descendant's MAXDIST — so expansion is safe; leaves carry their
+// exact MAXDIST keys.
+func NewTreeMaxDistIter(root TreeNode, p geom.Point) BlockIter {
+	return newTreeIter(root, p, geom.Rect.MaxDistSq)
+}
+
+type treeIter struct {
+	p       geom.Point
+	leafKey func(geom.Rect, geom.Point) float64
+	h       treeHeap
+	scratch []TreeNode
+}
+
+func newTreeIter(root TreeNode, p geom.Point, leafKey func(geom.Rect, geom.Point) float64) *treeIter {
+	it := &treeIter{p: p, leafKey: leafKey}
+	it.push(root)
+	return it
+}
+
+func (it *treeIter) push(n TreeNode) {
+	if b := n.NodeBlock(); b != nil {
+		heap.Push(&it.h, treeEntry{key: it.leafKey(b.Bounds, it.p), block: b})
+		return
+	}
+	// Internal node: MINDIST lower-bounds both the MINDIST and the MAXDIST
+	// of every descendant block.
+	heap.Push(&it.h, treeEntry{key: n.NodeBounds().MinDistSq(it.p), node: n})
+}
+
+// Next implements BlockIter.
+func (it *treeIter) Next() (*Block, float64, bool) {
+	for it.h.Len() > 0 {
+		e := heap.Pop(&it.h).(treeEntry)
+		if e.block != nil {
+			return e.block, e.key, true
+		}
+		it.scratch = e.node.NodeChildren(it.scratch[:0])
+		for _, c := range it.scratch {
+			it.push(c)
+		}
+	}
+	return nil, 0, false
+}
+
+// treeEntry is a heap element: an undiscovered subtree or a ready block.
+type treeEntry struct {
+	key   float64
+	node  TreeNode // internal node, or
+	block *Block   // leaf block
+}
+
+type treeHeap []treeEntry
+
+func (h treeHeap) Len() int { return len(h) }
+
+// Less orders by key; on ties, internal nodes come before blocks (they may
+// hide equal-key blocks with smaller IDs), and blocks order by ID so the
+// yield order matches the eager scan exactly.
+func (h treeHeap) Less(i, j int) bool {
+	if h[i].key != h[j].key {
+		return h[i].key < h[j].key
+	}
+	ni, nj := h[i].block == nil, h[j].block == nil
+	if ni != nj {
+		return ni // node before block
+	}
+	if !ni {
+		return h[i].block.ID < h[j].block.ID
+	}
+	return false
+}
+
+func (h treeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *treeHeap) Push(x any)   { *h = append(*h, x.(treeEntry)) }
+func (h *treeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

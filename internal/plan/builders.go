@@ -1,0 +1,115 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// This file builds the EXPLAIN trees for every query shape the repository
+// evaluates. The trees mirror the paper's QEP figures: conceptual plans show
+// the full operators being intersected; optimized plans show the pruning
+// operator that replaces them.
+
+// SelectInnerJoinPlan describes a select-inner-join evaluation.
+func SelectInnerJoinPlan(alg Algorithm, outer, inner string, outerCard, innerCard, kJoin, kSel int) *Node {
+	sel := NewNode("kNN-select", fmt.Sprintf("k=%d, relation=%s (inner of join; pushdown invalid)", kSel, inner),
+		Scan(inner, innerCard))
+	switch alg {
+	case Counting:
+		return NewNode("knn-join⋈select", fmt.Sprintf("algorithm=counting, k⋈=%d", kJoin),
+			Scan(outer, outerCard), sel)
+	case BlockMarking:
+		return NewNode("knn-join⋈select", fmt.Sprintf("algorithm=block-marking, k⋈=%d", kJoin),
+			NewNode("mark-blocks", "contour preprocessing over outer blocks", Scan(outer, outerCard)), sel)
+	default:
+		join := NewNode("kNN-join", fmt.Sprintf("k=%d", kJoin), Scan(outer, outerCard), Scan(inner, innerCard))
+		return NewNode("∩", "pairs whose inner point survives the select", join, sel)
+	}
+}
+
+// SelectOuterJoinPlan describes the valid pushed-down plan for a select on
+// the outer relation.
+func SelectOuterJoinPlan(outer, inner string, outerCard, innerCard, kSel, kJoin int) *Node {
+	sel := NewNode("kNN-select", fmt.Sprintf("k=%d (outer of join; pushdown valid)", kSel), Scan(outer, outerCard))
+	return NewNode("kNN-join", fmt.Sprintf("k=%d", kJoin), sel, Scan(inner, innerCard))
+}
+
+// UnchainedPlan describes a two-unchained-joins evaluation.
+func UnchainedPlan(order core.JoinOrder, pruned bool, a, b, c string, cardA, cardB, cardC, kAB, kCB int) *Node {
+	ab := NewNode("kNN-join", fmt.Sprintf("k=%d", kAB), Scan(a, cardA), Scan(b, cardB))
+	cb := NewNode("kNN-join", fmt.Sprintf("k=%d", kCB), Scan(c, cardC), Scan(b, cardB))
+	if pruned {
+		switch order {
+		case core.OrderCBFirst:
+			ab = NewNode("kNN-join", fmt.Sprintf("k=%d, pruned by candidate/safe marks from (C⋈B)", kAB),
+				NewNode("mark-blocks", "contributing blocks of A", Scan(a, cardA)), Scan(b, cardB))
+		default:
+			cb = NewNode("kNN-join", fmt.Sprintf("k=%d, pruned by candidate/safe marks from (A⋈B)", kCB),
+				NewNode("mark-blocks", "contributing blocks of C", Scan(c, cardC)), Scan(b, cardB))
+		}
+	}
+	return NewNode("∩B", "match pairs on the shared B component", ab, cb)
+}
+
+// ChainedPlan describes a two-chained-joins evaluation.
+func ChainedPlan(qep core.ChainedQEP, a, b, c string, cardA, cardB, cardC, kAB, kBC int) *Node {
+	switch qep {
+	case core.ChainedRightDeep:
+		bc := NewNode("kNN-join", fmt.Sprintf("k=%d (materialized)", kBC), Scan(b, cardB), Scan(c, cardC))
+		return NewNode("kNN-join", fmt.Sprintf("k=%d", kAB), Scan(a, cardA), bc)
+	case core.ChainedJoinIntersection:
+		ab := NewNode("kNN-join", fmt.Sprintf("k=%d", kAB), Scan(a, cardA), Scan(b, cardB))
+		bc := NewNode("kNN-join", fmt.Sprintf("k=%d", kBC), Scan(b, cardB), Scan(c, cardC))
+		return NewNode("∩B", "match pairs on the shared B component", ab, bc)
+	default:
+		detail := fmt.Sprintf("k=%d, neighborhoods only for joined b", kBC)
+		if qep == core.ChainedNestedJoinCached || qep == core.ChainedAuto {
+			detail += ", cached"
+		}
+		ab := NewNode("kNN-join", fmt.Sprintf("k=%d", kAB), Scan(a, cardA), Scan(b, cardB))
+		return NewNode("kNN-join", detail, ab, Scan(c, cardC))
+	}
+}
+
+// TwoSelectsPlan describes a two-kNN-selects evaluation.
+func TwoSelectsPlan(optimized bool, rel string, card, k1, k2 int) *Node {
+	s1 := NewNode("kNN-select", fmt.Sprintf("k=%d (smaller k first)", min(k1, k2)), Scan(rel, card))
+	var s2 *Node
+	if optimized {
+		s2 = NewNode("kNN-select", fmt.Sprintf("k=%d, locality clipped to the smaller neighborhood's search threshold", max(k1, k2)),
+			Scan(rel, card))
+	} else {
+		s2 = NewNode("kNN-select", fmt.Sprintf("k=%d (full locality)", max(k1, k2)), Scan(rel, card))
+	}
+	return NewNode("∩", "points in both neighborhoods", s1, s2)
+}
+
+// RangeInnerJoinPlan describes the footnote-1 range-selection variant.
+func RangeInnerJoinPlan(alg Algorithm, outer, inner string, outerCard, innerCard, kJoin int, rect string) *Node {
+	sel := NewNode("range-select", fmt.Sprintf("rect=%s (inner of join; pushdown invalid)", rect), Scan(inner, innerCard))
+	switch alg {
+	case Counting:
+		return NewNode("knn-join⋈range", fmt.Sprintf("algorithm=counting, k⋈=%d", kJoin), Scan(outer, outerCard), sel)
+	case BlockMarking:
+		return NewNode("knn-join⋈range", fmt.Sprintf("algorithm=block-marking, k⋈=%d", kJoin),
+			NewNode("mark-blocks", "contour preprocessing over outer blocks", Scan(outer, outerCard)), sel)
+	default:
+		join := NewNode("kNN-join", fmt.Sprintf("k=%d", kJoin), Scan(outer, outerCard), Scan(inner, innerCard))
+		return NewNode("∩", "pairs whose inner point lies in the rectangle", join, sel)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,68 @@
+// Package plan provides the query-evaluation-plan layer above the core
+// algorithms: operator trees with EXPLAIN rendering, validity rules for the
+// rewrites the paper analyzes (most importantly, the *invalid* pushdown of a
+// kNN-select below the inner relation of a kNN-join), and the optimizer
+// heuristics the paper prescribes (Counting vs Block-Marking by outer
+// cardinality, join ordering by cluster coverage, nested-join-with-cache for
+// chained joins).
+//
+// The package is deliberately free of execution logic; it describes and
+// decides, the core package executes. This keeps plan construction cheap
+// enough to run on every query for EXPLAIN output.
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is one operator of a query evaluation plan.
+type Node struct {
+	// Op is the operator name, e.g. "kNN-join" or "∩B".
+	Op string
+
+	// Detail carries operator parameters, e.g. "k=2" or
+	// "algorithm=Block-Marking".
+	Detail string
+
+	// Children are the operator inputs, outer (left) input first.
+	Children []*Node
+}
+
+// NewNode constructs an operator node.
+func NewNode(op, detail string, children ...*Node) *Node {
+	return &Node{Op: op, Detail: detail, Children: children}
+}
+
+// Scan returns a leaf node reading a named relation.
+func Scan(relation string, cardinality int) *Node {
+	return NewNode("scan", fmt.Sprintf("%s (%d points)", relation, cardinality))
+}
+
+// Explain renders the plan as an indented operator tree, root first —
+// the shape of a conventional EXPLAIN output.
+func (n *Node) Explain() string {
+	var sb strings.Builder
+	n.render(&sb, 0)
+	return sb.String()
+}
+
+func (n *Node) render(sb *strings.Builder, depth int) {
+	sb.WriteString(strings.Repeat("  ", depth))
+	if depth > 0 {
+		sb.WriteString("-> ")
+	}
+	sb.WriteString(n.Op)
+	if n.Detail != "" {
+		sb.WriteString(" [")
+		sb.WriteString(n.Detail)
+		sb.WriteString("]")
+	}
+	sb.WriteString("\n")
+	for _, c := range n.Children {
+		c.render(sb, depth+1)
+	}
+}
+
+// String implements fmt.Stringer.
+func (n *Node) String() string { return n.Explain() }

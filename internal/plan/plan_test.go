@@ -1,0 +1,153 @@
+package plan
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestExplainRendering(t *testing.T) {
+	n := NewNode("∩", "intersect",
+		NewNode("kNN-join", "k=2", Scan("E1", 100), Scan("E2", 200)),
+		NewNode("kNN-select", "k=3", Scan("E2", 200)))
+	out := n.Explain()
+
+	for _, want := range []string{"∩", "kNN-join", "kNN-select", "E1 (100 points)", "E2 (200 points)", "-> "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain output missing %q:\n%s", want, out)
+		}
+	}
+	if n.String() != out {
+		t.Errorf("String and Explain must agree")
+	}
+
+	// Indentation must increase with depth.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("expected 6 plan lines, got %d:\n%s", len(lines), out)
+	}
+	if strings.HasPrefix(lines[0], " ") {
+		t.Errorf("root must not be indented")
+	}
+	if !strings.HasPrefix(lines[1], "  ") {
+		t.Errorf("child must be indented")
+	}
+}
+
+func TestValidateSelectPushdown(t *testing.T) {
+	if err := ValidateSelectPushdown(OuterSide); err != nil {
+		t.Errorf("outer pushdown must be valid, got %v", err)
+	}
+	err := ValidateSelectPushdown(InnerSide)
+	if err == nil {
+		t.Fatalf("inner pushdown must be invalid")
+	}
+	var ire *InvalidRewriteError
+	if !errors.As(err, &ire) {
+		t.Fatalf("error must be an *InvalidRewriteError, got %T", err)
+	}
+	if !strings.Contains(ire.Error(), "Counting") {
+		t.Errorf("error should point at the correct algorithms: %v", ire)
+	}
+}
+
+func TestValidateOtherRewrites(t *testing.T) {
+	if err := ValidateUnchainedSequential(); err == nil {
+		t.Errorf("sequential unchained evaluation must be invalid")
+	}
+	if err := ValidateTwoSelectsSequential(); err == nil {
+		t.Errorf("sequential two-select evaluation must be invalid")
+	}
+	if err := ValidateChainedReorder(); err != nil {
+		t.Errorf("chained reorder must be valid, got %v", err)
+	}
+}
+
+func TestJoinSideString(t *testing.T) {
+	if OuterSide.String() != "outer" || InnerSide.String() != "inner" {
+		t.Errorf("JoinSide strings wrong: %v / %v", OuterSide, InnerSide)
+	}
+}
+
+func TestChooseSelectJoinAlgorithm(t *testing.T) {
+	if alg, _ := ChooseSelectJoinAlgorithm(BlockMarking, 10, 0); alg != BlockMarking {
+		t.Errorf("explicit choice must pass through, got %v", alg)
+	}
+	if alg, reason := ChooseSelectJoinAlgorithm(Auto, 100, 0); alg != Counting || reason == "" {
+		t.Errorf("small outer must choose Counting, got %v (%s)", alg, reason)
+	}
+	if alg, _ := ChooseSelectJoinAlgorithm(Auto, DefaultCountingThreshold+1, 0); alg != BlockMarking {
+		t.Errorf("large outer must choose Block-Marking, got %v", alg)
+	}
+	if alg, _ := ChooseSelectJoinAlgorithm(Auto, 500, 100); alg != BlockMarking {
+		t.Errorf("custom threshold must be honored, got %v", alg)
+	}
+}
+
+func TestChooseJoinOrder(t *testing.T) {
+	if order, _, _ := ChooseJoinOrder(core.OrderCBFirst, 0.1, 0.9); order != core.OrderCBFirst {
+		t.Errorf("explicit order must pass through")
+	}
+	order, prune, _ := ChooseJoinOrder(core.OrderAuto, 0.05, 0.9)
+	if order != core.OrderABFirst || !prune {
+		t.Errorf("clustered A must start with (A⋈B) and prune, got %v prune=%v", order, prune)
+	}
+	order, prune, _ = ChooseJoinOrder(core.OrderAuto, 0.9, 0.05)
+	if order != core.OrderCBFirst || !prune {
+		t.Errorf("clustered C must start with (C⋈B) and prune, got %v prune=%v", order, prune)
+	}
+	_, prune, reason := ChooseJoinOrder(core.OrderAuto, 0.95, 0.92)
+	if prune {
+		t.Errorf("both uniform must disable pruning: %s", reason)
+	}
+}
+
+func TestChooseChainedQEP(t *testing.T) {
+	if qep, _ := ChooseChainedQEP(core.ChainedRightDeep); qep != core.ChainedRightDeep {
+		t.Errorf("explicit QEP must pass through")
+	}
+	if qep, reason := ChooseChainedQEP(core.ChainedAuto); qep != core.ChainedNestedJoinCached || reason == "" {
+		t.Errorf("auto must choose nested+cache, got %v", qep)
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	for _, a := range []Algorithm{Auto, Conceptual, Counting, BlockMarking} {
+		if a.String() == "" {
+			t.Errorf("Algorithm %d has empty String()", a)
+		}
+	}
+}
+
+func TestPlanBuilders(t *testing.T) {
+	cases := []struct {
+		name string
+		node *Node
+		want []string
+	}{
+		{"select-inner-conceptual", SelectInnerJoinPlan(Conceptual, "M", "H", 10, 20, 2, 3), []string{"∩", "kNN-join", "kNN-select"}},
+		{"select-inner-counting", SelectInnerJoinPlan(Counting, "M", "H", 10, 20, 2, 3), []string{"counting"}},
+		{"select-inner-bm", SelectInnerJoinPlan(BlockMarking, "M", "H", 10, 20, 2, 3), []string{"block-marking", "mark-blocks"}},
+		{"select-outer", SelectOuterJoinPlan("M", "H", 10, 20, 3, 2), []string{"pushdown valid"}},
+		{"unchained-pruned", UnchainedPlan(core.OrderABFirst, true, "A", "B", "C", 1, 2, 3, 2, 2), []string{"∩B", "candidate/safe"}},
+		{"unchained-plain", UnchainedPlan(core.OrderABFirst, false, "A", "B", "C", 1, 2, 3, 2, 2), []string{"∩B"}},
+		{"unchained-cb", UnchainedPlan(core.OrderCBFirst, true, "A", "B", "C", 1, 2, 3, 2, 2), []string{"contributing blocks of A"}},
+		{"chained-rd", ChainedPlan(core.ChainedRightDeep, "A", "B", "C", 1, 2, 3, 2, 2), []string{"materialized"}},
+		{"chained-ji", ChainedPlan(core.ChainedJoinIntersection, "A", "B", "C", 1, 2, 3, 2, 2), []string{"∩B"}},
+		{"chained-nested", ChainedPlan(core.ChainedNestedJoinCached, "A", "B", "C", 1, 2, 3, 2, 2), []string{"cached"}},
+		{"two-selects", TwoSelectsPlan(true, "E", 100, 5, 50), []string{"clipped", "smaller k first"}},
+		{"two-selects-conc", TwoSelectsPlan(false, "E", 100, 5, 50), []string{"full locality"}},
+		{"range-counting", RangeInnerJoinPlan(Counting, "M", "H", 10, 20, 2, "[0,1]x[0,1]"), []string{"range", "counting"}},
+		{"range-conceptual", RangeInnerJoinPlan(Conceptual, "M", "H", 10, 20, 2, "[0,1]x[0,1]"), []string{"rectangle"}},
+	}
+	for _, c := range cases {
+		out := c.node.Explain()
+		for _, want := range c.want {
+			if !strings.Contains(out, want) {
+				t.Errorf("%s: plan missing %q:\n%s", c.name, want, out)
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package plan
+
+import "fmt"
+
+// JoinSide identifies which input of a kNN-join a rewrite targets. The
+// kNN-join is asymmetric (the outer relation probes, the inner relation
+// supplies neighborhoods), so rewrite validity depends on the side.
+type JoinSide int
+
+// The two inputs of a kNN-join.
+const (
+	OuterSide JoinSide = iota
+	InnerSide
+)
+
+// String implements fmt.Stringer.
+func (s JoinSide) String() string {
+	if s == InnerSide {
+		return "inner"
+	}
+	return "outer"
+}
+
+// InvalidRewriteError explains why a proposed plan transformation would
+// change query results. The message cites the paper's rule so EXPLAIN
+// consumers understand the optimizer's refusal.
+type InvalidRewriteError struct {
+	// Rewrite names the attempted transformation.
+	Rewrite string
+
+	// Reason explains the semantic breakage.
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *InvalidRewriteError) Error() string {
+	return fmt.Sprintf("plan: invalid rewrite %q: %s", e.Rewrite, e.Reason)
+}
+
+// ValidateSelectPushdown decides whether a selection (kNN or range) may be
+// pushed below the given side of a kNN-join. Pushing below the outer
+// relation is always valid; pushing below the inner relation is invalid
+// because it shrinks every probe's neighborhood candidate set (Section 3 of
+// the paper, Figures 1–2).
+func ValidateSelectPushdown(side JoinSide) error {
+	if side == OuterSide {
+		return nil
+	}
+	return &InvalidRewriteError{
+		Rewrite: "push selection below the inner relation of a kNN-join",
+		Reason: "the join would compute neighborhoods over only the selected points, " +
+			"so (E1 ⋈kNN E2) ∩ (E1 × σ(E2)) ≢ E1 ⋈kNN σ(E2); " +
+			"use the Counting or Block-Marking algorithm instead",
+	}
+}
+
+// ValidateUnchainedSequential decides whether one of two unchained kNN-joins
+// may be evaluated over the other's output. It may not: either order filters
+// the shared inner relation and changes the answer (Section 4.1, Figures
+// 8–9).
+func ValidateUnchainedSequential() error {
+	return &InvalidRewriteError{
+		Rewrite: "evaluate one unchained kNN-join over the output of the other",
+		Reason: "each join must see the full inner relation; evaluate both joins " +
+			"independently and intersect on the shared relation (∩B), " +
+			"optionally pruning with Candidate/Safe block marking",
+	}
+}
+
+// ValidateTwoSelectsSequential decides whether one kNN-select may be
+// evaluated over the output of another. It may not: the second select would
+// choose among only k survivors (Section 5, Figures 14–15).
+func ValidateTwoSelectsSequential() error {
+	return &InvalidRewriteError{
+		Rewrite: "evaluate one kNN-select over the output of another",
+		Reason: "the second predicate must select from the full relation; evaluate " +
+			"both predicates independently and intersect, or use the 2-kNN-select " +
+			"algorithm",
+	}
+}
+
+// ValidateChainedReorder decides whether two chained kNN-joins A→B→C may be
+// reordered/associated freely. They may: the first join acts as a selection
+// on the outer relation of the second, which is a valid pushdown (Section
+// 4.2, Figure 13), so this always returns nil. It exists so the optimizer
+// treats chained and unchained shapes through one interface.
+func ValidateChainedReorder() error { return nil }

@@ -1,0 +1,101 @@
+// Package pointio reads and writes point sets as CSV ("x,y" per line, with
+// an optional header). It is the interchange format between the cmd/datagen
+// generator and the cmd/knnquery runner, and a convenient way to feed real
+// datasets into the library.
+package pointio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// Write streams points as CSV with an "x,y" header.
+func Write(w io.Writer, pts []geom.Point) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("x,y\n"); err != nil {
+		return fmt.Errorf("pointio: writing header: %w", err)
+	}
+	for _, p := range pts {
+		if _, err := fmt.Fprintf(bw, "%g,%g\n", p.X, p.Y); err != nil {
+			return fmt.Errorf("pointio: writing point: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("pointio: flushing: %w", err)
+	}
+	return nil
+}
+
+// WriteFile writes points to a CSV file, creating or truncating it.
+func WriteFile(path string, pts []geom.Point) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("pointio: %w", err)
+	}
+	defer f.Close()
+	if err := Write(f, pts); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Read parses CSV points. A first line that does not parse as two floats is
+// treated as a header and skipped; blank lines are ignored. Errors identify
+// the offending line number.
+func Read(r io.Reader) ([]geom.Point, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	var pts []geom.Point
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		p, err := parseLine(line)
+		if err != nil {
+			if lineNo == 1 {
+				continue // header
+			}
+			return nil, fmt.Errorf("pointio: line %d: %w", lineNo, err)
+		}
+		pts = append(pts, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("pointio: reading: %w", err)
+	}
+	return pts, nil
+}
+
+// ReadFile reads a CSV point file.
+func ReadFile(path string) ([]geom.Point, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("pointio: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+func parseLine(line string) (geom.Point, error) {
+	i := strings.IndexByte(line, ',')
+	if i < 0 {
+		return geom.Point{}, fmt.Errorf("expected \"x,y\", got %q", line)
+	}
+	x, err := strconv.ParseFloat(strings.TrimSpace(line[:i]), 64)
+	if err != nil {
+		return geom.Point{}, fmt.Errorf("bad x %q: %w", line[:i], err)
+	}
+	y, err := strconv.ParseFloat(strings.TrimSpace(line[i+1:]), 64)
+	if err != nil {
+		return geom.Point{}, fmt.Errorf("bad y %q: %w", line[i+1:], err)
+	}
+	return geom.Point{X: x, Y: y}, nil
+}

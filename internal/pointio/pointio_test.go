@@ -1,0 +1,88 @@
+package pointio
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestRoundTrip(t *testing.T) {
+	pts := []geom.Point{{X: 1.5, Y: -2.25}, {X: 0, Y: 0}, {X: 1e6, Y: 1e-6}}
+	var sb strings.Builder
+	if err := Write(&sb, pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, pts) {
+		t.Fatalf("round trip: got %v, want %v", got, pts)
+	}
+}
+
+func TestReadWithoutHeader(t *testing.T) {
+	got, err := Read(strings.NewReader("1,2\n3,4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []geom.Point{{X: 1, Y: 2}, {X: 3, Y: 4}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestReadSkipsBlanksAndTrimsSpaces(t *testing.T) {
+	got, err := Read(strings.NewReader("x,y\n\n 1 , 2 \n\n3,4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d points, want 2", len(got))
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"x,y\n1;2\n",    // wrong separator
+		"x,y\nfoo,2\n",  // bad x
+		"x,y\n1,bar\n",  // bad y
+		"x,y\n1,2\n3\n", // missing column
+	}
+	for _, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestReadEmpty(t *testing.T) {
+	got, err := Read(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty input must give no points")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pts.csv")
+	pts := []geom.Point{{X: 7, Y: 8}, {X: -1, Y: 0.5}}
+	if err := WriteFile(path, pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, pts) {
+		t.Fatalf("file round trip: got %v, want %v", got, pts)
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Errorf("missing file must error")
+	}
+}

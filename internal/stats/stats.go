@@ -1,0 +1,120 @@
+// Package stats provides lightweight operation counters threaded through the
+// query algorithms. Wall-clock time depends on the machine; these counters
+// expose the quantities the paper's analysis reasons about directly — how
+// many neighborhoods were computed, how many blocks were scanned or pruned —
+// so experiments can report machine-independent evidence next to timings.
+package stats
+
+import "fmt"
+
+// Counters accumulates per-query operation counts. A nil *Counters is valid
+// everywhere and records nothing, so instrumentation is free on hot paths
+// that do not request it.
+type Counters struct {
+	// Neighborhoods is the number of k-nearest-neighbor computations
+	// performed (the dominant cost in every algorithm of the paper).
+	Neighborhoods int64
+
+	// BlocksScanned is the number of blocks popped from MINDIST/MAXDIST
+	// scans across all phases.
+	BlocksScanned int64
+
+	// PointsCompared is the number of candidate points examined during
+	// neighborhood computations.
+	PointsCompared int64
+
+	// BlocksPruned is the number of blocks excluded from further work by a
+	// pruning rule (Non-Contributing marks, contour stops, count cut-offs).
+	BlocksPruned int64
+
+	// OuterSkipped is the number of outer-relation points skipped without a
+	// neighborhood computation (the Counting algorithm's per-tuple prune).
+	OuterSkipped int64
+
+	// CacheHits / CacheMisses count probes of the chained-join neighborhood
+	// cache (Section 4.2 of the paper).
+	CacheHits   int64
+	CacheMisses int64
+}
+
+// AddNeighborhood records one kNN computation that examined n candidate
+// points.
+func (c *Counters) AddNeighborhood(n int) {
+	if c == nil {
+		return
+	}
+	c.Neighborhoods++
+	c.PointsCompared += int64(n)
+}
+
+// AddBlocksScanned records n popped blocks.
+func (c *Counters) AddBlocksScanned(n int) {
+	if c == nil {
+		return
+	}
+	c.BlocksScanned += int64(n)
+}
+
+// AddBlocksPruned records n pruned blocks.
+func (c *Counters) AddBlocksPruned(n int) {
+	if c == nil {
+		return
+	}
+	c.BlocksPruned += int64(n)
+}
+
+// AddOuterSkipped records n skipped outer points.
+func (c *Counters) AddOuterSkipped(n int) {
+	if c == nil {
+		return
+	}
+	c.OuterSkipped += int64(n)
+}
+
+// AddCacheHit records one cache hit.
+func (c *Counters) AddCacheHit() {
+	if c == nil {
+		return
+	}
+	c.CacheHits++
+}
+
+// AddCacheMiss records one cache miss.
+func (c *Counters) AddCacheMiss() {
+	if c == nil {
+		return
+	}
+	c.CacheMisses++
+}
+
+// Add accumulates other into c. Both receivers may be nil.
+func (c *Counters) Add(other *Counters) {
+	if c == nil || other == nil {
+		return
+	}
+	c.Neighborhoods += other.Neighborhoods
+	c.BlocksScanned += other.BlocksScanned
+	c.PointsCompared += other.PointsCompared
+	c.BlocksPruned += other.BlocksPruned
+	c.OuterSkipped += other.OuterSkipped
+	c.CacheHits += other.CacheHits
+	c.CacheMisses += other.CacheMisses
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() {
+	if c == nil {
+		return
+	}
+	*c = Counters{}
+}
+
+// String implements fmt.Stringer with a compact one-line summary.
+func (c *Counters) String() string {
+	if c == nil {
+		return "stats: <nil>"
+	}
+	return fmt.Sprintf("nbr=%d blocksScanned=%d ptsCompared=%d blocksPruned=%d outerSkipped=%d cache=%d/%d",
+		c.Neighborhoods, c.BlocksScanned, c.PointsCompared, c.BlocksPruned,
+		c.OuterSkipped, c.CacheHits, c.CacheHits+c.CacheMisses)
+}

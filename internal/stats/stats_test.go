@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilCountersAreSafe(t *testing.T) {
+	var c *Counters
+	// Every method must be a no-op on nil, so hot paths can skip the
+	// nil-check at call sites.
+	c.AddNeighborhood(5)
+	c.AddBlocksScanned(3)
+	c.AddBlocksPruned(2)
+	c.AddOuterSkipped(1)
+	c.AddCacheHit()
+	c.AddCacheMiss()
+	c.Add(&Counters{Neighborhoods: 7})
+	c.Reset()
+	if s := c.String(); !strings.Contains(s, "nil") {
+		t.Errorf("nil String = %q", s)
+	}
+}
+
+func TestCountersAccumulateAndReset(t *testing.T) {
+	var c Counters
+	c.AddNeighborhood(10)
+	c.AddNeighborhood(20)
+	c.AddBlocksScanned(4)
+	c.AddBlocksPruned(3)
+	c.AddOuterSkipped(2)
+	c.AddCacheHit()
+	c.AddCacheMiss()
+
+	if c.Neighborhoods != 2 || c.PointsCompared != 30 {
+		t.Errorf("neighborhood counters wrong: %+v", c)
+	}
+	if c.BlocksScanned != 4 || c.BlocksPruned != 3 || c.OuterSkipped != 2 {
+		t.Errorf("block counters wrong: %+v", c)
+	}
+	if c.CacheHits != 1 || c.CacheMisses != 1 {
+		t.Errorf("cache counters wrong: %+v", c)
+	}
+
+	var sum Counters
+	sum.Add(&c)
+	sum.Add(&c)
+	if sum.Neighborhoods != 4 || sum.PointsCompared != 60 || sum.CacheHits != 2 {
+		t.Errorf("Add accumulation wrong: %+v", sum)
+	}
+	sum.Add(nil)
+	if sum.Neighborhoods != 4 {
+		t.Errorf("Add(nil) must be a no-op")
+	}
+
+	c.Reset()
+	if c != (Counters{}) {
+		t.Errorf("Reset left %+v", c)
+	}
+}
+
+func TestCountersString(t *testing.T) {
+	c := Counters{Neighborhoods: 3, BlocksScanned: 5, CacheHits: 2, CacheMisses: 1}
+	s := c.String()
+	for _, want := range []string{"nbr=3", "blocksScanned=5", "cache=2/3"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,365 @@
+package twoknn
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/plan"
+)
+
+// Algorithm selects the evaluation strategy for queries with a selection on
+// the inner relation of a kNN-join.
+type Algorithm int
+
+// The evaluation strategies.
+const (
+	// AlgorithmAuto lets the optimizer choose: Counting for small outer
+	// relations, Block-Marking for large ones (paper, Section 3.3).
+	AlgorithmAuto Algorithm = iota
+
+	// AlgorithmConceptual evaluates the conceptually correct plan without
+	// pruning: full join, full select, intersect. Slow; kept as the
+	// correctness baseline and for benchmarks.
+	AlgorithmConceptual
+
+	// AlgorithmCounting uses the per-tuple Counting algorithm (Procedure 1).
+	AlgorithmCounting
+
+	// AlgorithmBlockMarking uses the per-block Block-Marking algorithm
+	// (Procedures 2–3).
+	AlgorithmBlockMarking
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string { return a.planAlgorithm().String() }
+
+func (a Algorithm) planAlgorithm() plan.Algorithm {
+	switch a {
+	case AlgorithmConceptual:
+		return plan.Conceptual
+	case AlgorithmCounting:
+		return plan.Counting
+	case AlgorithmBlockMarking:
+		return plan.BlockMarking
+	default:
+		return plan.Auto
+	}
+}
+
+// JoinOrder selects which of two unchained joins runs first; see
+// UnchainedJoins.
+type JoinOrder = core.JoinOrder
+
+// The unchained join orders.
+const (
+	// OrderAuto orders by cluster coverage (paper, Section 4.1.2).
+	OrderAuto = core.OrderAuto
+
+	// OrderABFirst evaluates (A ⋈ B) first.
+	OrderABFirst = core.OrderABFirst
+
+	// OrderCBFirst evaluates (C ⋈ B) first.
+	OrderCBFirst = core.OrderCBFirst
+)
+
+// ChainedQEP selects the evaluation plan for chained joins; see
+// ChainedJoins.
+type ChainedQEP = core.ChainedQEP
+
+// The chained-join plans of the paper's Figure 13.
+const (
+	// ChainedAuto selects the nested join with caching.
+	ChainedAuto = core.ChainedAuto
+
+	// ChainedRightDeep materializes (B ⋈ C) first (QEP1).
+	ChainedRightDeep = core.ChainedRightDeep
+
+	// ChainedJoinIntersection runs both joins and intersects on B (QEP2).
+	ChainedJoinIntersection = core.ChainedJoinIntersection
+
+	// ChainedNestedJoin computes C-neighborhoods per joined b (QEP3).
+	ChainedNestedJoin = core.ChainedNestedJoin
+
+	// ChainedNestedJoinCached is QEP3 with the neighborhood cache.
+	ChainedNestedJoinCached = core.ChainedNestedJoinCached
+)
+
+// QueryOption configures a query evaluation.
+type QueryOption func(*queryConfig)
+
+type queryConfig struct {
+	algorithm         Algorithm
+	countingThreshold int
+	order             JoinOrder
+	chained           ChainedQEP
+	exhaustive        bool
+	parallelism       int
+	stats             *Stats
+	explain           *string
+}
+
+func applyOptions(opts []QueryOption) queryConfig {
+	var cfg queryConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// WithAlgorithm forces the evaluation strategy for SelectInnerJoin and
+// RangeInnerJoin (default AlgorithmAuto).
+func WithAlgorithm(a Algorithm) QueryOption {
+	return func(c *queryConfig) { c.algorithm = a }
+}
+
+// WithCountingThreshold overrides the outer-relation cardinality at which
+// AlgorithmAuto switches from Counting to Block-Marking.
+func WithCountingThreshold(n int) QueryOption {
+	return func(c *queryConfig) { c.countingThreshold = n }
+}
+
+// WithJoinOrder forces the first join of UnchainedJoins (default OrderAuto).
+func WithJoinOrder(o JoinOrder) QueryOption {
+	return func(c *queryConfig) { c.order = o }
+}
+
+// WithChainedQEP forces the ChainedJoins plan (default ChainedAuto).
+func WithChainedQEP(q ChainedQEP) QueryOption {
+	return func(c *queryConfig) { c.chained = q }
+}
+
+// WithExhaustivePreprocessing disables the contour early-stop of
+// Block-Marking preprocessing, checking every outer block individually.
+// Automatic for indexes whose blocks do not tile space (R-trees).
+func WithExhaustivePreprocessing() QueryOption {
+	return func(c *queryConfig) { c.exhaustive = true }
+}
+
+// WithParallelism runs KNNJoin over n workers (n ≤ 0 selects GOMAXPROCS;
+// the default without this option is sequential). The result is identical
+// to the sequential evaluation, including order. Currently honored by
+// KNNJoin; the two-predicate queries evaluate sequentially, as in the
+// paper.
+func WithParallelism(n int) QueryOption {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return func(c *queryConfig) { c.parallelism = n }
+}
+
+// WithStats accumulates operation counters for the query into s.
+func WithStats(s *Stats) QueryOption {
+	return func(c *queryConfig) { c.stats = s }
+}
+
+// WithExplain stores an EXPLAIN rendering of the executed plan (including
+// the optimizer's reasoning) into target.
+func WithExplain(target *string) QueryOption {
+	return func(c *queryConfig) { c.explain = target }
+}
+
+// SelectInnerJoin evaluates the Section 3 query
+//
+//	(outer ⋈kNN inner) ∩ (outer × σ_{kSel,f}(inner)),
+//
+// returning pairs (e1, e2) where e2 is among the kJoin nearest neighbors of
+// e1 AND among the kSel nearest neighbors of the focal point f. Pushing the
+// select below the inner relation would be invalid (the optimizer refuses
+// it; see plan.ValidateSelectPushdown); the Counting and Block-Marking
+// strategies deliver the pruning instead.
+func SelectInnerJoin(outer, inner *Relation, f Point, kJoin, kSel int, opts ...QueryOption) ([]Pair, error) {
+	if err := checkRelations(outer, inner); err != nil {
+		return nil, err
+	}
+	if err := checkK("kJoin", kJoin); err != nil {
+		return nil, err
+	}
+	if err := checkK("kSel", kSel); err != nil {
+		return nil, err
+	}
+	cfg := applyOptions(opts)
+	alg, reason := plan.ChooseSelectJoinAlgorithm(cfg.algorithm.planAlgorithm(), outer.Len(), cfg.countingThreshold)
+
+	var pairs []Pair
+	switch alg {
+	case plan.Conceptual:
+		pairs = core.SelectInnerJoinConceptual(outer.rel, inner.rel, f, kJoin, kSel, cfg.stats)
+	case plan.Counting:
+		pairs = core.SelectInnerJoinCounting(outer.rel, inner.rel, f, kJoin, kSel, cfg.stats)
+	default:
+		pairs = core.SelectInnerJoinBlockMarking(outer.rel, inner.rel, f, kJoin, kSel,
+			core.BlockMarkingOptions{Exhaustive: cfg.exhaustive}, cfg.stats)
+	}
+
+	if cfg.explain != nil {
+		node := plan.SelectInnerJoinPlan(alg, outer.name, inner.name, outer.Len(), inner.Len(), kJoin, kSel)
+		*cfg.explain = fmt.Sprintf("strategy: %s (%s)\n%s", alg, reason, node.Explain())
+	}
+	return pairs, nil
+}
+
+// SelectOuterJoin evaluates a kNN-select on the outer relation of a
+// kNN-join: (σ_{kSel,f}(outer)) ⋈kNN inner. The pushdown is valid (paper,
+// Figure 3), so the select runs first and only selected points join.
+func SelectOuterJoin(outer, inner *Relation, f Point, kSel, kJoin int, opts ...QueryOption) ([]Pair, error) {
+	if err := checkRelations(outer, inner); err != nil {
+		return nil, err
+	}
+	if err := checkK("kSel", kSel); err != nil {
+		return nil, err
+	}
+	if err := checkK("kJoin", kJoin); err != nil {
+		return nil, err
+	}
+	cfg := applyOptions(opts)
+	pairs := core.SelectOuterJoin(outer.rel, inner.rel, f, kSel, kJoin, cfg.stats)
+	if cfg.explain != nil {
+		node := plan.SelectOuterJoinPlan(outer.name, inner.name, outer.Len(), inner.Len(), kSel, kJoin)
+		*cfg.explain = node.Explain()
+	}
+	return pairs, nil
+}
+
+// UnchainedJoins evaluates the Section 4.1 query
+//
+//	(a ⋈kNN b) ∩B (c ⋈kNN b),
+//
+// returning triples (x, y, z) where y is among the kAB nearest neighbors of
+// x in b AND among the kCB nearest neighbors of z in b. Both joins are
+// evaluated independently (evaluating one over the other's output would be
+// invalid); Candidate/Safe block marking prunes the second join's outer
+// relation, and OrderAuto starts with the more clustered outer relation.
+// When both outer relations look uniform the optimizer skips the
+// preprocessing entirely (it would cost without payoff, Section 4.1.2).
+func UnchainedJoins(a, b, c *Relation, kAB, kCB int, opts ...QueryOption) ([]Triple, error) {
+	if err := checkRelations(a, b, c); err != nil {
+		return nil, err
+	}
+	if err := checkK("kAB", kAB); err != nil {
+		return nil, err
+	}
+	if err := checkK("kCB", kCB); err != nil {
+		return nil, err
+	}
+	cfg := applyOptions(opts)
+	covA := core.EstimateClusterCoverage(a.rel)
+	covC := core.EstimateClusterCoverage(c.rel)
+	order, prune, reason := plan.ChooseJoinOrder(cfg.order, covA, covC)
+
+	var triples []Triple
+	if prune {
+		triples = core.UnchainedBlockMarking(a.rel, b.rel, c.rel, kAB, kCB, order, cfg.stats)
+	} else {
+		triples = core.UnchainedConceptual(a.rel, b.rel, c.rel, kAB, kCB, cfg.stats)
+	}
+
+	if cfg.explain != nil {
+		node := plan.UnchainedPlan(order, prune, a.name, b.name, c.name, a.Len(), b.Len(), c.Len(), kAB, kCB)
+		*cfg.explain = fmt.Sprintf("order: %s (%s)\n%s", order, reason, node.Explain())
+	}
+	return triples, nil
+}
+
+// ChainedJoins evaluates the Section 4.2 query over chained joins a→b→c,
+//
+//	(a ⋈kNN b) ∩B (b ⋈kNN c),
+//
+// returning triples (x, y, z) where y is among the kAB nearest neighbors of
+// x and z is among the kBC nearest neighbors of y. All plans of the paper's
+// Figure 13 are available and produce identical results; ChainedAuto uses
+// the nested join with a neighborhood cache, the paper's winner.
+func ChainedJoins(a, b, c *Relation, kAB, kBC int, opts ...QueryOption) ([]Triple, error) {
+	if err := checkRelations(a, b, c); err != nil {
+		return nil, err
+	}
+	if err := checkK("kAB", kAB); err != nil {
+		return nil, err
+	}
+	if err := checkK("kBC", kBC); err != nil {
+		return nil, err
+	}
+	cfg := applyOptions(opts)
+	qep, reason := plan.ChooseChainedQEP(cfg.chained)
+	triples := core.ChainedJoins(a.rel, b.rel, c.rel, kAB, kBC, qep, cfg.stats)
+	if cfg.explain != nil {
+		node := plan.ChainedPlan(qep, a.name, b.name, c.name, a.Len(), b.Len(), c.Len(), kAB, kBC)
+		*cfg.explain = fmt.Sprintf("plan: %s (%s)\n%s", qep, reason, node.Explain())
+	}
+	return triples, nil
+}
+
+// TwoSelects evaluates the Section 5 query
+//
+//	σ_{k1,f1}(rel) ∩ σ_{k2,f2}(rel),
+//
+// returning the points that are simultaneously among the k1 nearest to f1
+// and the k2 nearest to f2. Evaluating one select over the other's output
+// would be invalid; the 2-kNN-select algorithm evaluates the smaller-k
+// predicate first and clips the larger predicate's locality to the answer's
+// possible extent, making cost nearly independent of the larger k.
+func TwoSelects(rel *Relation, f1 Point, k1 int, f2 Point, k2 int, opts ...QueryOption) ([]Point, error) {
+	if err := checkRelations(rel); err != nil {
+		return nil, err
+	}
+	if err := checkK("k1", k1); err != nil {
+		return nil, err
+	}
+	if err := checkK("k2", k2); err != nil {
+		return nil, err
+	}
+	cfg := applyOptions(opts)
+	var pts []Point
+	if cfg.algorithm == AlgorithmConceptual {
+		pts = core.TwoSelectsConceptual(rel.rel, f1, k1, f2, k2, cfg.stats)
+	} else {
+		pts = core.TwoSelects(rel.rel, f1, k1, f2, k2, cfg.stats)
+	}
+	if cfg.explain != nil {
+		node := plan.TwoSelectsPlan(cfg.algorithm != AlgorithmConceptual, rel.name, rel.Len(), k1, k2)
+		*cfg.explain = node.Explain()
+	}
+	return pts, nil
+}
+
+// RangeInnerJoin evaluates the footnote-1 extension of Section 3: pairs
+// (e1, e2) where e2 is among the kJoin nearest neighbors of e1 AND lies in
+// the query rectangle. Like the kNN-select case, pushing the range filter
+// below the inner relation would be invalid; Counting and Block-Marking
+// adaptations deliver the pruning.
+func RangeInnerJoin(outer, inner *Relation, rng Rect, kJoin int, opts ...QueryOption) ([]Pair, error) {
+	if err := checkRelations(outer, inner); err != nil {
+		return nil, err
+	}
+	if err := checkK("kJoin", kJoin); err != nil {
+		return nil, err
+	}
+	cfg := applyOptions(opts)
+	alg, reason := plan.ChooseSelectJoinAlgorithm(cfg.algorithm.planAlgorithm(), outer.Len(), cfg.countingThreshold)
+
+	var pairs []Pair
+	switch alg {
+	case plan.Conceptual:
+		pairs = core.RangeInnerJoinConceptual(outer.rel, inner.rel, rng, kJoin, cfg.stats)
+	case plan.Counting:
+		pairs = core.RangeInnerJoinCounting(outer.rel, inner.rel, rng, kJoin, cfg.stats)
+	default:
+		pairs = core.RangeInnerJoinBlockMarking(outer.rel, inner.rel, rng, kJoin,
+			core.BlockMarkingOptions{Exhaustive: cfg.exhaustive}, cfg.stats)
+	}
+	if cfg.explain != nil {
+		node := plan.RangeInnerJoinPlan(alg, outer.name, inner.name, outer.Len(), inner.Len(), kJoin, rng.String())
+		*cfg.explain = fmt.Sprintf("strategy: %s (%s)\n%s", alg, reason, node.Explain())
+	}
+	return pairs, nil
+}
+
+// SortPairs orders pairs canonically (Left then Right) in place, so results
+// from different strategies can be compared directly.
+func SortPairs(ps []Pair) { core.SortPairs(ps) }
+
+// SortTriples orders triples canonically (A, B, C) in place.
+func SortTriples(ts []Triple) { core.SortTriples(ts) }
+
+// SortPoints orders points canonically (X then Y) in place.
+func SortPoints(ps []Point) { core.SortPoints(ps) }

@@ -1,0 +1,213 @@
+package twoknn
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/index"
+	"repro/internal/index/grid"
+	"repro/internal/index/kdtree"
+	"repro/internal/index/quadtree"
+	"repro/internal/index/rtree"
+	"repro/internal/stats"
+)
+
+// Point is a location in the 2-D Euclidean plane. It is a comparable value
+// type usable as a map key.
+type Point = geom.Point
+
+// Rect is a closed axis-aligned rectangle, used for range predicates and
+// bounds.
+type Rect = geom.Rect
+
+// NewRect builds a rectangle from two corners, normalizing coordinate order.
+func NewRect(x1, y1, x2, y2 float64) Rect { return geom.NewRect(x1, y1, x2, y2) }
+
+// Pair is one kNN-join result row: Right is among the k nearest neighbors
+// of Left in the join's inner relation.
+type Pair = core.Pair
+
+// Triple is one result row of a two-join query over relations A, B and C.
+type Triple = core.Triple
+
+// Stats collects per-query operation counters (neighborhood computations,
+// blocks scanned/pruned, cache hits); pass a *Stats via WithStats.
+type Stats = stats.Counters
+
+// IndexKind selects the spatial index a Relation is built on. The query
+// algorithms are index-agnostic (paper, Section 2); the grid is the paper's
+// experimental default.
+type IndexKind int
+
+// The available index kinds.
+const (
+	// GridIndex is a uniform grid — the paper's experimental index.
+	GridIndex IndexKind = iota
+
+	// QuadtreeIndex is a PR quadtree.
+	QuadtreeIndex
+
+	// RTreeIndex is an STR bulk-loaded R-tree.
+	RTreeIndex
+
+	// KDTreeIndex is a median-split k-d tree.
+	KDTreeIndex
+)
+
+// String implements fmt.Stringer.
+func (k IndexKind) String() string {
+	switch k {
+	case QuadtreeIndex:
+		return "quadtree"
+	case RTreeIndex:
+		return "rtree"
+	case KDTreeIndex:
+		return "kdtree"
+	default:
+		return "grid"
+	}
+}
+
+// ErrEmptyRelation is returned when a Relation is built over no points
+// without explicit bounds.
+var ErrEmptyRelation = errors.New("twoknn: relation has no points and no explicit bounds")
+
+// Relation is an immutable, indexed snapshot of points, ready for querying.
+type Relation struct {
+	name string
+	kind IndexKind
+	rel  *core.Relation
+}
+
+// RelationOption configures NewRelation.
+type RelationOption func(*relationConfig)
+
+type relationConfig struct {
+	kind     IndexKind
+	capacity int
+	bounds   Rect
+}
+
+// WithIndexKind selects the spatial index implementation (default
+// GridIndex).
+func WithIndexKind(kind IndexKind) RelationOption {
+	return func(c *relationConfig) { c.kind = kind }
+}
+
+// WithBlockCapacity sets the target number of points per index block
+// (default 64). Smaller blocks give finer pruning at higher traversal cost.
+func WithBlockCapacity(n int) RelationOption {
+	return func(c *relationConfig) { c.capacity = n }
+}
+
+// WithBounds fixes the indexed region instead of deriving it from the
+// points. Required for empty relations; useful to give several relations a
+// common block geometry.
+func WithBounds(r Rect) RelationOption {
+	return func(c *relationConfig) { c.bounds = r }
+}
+
+// NewRelation indexes pts under the given name. The name appears in EXPLAIN
+// output. The point slice is copied where the index implementation needs to
+// reorder it; callers may reuse pts afterwards.
+func NewRelation(name string, pts []Point, opts ...RelationOption) (*Relation, error) {
+	cfg := relationConfig{kind: GridIndex, capacity: 64}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if len(pts) == 0 && cfg.bounds.Area() <= 0 {
+		return nil, fmt.Errorf("%w (name %q)", ErrEmptyRelation, name)
+	}
+
+	var (
+		ix  index.Index
+		err error
+	)
+	switch cfg.kind {
+	case QuadtreeIndex:
+		ix, err = quadtree.New(pts, quadtree.Options{LeafCapacity: cfg.capacity, Bounds: cfg.bounds})
+	case KDTreeIndex:
+		ix, err = kdtree.New(pts, kdtree.Options{LeafCapacity: cfg.capacity, Bounds: cfg.bounds})
+	case RTreeIndex:
+		if len(pts) == 0 {
+			// An R-tree over nothing has no region; fall back to a
+			// single-cell grid so empty relations behave uniformly.
+			ix, err = grid.New(nil, grid.Options{Bounds: cfg.bounds, Cols: 1, Rows: 1})
+		} else {
+			ix, err = rtree.New(pts, rtree.Options{LeafCapacity: cfg.capacity})
+		}
+	default:
+		ix, err = grid.New(pts, grid.Options{TargetPerCell: cfg.capacity, Bounds: cfg.bounds})
+	}
+	if err != nil {
+		return nil, fmt.Errorf("twoknn: building %s index for %q: %w", cfg.kind, name, err)
+	}
+	return &Relation{name: name, kind: cfg.kind, rel: core.NewRelation(ix)}, nil
+}
+
+// Name returns the relation's name.
+func (r *Relation) Name() string { return r.name }
+
+// Len returns the number of points in the relation.
+func (r *Relation) Len() int { return r.rel.Len() }
+
+// Bounds returns the indexed region.
+func (r *Relation) Bounds() Rect { return r.rel.Ix.Bounds() }
+
+// IndexKind returns the index implementation the relation was built with.
+func (r *Relation) IndexKind() IndexKind { return r.kind }
+
+// Points returns a copy of the relation's points in index scan order.
+func (r *Relation) Points() []Point { return r.rel.Points() }
+
+// Clone returns an independent handle over the same immutable index, for
+// use from another goroutine (relations hold per-handle search buffers).
+func (r *Relation) Clone() *Relation {
+	return &Relation{name: r.name, kind: r.kind, rel: &core.Relation{Ix: r.rel.Ix, S: r.rel.S.Clone()}}
+}
+
+// KNNSelect returns the k points of the relation closest to the focal point
+// f (σ_{k,f}). It errors on non-positive k.
+func (r *Relation) KNNSelect(f Point, k int, opts ...QueryOption) ([]Point, error) {
+	if err := checkK("k", k); err != nil {
+		return nil, err
+	}
+	cfg := applyOptions(opts)
+	return core.KNNSelect(r.rel, f, k, cfg.stats), nil
+}
+
+// KNNJoin evaluates outer ⋈kNN inner: all pairs (e1, e2) with e2 among the
+// k nearest neighbors of e1. It errors on non-positive k.
+func KNNJoin(outer, inner *Relation, k int, opts ...QueryOption) ([]Pair, error) {
+	if err := checkRelations(outer, inner); err != nil {
+		return nil, err
+	}
+	if err := checkK("k", k); err != nil {
+		return nil, err
+	}
+	cfg := applyOptions(opts)
+	if cfg.parallelism > 1 {
+		return core.KNNJoinParallel(outer.rel, inner.rel, k, cfg.parallelism, cfg.stats), nil
+	}
+	return core.KNNJoin(outer.rel, inner.rel, k, cfg.stats), nil
+}
+
+// checkK validates a k parameter.
+func checkK(name string, k int) error {
+	if k <= 0 {
+		return fmt.Errorf("twoknn: %s must be positive, got %d", name, k)
+	}
+	return nil
+}
+
+// checkRelations validates relation arguments.
+func checkRelations(rels ...*Relation) error {
+	for i, r := range rels {
+		if r == nil {
+			return fmt.Errorf("twoknn: relation argument %d is nil", i+1)
+		}
+	}
+	return nil
+}
