@@ -12,6 +12,8 @@
 //	knnbench -scale paper       # the paper's cardinalities (slow by design:
 //	                            # the conceptual baselines are the point)
 //	knnbench -stats             # append operation-counter columns
+//	knnbench -json out.json     # also write the results as machine-readable
+//	                            # JSON (the BENCH_PR*.json trajectory files)
 package main
 
 import (
@@ -29,16 +31,17 @@ func main() {
 		ablFlag   = flag.Bool("ablations", false, "run the ablation experiments (contour stop, index families, parallel join)")
 		scaleFlag = flag.String("scale", "ci", "workload scale: \"ci\" (reduced, minutes) or \"paper\" (full cardinalities)")
 		statsFlag = flag.Bool("stats", false, "print machine-independent operation counters per plan")
+		jsonFlag  = flag.String("json", "", "path to write the results as machine-readable JSON")
 	)
 	flag.Parse()
 
-	if err := run(*figFlag, *ablFlag, *scaleFlag, *statsFlag); err != nil {
+	if err := run(*figFlag, *ablFlag, *scaleFlag, *statsFlag, *jsonFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "knnbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(figs string, ablations bool, scaleName string, withStats bool) error {
+func run(figs string, ablations bool, scaleName string, withStats bool, jsonPath string) error {
 	scale, err := bench.ParseScale(scaleName)
 	if err != nil {
 		return err
@@ -49,6 +52,7 @@ func run(figs string, ablations bool, scaleName string, withStats bool) error {
 		return err
 	}
 
+	var results []*bench.Result
 	for i, e := range selected {
 		if i > 0 {
 			fmt.Println()
@@ -62,6 +66,15 @@ func run(figs string, ablations bool, scaleName string, withStats bool) error {
 		if withStats {
 			printStats(res)
 		}
+		if jsonPath != "" {
+			results = append(results, res)
+		}
+	}
+	if jsonPath != "" {
+		if err := bench.NewJSONReport(scale, results).WriteFile(jsonPath); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote JSON report to %s\n", jsonPath)
 	}
 	return nil
 }

@@ -51,4 +51,23 @@
 // A Relation holds reusable search buffers and must not be used from
 // multiple goroutines concurrently; Clone creates an independent handle
 // sharing the same immutable index.
+//
+// # Performance notes
+//
+// The kNN primitive underneath every query — one neighborhood computation
+// per tuple — is allocation-free in steady state. Each searcher owns its
+// MINDIST/MAXDIST block iterators (reset per query instead of rebuilt), a
+// bounded selection heap, and a single reusable result buffer; block-level
+// pruning skips blocks whose MINDIST exceeds the running k-th-neighbor
+// distance.
+//
+// The reuse imposes an ownership contract on the internal layers: a
+// locality.Neighborhood returned by a Searcher is valid only until the next
+// query on that searcher, so callers that retain results must copy them out
+// (Neighborhood.Clone). The public API of this package is unaffected —
+// query functions return freshly allocated result slices the caller owns.
+// Allocation regressions are guarded by testing.AllocsPerRun tests in
+// internal/locality and internal/core, and the hot-path benchmarks
+// (go test -bench 'KNNJoin|Neighborhood') are recorded per PR in the
+// BENCH_PR*.json files at the repository root.
 package twoknn

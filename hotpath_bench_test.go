@@ -1,0 +1,85 @@
+package twoknn_test
+
+// Micro-benchmarks for the kNN hot path: one Searcher.Neighborhood call per
+// index family, and the basic kNN-join that every algorithm of the paper
+// bottoms out in. These are the perf-trajectory benchmarks recorded in
+// BENCH_PR*.json at the repo root; run them with
+//
+//	go test -bench 'KNNJoin|Neighborhood' -benchmem .
+//
+// Datasets come from the memoized internal/bench workloads so numbers are
+// comparable across runs and across PRs.
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/locality"
+	"repro/internal/stats"
+	"repro/internal/testutil"
+)
+
+// hotK is the neighborhood size used by the hot-path benchmarks, matching
+// the paper's default k=10 regime.
+const hotK = 10
+
+func benchNeighborhood(b *testing.B, kind testutil.IndexKind) {
+	pts := bench.UniformPoints("hot/nbr", 50000)
+	queries := bench.UniformPoints("hot/nbrq", 1024)
+	ix, err := testutil.NewIndex(kind, pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := locality.NewSearcher(ix)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Neighborhood(queries[i%len(queries)], hotK, nil)
+	}
+}
+
+func BenchmarkNeighborhoodGrid(b *testing.B)     { benchNeighborhood(b, testutil.Grid) }
+func BenchmarkNeighborhoodQuadtree(b *testing.B) { benchNeighborhood(b, testutil.Quadtree) }
+func BenchmarkNeighborhoodKDTree(b *testing.B)   { benchNeighborhood(b, testutil.KDTree) }
+func BenchmarkNeighborhoodRTree(b *testing.B)    { benchNeighborhood(b, testutil.RTree) }
+
+// BenchmarkKNNJoin measures the full outer ⋈kNN inner join on uniform data:
+// one neighborhood computation per outer point.
+func BenchmarkKNNJoin(b *testing.B) {
+	outer := bench.Relation("hot/outer", bench.UniformPoints("hot/outer", 10000))
+	inner := bench.Relation("hot/inner", bench.UniformPoints("hot/inner", 10000))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.KNNJoin(outer, inner, hotK, nil)
+	}
+}
+
+// BenchmarkKNNJoinClustered measures the join with a clustered outer
+// relation (the paper's Section 6.2 layout), where locality reuse matters
+// most: consecutive outer points probe overlapping block sets.
+func BenchmarkKNNJoinClustered(b *testing.B) {
+	outer := bench.ClusteredRelation("hot/couter", 16, 640, 200)
+	inner := bench.Relation("hot/inner", bench.UniformPoints("hot/inner", 10000))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.KNNJoin(outer, inner, hotK, nil)
+	}
+}
+
+// BenchmarkKNNJoinCounting measures the Counting algorithm's per-tuple scan
+// plus intersection path (Procedure 1) end to end.
+func BenchmarkKNNJoinCounting(b *testing.B) {
+	outer := bench.Relation("hot/outer", bench.UniformPoints("hot/outer", 10000))
+	inner := bench.Relation("hot/inner", bench.UniformPoints("hot/inner", 10000))
+	f := geom.Point{X: 5000, Y: 5000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var c stats.Counters
+		core.SelectInnerJoinCounting(outer, inner, f, hotK, 64, &c)
+	}
+}

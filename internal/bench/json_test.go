@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestJSONReportRoundTrip drives the runner into the JSON writer and checks
+// the written file parses back with the measured values intact.
+func TestJSONReportRoundTrip(t *testing.T) {
+	exp := Experiment{
+		ID:     "tiny-json",
+		Title:  "synthetic",
+		XLabel: "n",
+		Expect: "plans agree",
+		Cases: func(scale Scale) []Case {
+			return []Case{{
+				X: "1",
+				Plans: []Plan{
+					{Name: "alpha", Run: func(c *stats.Counters) int { c.AddBlocksScanned(3); return 7 }},
+					{Name: "beta", Run: func(c *stats.Counters) int { return 7 }},
+				},
+			}}
+		},
+	}
+	res, err := Run(exp, ScaleCI)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := NewJSONReport(ScaleCI, []*Result{res}).WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back JSONReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("written report is not valid JSON: %v", err)
+	}
+	if back.Schema != JSONReportSchema || back.Scale != string(ScaleCI) {
+		t.Errorf("header = %q/%q, want %q/%q", back.Schema, back.Scale, JSONReportSchema, ScaleCI)
+	}
+	if len(back.Experiments) != 1 || back.Experiments[0].ID != "tiny-json" {
+		t.Fatalf("experiments = %+v", back.Experiments)
+	}
+	rows := back.Experiments[0].Rows
+	if len(rows) != 1 || len(rows[0].Plans) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	for _, p := range rows[0].Plans {
+		if p.Result != 7 {
+			t.Errorf("plan %s result = %d, want 7", p.Name, p.Result)
+		}
+		if p.NsPerOp < 0 {
+			t.Errorf("plan %s ns_per_op = %d, want ≥ 0", p.Name, p.NsPerOp)
+		}
+	}
+	if rows[0].Plans[0].Name != "alpha" || rows[0].Plans[0].Stats.BlocksScanned != 3 {
+		t.Errorf("alpha plan stats not preserved: %+v", rows[0].Plans[0])
+	}
+}

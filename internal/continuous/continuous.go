@@ -139,7 +139,9 @@ func (r *Relation) MonitorSelect(f geom.Point, k int) (*SelectMonitor, error) {
 		return nil, fmt.Errorf("continuous: k must be positive, got %d", k)
 	}
 	m := &SelectMonitor{rel: r, f: f, k: k}
-	m.nbr = r.s.Neighborhood(f, k, &m.stats)
+	// Searcher results are reusable buffers; the monitor retains (and
+	// mutates) its answer indefinitely, so it keeps a private clone.
+	m.nbr = r.s.Neighborhood(f, k, &m.stats).Clone()
 	r.monitors = append(r.monitors, m)
 	return m, nil
 }
@@ -209,7 +211,7 @@ func (m *SelectMonitor) onRemove(p geom.Point) {
 	// Membership is by coordinate: if another instance with the same
 	// coordinates remains in the relation, the answer is unchanged.
 	old := m.nbr
-	m.nbr = m.rel.s.Neighborhood(m.f, m.k, &m.stats)
+	m.nbr = m.rel.s.Neighborhood(m.f, m.k, &m.stats).Clone()
 	for _, q := range old.Points {
 		if !m.nbr.Contains(q) {
 			m.events = append(m.events, Event{Kind: Removed, Point: q})

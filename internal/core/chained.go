@@ -149,18 +149,23 @@ func chainedNestedJoin(a, b, cRel *Relation, kAB, kBC int, useCache bool, c *sta
 			c.AddCacheMiss()
 		}
 		nbr := cRel.S.Neighborhood(bp, kBC, c)
+		if !useCache {
+			// The caller consumes the result before the next query on this
+			// searcher, so the reusable buffer can be returned as-is.
+			return nbr.Points
+		}
 		pts := make([]geom.Point, len(nbr.Points))
 		copy(pts, nbr.Points)
-		if useCache {
-			cache[bp] = pts
-		}
+		cache[bp] = pts
 		return pts
 	}
 
 	var out []Triple
+	var bps []geom.Point // scratch: nbrA's buffer is clobbered when b and cRel share a searcher
 	a.ForEachPoint(func(ap geom.Point) {
 		nbrA := b.S.Neighborhood(ap, kAB, c)
-		for _, bp := range nbrA.Points {
+		bps = append(bps[:0], nbrA.Points...)
+		for _, bp := range bps {
 			for _, cp := range neighborhoodOfB(bp) {
 				out = append(out, Triple{A: ap, B: bp, C: cp})
 			}

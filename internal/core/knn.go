@@ -16,6 +16,22 @@ func KNNSelect(rel *Relation, f geom.Point, k int, c *stats.Counters) []geom.Poi
 	return out
 }
 
+// maxJoinPrealloc caps the up-front capacity reserved for a join's result
+// slice. The exact result size of a kNN-join is outer.Len()·min(k, |inner|),
+// but reserving it eagerly means one huge allocation for large outer
+// relations before the first pair is produced; past the cap, append grows
+// the slice geometrically as results actually materialize.
+const maxJoinPrealloc = 1 << 16
+
+// joinResultCap returns the initial capacity for a join result expected to
+// hold `exact` pairs.
+func joinResultCap(exact int) int {
+	if exact > maxJoinPrealloc {
+		return maxJoinPrealloc
+	}
+	return exact
+}
+
 // KNNJoin evaluates outer ⋈kNN inner: all pairs (e1, e2) with e1 from the
 // outer relation and e2 among the k nearest neighbors of e1 in the inner
 // relation. This is the paper's basic join building block; every point of
@@ -24,7 +40,7 @@ func KNNJoin(outer, inner *Relation, k int, c *stats.Counters) []Pair {
 	if k <= 0 {
 		return nil
 	}
-	out := make([]Pair, 0, outer.Len()*min(k, inner.Len()))
+	out := make([]Pair, 0, joinResultCap(outer.Len()*min(k, inner.Len())))
 	outer.ForEachPoint(func(e1 geom.Point) {
 		nbr := inner.S.Neighborhood(e1, k, c)
 		for _, e2 := range nbr.Points {
@@ -34,11 +50,38 @@ func KNNJoin(outer, inner *Relation, k int, c *stats.Counters) []Pair {
 	return out
 }
 
-// intersectPairs keeps the join pairs whose Right component belongs to sel.
-func intersectPairs(pairs []Pair, sel map[geom.Point]struct{}) []Pair {
+// sortedPointSet returns the points of nbr as a canonically sorted slice for
+// binary-search membership tests. It replaces the per-query
+// map[geom.Point]struct{} intersection sets: neighborhoods are small (kσ
+// points), so a sorted slice probes faster than a hash map and the copy
+// doubles as the retained snapshot of a reusable searcher result.
+func sortedPointSet(nbr *locality.Neighborhood) []geom.Point {
+	out := make([]geom.Point, len(nbr.Points))
+	copy(out, nbr.Points)
+	SortPoints(out)
+	return out
+}
+
+// containsPoint reports whether p is in the canonically sorted set.
+func containsPoint(set []geom.Point, p geom.Point) bool {
+	lo, hi := 0, len(set)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if set[mid].Less(p) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(set) && set[lo] == p
+}
+
+// intersectPairs keeps the join pairs whose Right component belongs to sel
+// (a canonically sorted point set).
+func intersectPairs(pairs []Pair, sel []geom.Point) []Pair {
 	out := pairs[:0:0] // fresh slice, same capacity hint not needed
 	for _, pr := range pairs {
-		if _, ok := sel[pr.Right]; ok {
+		if containsPoint(sel, pr.Right) {
 			out = append(out, pr)
 		}
 	}
@@ -46,10 +89,10 @@ func intersectPairs(pairs []Pair, sel map[geom.Point]struct{}) []Pair {
 }
 
 // emitIntersection appends a pair (e1, i) for every point i present in both
-// neighborhoods, preserving nbrE1's order.
-func emitIntersection(dst []Pair, e1 geom.Point, nbrE1 *locality.Neighborhood, selSet map[geom.Point]struct{}) []Pair {
+// the neighborhood and the sorted set, preserving nbrE1's order.
+func emitIntersection(dst []Pair, e1 geom.Point, nbrE1 *locality.Neighborhood, sel []geom.Point) []Pair {
 	for _, i := range nbrE1.Points {
-		if _, ok := selSet[i]; ok {
+		if containsPoint(sel, i) {
 			dst = append(dst, Pair{Left: e1, Right: i})
 		}
 	}

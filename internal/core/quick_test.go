@@ -85,7 +85,9 @@ func TestQuickCountingSkipSoundness(t *testing.T) {
 		inner := quickRelation(seed+2, 160, bounds)
 		f := geom.Point{X: 125, Y: float64(seed%500+250) / 2}
 
-		nbrF := inner.S.Neighborhood(f, ks, nil)
+		// Clone: nbrF is retained across the conceptual plan's queries on
+		// the same searcher (results are reusable buffers).
+		nbrF := inner.S.Neighborhood(f, ks, nil).Clone()
 		if nbrF.Len() == 0 {
 			return true
 		}

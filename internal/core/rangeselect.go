@@ -63,23 +63,7 @@ func RangeInnerJoinCounting(outer, inner *Relation, rng geom.Rect, kJoin int, c 
 
 	var out []Pair
 	outer.ForEachPoint(func(e1 geom.Point) {
-		thrSq := rng.MinDistSq(e1)
-
-		count := 0
-		scan := index.MaxDistOrder(inner.Ix, e1)
-		scanned := 0
-		for count < kJoin {
-			b, maxSq, ok := scan.Next()
-			if !ok {
-				break
-			}
-			scanned++
-			if maxSq >= thrSq {
-				break
-			}
-			count += b.Count()
-		}
-		c.AddBlocksScanned(scanned)
+		count := inner.S.CountStrictlyCloser(e1, kJoin, rng.MinDistSq(e1), c)
 
 		if count >= kJoin {
 			c.AddOuterSkipped(1)

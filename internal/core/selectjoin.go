@@ -23,7 +23,7 @@ import (
 // Figures 19–21.
 func SelectInnerJoinConceptual(outer, inner *Relation, f geom.Point, kJoin, kSel int, c *stats.Counters) []Pair {
 	nbrF := inner.S.Neighborhood(f, kSel, c)
-	sel := nbrF.Set()
+	sel := sortedPointSet(nbrF) // copied out: nbrF is invalidated by the join's searches
 	pairs := KNNJoin(outer, inner, kJoin, c)
 	return intersectPairs(pairs, sel)
 }
@@ -82,28 +82,15 @@ func SelectInnerJoinCounting(outer, inner *Relation, f geom.Point, kJoin, kSel i
 	if nbrF.Len() == 0 {
 		return nil
 	}
-	sel := nbrF.Set()
+	// nbrF is consulted per outer tuple while the same searcher keeps
+	// running queries, so it must be cloned out of the reusable result.
+	nbrF = nbrF.Clone()
+	sel := sortedPointSet(nbrF)
 
 	var out []Pair
 	outer.ForEachPoint(func(e1 geom.Point) {
 		thr := nbrF.NearestDistTo(e1)
-		thrSq := thr * thr
-
-		count := 0
-		scan := index.MaxDistOrder(inner.Ix, e1)
-		scanned := 0
-		for count < kJoin {
-			b, maxSq, ok := scan.Next()
-			if !ok {
-				break
-			}
-			scanned++
-			if maxSq >= thrSq {
-				break // this block and all following are not strictly inside
-			}
-			count += b.Count()
-		}
-		c.AddBlocksScanned(scanned)
+		count := inner.S.CountStrictlyCloser(e1, kJoin, thr*thr, c)
 
 		if count >= kJoin {
 			// ≥ k⋈ inner points strictly closer to e1 than any point of
@@ -141,9 +128,12 @@ func SelectInnerJoinBlockMarking(outer, inner *Relation, f geom.Point, kJoin, kS
 	if nbrF.Len() == 0 {
 		return nil
 	}
-	sel := nbrF.Set()
+	// The marking pass reuses the same searcher, so everything needed from
+	// nbrF (the sorted set and the threshold radius) is copied out first.
+	sel := sortedPointSet(nbrF)
+	fFarthest := nbrF.FarthestDist()
 
-	contributing := markContributingBlocks(outer, inner, f, nbrF.FarthestDist(), kJoin, opt, c)
+	contributing := markContributingBlocks(outer, inner, f, fFarthest, kJoin, opt, c)
 
 	var out []Pair
 	for _, b := range contributing {

@@ -24,7 +24,9 @@ import (
 // comparator of Figure 26; its cost grows with max(k1, k2) because the
 // larger locality covers ever more blocks.
 func TwoSelectsConceptual(rel *Relation, f1 geom.Point, k1 int, f2 geom.Point, k2 int, c *stats.Counters) []geom.Point {
-	nbr1 := rel.S.Neighborhood(f1, k1, c)
+	// Both predicates run on the same searcher; the first result must be
+	// cloned out of the reusable buffer before the second query overwrites it.
+	nbr1 := rel.S.Neighborhood(f1, k1, c).Clone()
 	nbr2 := rel.S.Neighborhood(f2, k2, c)
 	return nbr1.Intersect(nbr2)
 }
@@ -87,7 +89,7 @@ func TwoSelects(rel *Relation, f1 geom.Point, k1 int, f2 geom.Point, k2 int, c *
 		f1, f2 = f2, f1
 		k1, k2 = k2, k1
 	}
-	nbr1 := rel.S.Neighborhood(f1, k1, c)
+	nbr1 := rel.S.Neighborhood(f1, k1, c).Clone() // survives the second query below
 	if nbr1.Len() == 0 {
 		return nil
 	}
@@ -111,7 +113,7 @@ func TwoSelectsProcedure5(rel *Relation, f1 geom.Point, k1 int, f2 geom.Point, k
 		f1, f2 = f2, f1
 		k1, k2 = k2, k1
 	}
-	nbr1 := rel.S.Neighborhood(f1, k1, c)
+	nbr1 := rel.S.Neighborhood(f1, k1, c).Clone() // survives the second query below
 	if nbr1.Len() == 0 {
 		return nil
 	}

@@ -93,17 +93,26 @@ func SequentialUnchained(a, b, cRel *Relation, kAB, kCB int, abFirst bool,
 	return intersectOnB(abPairs, cbPairs), nil
 }
 
-// projectB returns the distinct Right (B) components of pairs.
+// projectB returns the distinct Right (B) components of pairs, in canonical
+// point order: sort-and-compact on a plain slice instead of a hash set. The
+// output feeds a relation constructor, for which point order is immaterial.
 func projectB(pairs []Pair) []geom.Point {
-	seen := make(map[geom.Point]struct{}, len(pairs))
-	var out []geom.Point
-	for _, pr := range pairs {
-		if _, ok := seen[pr.Right]; !ok {
-			seen[pr.Right] = struct{}{}
-			out = append(out, pr.Right)
+	if len(pairs) == 0 {
+		return nil
+	}
+	out := make([]geom.Point, len(pairs))
+	for i, pr := range pairs {
+		out[i] = pr.Right
+	}
+	SortPoints(out)
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[w-1] {
+			out[w] = out[i]
+			w++
 		}
 	}
-	return out
+	return out[:w]
 }
 
 // UnchainedBlockMarking is the optimized plan of Procedure 4. The first join

@@ -121,7 +121,7 @@ func TestRingIterLazy(t *testing.T) {
 		}
 	}
 	cols, rows := g.Dims()
-	if touched := it.h.Len(); touched > cols*rows/4 {
+	if touched := len(it.h); touched > cols*rows/4 {
 		t.Errorf("iterator touched %d of %d blocks for 10 pops; not lazy", touched, cols*rows)
 	}
 }

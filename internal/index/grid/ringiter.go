@@ -1,7 +1,6 @@
 package grid
 
 import (
-	"container/heap"
 	"math"
 
 	"repro/internal/geom"
@@ -21,6 +20,10 @@ import (
 // query point are at least (r-1)·min(cellW, cellH). A heap entry may
 // therefore be popped as soon as its key is no larger than that bound for
 // the first unexpanded ring.
+//
+// The heap is a concrete implementation (no container/heap) and the
+// iterator supports Reset, so a pooled iterator performs steady-state
+// queries without allocating.
 
 // NewMinDistIter implements index.IncrementalScanner.
 func (g *Grid) NewMinDistIter(p geom.Point) index.BlockIter {
@@ -32,7 +35,10 @@ func (g *Grid) NewMaxDistIter(p geom.Point) index.BlockIter {
 	return g.newRingIter(p, geom.Rect.MaxDistSq)
 }
 
-var _ index.IncrementalScanner = (*Grid)(nil)
+var (
+	_ index.IncrementalScanner = (*Grid)(nil)
+	_ index.ReusableIter       = (*ringIter)(nil)
+)
 
 type ringIter struct {
 	g     *Grid
@@ -44,7 +50,7 @@ type ringIter struct {
 	maxRing  int     // last ring that intersects the grid
 	minDim   float64 // min(cellW, cellH)
 
-	h entryHeap
+	h index.MinHeap[ringEntry]
 }
 
 type ringEntry struct {
@@ -52,41 +58,33 @@ type ringEntry struct {
 	key   float64
 }
 
-type entryHeap []ringEntry
-
-func (h entryHeap) Len() int { return len(h) }
-func (h entryHeap) Less(i, j int) bool {
-	if h[i].key != h[j].key {
-		return h[i].key < h[j].key
+// LessThan orders entries by (key, block ID); implements index.HeapOrdered.
+func (e ringEntry) LessThan(o ringEntry) bool {
+	if e.key != o.key {
+		return e.key < o.key
 	}
-	return h[i].block.ID < h[j].block.ID
-}
-func (h entryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *entryHeap) Push(x any)   { *h = append(*h, x.(ringEntry)) }
-func (h *entryHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	return e.block.ID < o.block.ID
 }
 
 func (g *Grid) newRingIter(p geom.Point, keyFn func(geom.Rect, geom.Point) float64) *ringIter {
+	it := &ringIter{g: g, keyFn: keyFn, minDim: math.Min(g.cellW, g.cellH)}
+	it.Reset(p)
+	return it
+}
+
+// Reset re-aims the iterator at a new query point, reusing the heap's
+// backing array. Implements index.ReusableIter.
+func (it *ringIter) Reset(p geom.Point) {
+	g := it.g
 	cx := int((p.X - g.bounds.MinX) / g.cellW)
 	cy := int((p.Y - g.bounds.MinY) / g.cellH)
-	cx = clampInt(cx, 0, g.cols-1)
-	cy = clampInt(cy, 0, g.rows-1)
-
+	it.cx = clampInt(cx, 0, g.cols-1)
+	it.cy = clampInt(cy, 0, g.rows-1)
+	it.p = p
+	it.nextRing = 0
 	// The farthest ring that still holds grid cells.
-	maxRing := maxInt(maxInt(cx, g.cols-1-cx), maxInt(cy, g.rows-1-cy))
-
-	it := &ringIter{
-		g: g, p: p, keyFn: keyFn,
-		cx: cx, cy: cy,
-		maxRing: maxRing,
-		minDim:  math.Min(g.cellW, g.cellH),
-	}
-	return it
+	it.maxRing = maxInt(maxInt(it.cx, g.cols-1-it.cx), maxInt(it.cy, g.rows-1-it.cy))
+	it.h = it.h[:0]
 }
 
 // ringBoundSq is the (squared) lower bound on the metric key of any cell in
@@ -107,7 +105,7 @@ func (it *ringIter) expandRing(r int) {
 			return
 		}
 		b := g.blocks[row*g.cols+c]
-		heap.Push(&it.h, ringEntry{block: b, key: it.keyFn(b.Bounds, it.p)})
+		it.h.Push(ringEntry{block: b, key: it.keyFn(b.Bounds, it.p)})
 	}
 	if r == 0 {
 		push(it.cx, it.cy)
@@ -128,8 +126,8 @@ func (it *ringIter) Next() (*index.Block, float64, bool) {
 	for {
 		// Pop when the best candidate provably precedes every undiscovered
 		// cell; otherwise expand the next ring.
-		if it.h.Len() > 0 && (it.nextRing > it.maxRing || it.h[0].key <= it.ringBoundSq(it.nextRing)) {
-			e := heap.Pop(&it.h).(ringEntry)
+		if len(it.h) > 0 && (it.nextRing > it.maxRing || it.h[0].key <= it.ringBoundSq(it.nextRing)) {
+			e := it.h.Pop()
 			return e.block, e.key, true
 		}
 		if it.nextRing > it.maxRing {

@@ -1,0 +1,70 @@
+package index
+
+// HeapOrdered is the element constraint for MinHeap: LessThan must define a
+// strict weak ordering (the tie-break rules live in the element types).
+type HeapOrdered[E any] interface {
+	LessThan(E) bool
+}
+
+// MinHeap is the one binary min-heap behind every block iterator in this
+// repository (eager scans, tree best-first traversal, grid ring expansion).
+// It is generic over value-struct elements — instantiations compile to
+// direct, non-boxing code, unlike container/heap, which would allocate per
+// push to box each element in an interface.
+//
+// The zero value is an empty heap; Reset-style reuse is `h = h[:0]`.
+type MinHeap[E HeapOrdered[E]] []E
+
+// Init establishes the heap invariant over the whole slice in O(n)
+// (Floyd's heap construction); used after bulk-appending elements.
+func (h MinHeap[E]) Init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+// Push adds one element in O(log n).
+func (h *MinHeap[E]) Push(e E) {
+	*h = append(*h, e)
+	hh := *h
+	i := len(hh) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !hh[i].LessThan(hh[parent]) {
+			break
+		}
+		hh[i], hh[parent] = hh[parent], hh[i]
+		i = parent
+	}
+}
+
+// Pop removes and returns the minimum element in O(log n). Call only on a
+// non-empty heap.
+func (h *MinHeap[E]) Pop() E {
+	old := *h
+	e := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	(*h).siftDown(0)
+	return e
+}
+
+func (h MinHeap[E]) siftDown(i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h[l].LessThan(h[smallest]) {
+			smallest = l
+		}
+		if r < n && h[r].LessThan(h[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+}

@@ -16,6 +16,15 @@ type BlockIter interface {
 	Next() (b *Block, keySq float64, ok bool)
 }
 
+// ReusableIter is a BlockIter that can be re-aimed at a new query point,
+// reusing its internal heap and scratch storage. Every iterator in this
+// repository implements it; per-query users go through an IterPool so that
+// steady-state block enumeration allocates nothing.
+type ReusableIter interface {
+	BlockIter
+	Reset(p geom.Point)
+}
+
 // IncrementalScanner is an optional interface an Index implements to
 // provide lazy MINDIST/MAXDIST orderings. Grid indexes enumerate cells in
 // expanding rings around the query point, touching O(popped) cells instead
@@ -43,5 +52,53 @@ func MaxDistOrder(ix Index, p geom.Point) BlockIter {
 	return NewMaxDistScan(ix.Blocks(), p)
 }
 
-// Statically assert that the eager scan satisfies BlockIter.
-var _ BlockIter = (*Scan)(nil)
+// IterPool caches one MINDIST and one MAXDIST iterator over a single index
+// so repeated queries reuse the iterators' heaps and scratch slices instead
+// of reallocating them. The first MinDist/MaxDist call allocates the
+// iterator; every later call only Resets it.
+//
+// The returned iterator is valid until the next MinDist (respectively
+// MaxDist) call on the same pool — callers must fully consume or abandon it
+// before asking for the next one. An IterPool is not safe for concurrent
+// use; locality.Searcher embeds one per clone.
+type IterPool struct {
+	ix       Index
+	min, max ReusableIter
+}
+
+// NewIterPool returns a pool over ix.
+func NewIterPool(ix Index) *IterPool { return &IterPool{ix: ix} }
+
+// MinDist returns a MINDIST iterator positioned at p, reusing the pooled
+// iterator when one exists.
+func (pl *IterPool) MinDist(p geom.Point) BlockIter {
+	if pl.min != nil {
+		pl.min.Reset(p)
+		return pl.min
+	}
+	it := MinDistOrder(pl.ix, p)
+	if r, ok := it.(ReusableIter); ok {
+		pl.min = r
+	}
+	return it
+}
+
+// MaxDist returns a MAXDIST iterator positioned at p, reusing the pooled
+// iterator when one exists.
+func (pl *IterPool) MaxDist(p geom.Point) BlockIter {
+	if pl.max != nil {
+		pl.max.Reset(p)
+		return pl.max
+	}
+	it := MaxDistOrder(pl.ix, p)
+	if r, ok := it.(ReusableIter); ok {
+		pl.max = r
+	}
+	return it
+}
+
+// Statically assert that both iterator families are reusable.
+var (
+	_ ReusableIter = (*Scan)(nil)
+	_ ReusableIter = (*treeIter)(nil)
+)

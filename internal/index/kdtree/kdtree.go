@@ -36,6 +36,12 @@ type node struct {
 	axis  int
 	split float64
 
+	// region is the rectangle the subtree is responsible for. Storing it on
+	// the node (32 bytes each, filled during build) lets *node implement
+	// index.TreeNode directly; a value wrapper carrying the region would be
+	// boxed — one heap allocation per child — on every traversal expansion.
+	region geom.Rect
+
 	lo, hi *node        // children: coordinates < split go to lo
 	block  *index.Block // non-nil for a leaf
 }
@@ -88,7 +94,7 @@ func (t *Tree) build(pts []geom.Point, region geom.Rect, axis int) *node {
 	if len(pts) <= capOf(t) || !canSplit(pts, axis) {
 		b := &index.Block{ID: len(t.blocks), Bounds: region, Points: pts}
 		t.blocks = append(t.blocks, b)
-		return &node{block: b}
+		return &node{region: region, block: b}
 	}
 	split := medianSplit(pts, axis)
 	var loRegion, hiRegion geom.Rect
@@ -107,7 +113,7 @@ func (t *Tree) build(pts []geom.Point, region geom.Rect, axis int) *node {
 			hi = append(hi, p)
 		}
 	}
-	nd := &node{axis: axis, split: split}
+	nd := &node{axis: axis, split: split, region: region}
 	nd.lo = t.build(lo, loRegion, 1-axis)
 	nd.hi = t.build(hi, hiRegion, 1-axis)
 	return nd
@@ -202,39 +208,26 @@ func inflate(r geom.Rect) geom.Rect {
 	return geom.Rect{MinX: r.MinX - padX, MinY: r.MinY - padY, MaxX: r.MaxX + padX, MaxY: r.MaxY + padY}
 }
 
-// kd-tree nodes do not store their region (only the split); the traversal
-// wrapper carries the region down the tree for index.TreeNode.
-type regionNode struct {
-	nd     *node
-	region geom.Rect
-}
-
 // NodeBounds implements index.TreeNode.
-func (r regionNode) NodeBounds() geom.Rect { return r.region }
+func (nd *node) NodeBounds() geom.Rect { return nd.region }
 
 // NodeBlock implements index.TreeNode.
-func (r regionNode) NodeBlock() *index.Block { return r.nd.block }
+func (nd *node) NodeBlock() *index.Block { return nd.block }
 
 // NodeChildren implements index.TreeNode.
-func (r regionNode) NodeChildren(dst []index.TreeNode) []index.TreeNode {
-	lo, hi := r.region, r.region
-	if r.nd.axis == 0 {
-		lo.MaxX, hi.MinX = r.nd.split, r.nd.split
-	} else {
-		lo.MaxY, hi.MinY = r.nd.split, r.nd.split
-	}
-	return append(dst, regionNode{nd: r.nd.lo, region: lo}, regionNode{nd: r.nd.hi, region: hi})
+func (nd *node) NodeChildren(dst []index.TreeNode) []index.TreeNode {
+	return append(dst, nd.lo, nd.hi)
 }
 
 // NewMinDistIter implements index.IncrementalScanner through best-first
 // tree traversal.
 func (t *Tree) NewMinDistIter(p geom.Point) index.BlockIter {
-	return index.NewTreeMinDistIter(regionNode{nd: t.root, region: t.bounds}, p)
+	return index.NewTreeMinDistIter(t.root, p)
 }
 
 // NewMaxDistIter implements index.IncrementalScanner.
 func (t *Tree) NewMaxDistIter(p geom.Point) index.BlockIter {
-	return index.NewTreeMaxDistIter(regionNode{nd: t.root, region: t.bounds}, p)
+	return index.NewTreeMaxDistIter(t.root, p)
 }
 
 var _ index.IncrementalScanner = (*Tree)(nil)

@@ -1,8 +1,6 @@
 package index
 
 import (
-	"container/heap"
-
 	"repro/internal/geom"
 )
 
@@ -15,8 +13,16 @@ import (
 // heap is established in O(B), but ordering work is only paid for the blocks
 // actually popped (O(log B) each). Algorithms that stop early — all of the
 // paper's algorithms do — pay far less than a full sort.
+//
+// The heap is a concrete implementation (no container/heap): pushing and
+// popping blockEntry values through an interface would box every entry and
+// allocate on each operation, which matters because one neighborhood query
+// pops O(locality) entries. Reset re-aims an existing Scan at a new query
+// point, reusing its backing array, so steady-state scans allocate nothing.
 type Scan struct {
-	h blockHeap
+	blocks []*Block
+	keyFn  func(geom.Rect, geom.Point) float64
+	h      MinHeap[blockEntry]
 }
 
 // NewMinDistScan returns a scan over blocks in increasing MINDIST order from
@@ -32,26 +38,33 @@ func NewMaxDistScan(blocks []*Block, p geom.Point) *Scan {
 }
 
 func newScan(blocks []*Block, p geom.Point, keyFn func(geom.Rect, geom.Point) float64) *Scan {
-	s := &Scan{h: make(blockHeap, 0, len(blocks))}
-	for _, b := range blocks {
-		s.h = append(s.h, blockEntry{block: b, key: keyFn(b.Bounds, p)})
-	}
-	heap.Init(&s.h)
+	s := &Scan{blocks: blocks, keyFn: keyFn}
+	s.Reset(p)
 	return s
+}
+
+// Reset re-aims the scan at a new query point, reusing the heap's backing
+// array. Implements ReusableIter.
+func (s *Scan) Reset(p geom.Point) {
+	s.h = s.h[:0]
+	for _, b := range s.blocks {
+		s.h = append(s.h, blockEntry{block: b, key: s.keyFn(b.Bounds, p)})
+	}
+	s.h.Init()
 }
 
 // Next returns the next block in the scan order together with its key (the
 // squared MINDIST or MAXDIST). ok is false when the scan is exhausted.
 func (s *Scan) Next() (b *Block, keySq float64, ok bool) {
-	if s.h.Len() == 0 {
+	if len(s.h) == 0 {
 		return nil, 0, false
 	}
-	e := heap.Pop(&s.h).(blockEntry)
+	e := s.h.Pop()
 	return e.block, e.key, true
 }
 
 // Remaining returns how many blocks have not been popped yet.
-func (s *Scan) Remaining() int { return s.h.Len() }
+func (s *Scan) Remaining() int { return len(s.h) }
 
 // blockEntry pairs a block with its precomputed squared-distance key.
 type blockEntry struct {
@@ -59,22 +72,10 @@ type blockEntry struct {
 	key   float64
 }
 
-type blockHeap []blockEntry
-
-func (h blockHeap) Len() int { return len(h) }
-func (h blockHeap) Less(i, j int) bool {
-	if h[i].key != h[j].key {
-		return h[i].key < h[j].key
+// LessThan orders entries by (key, block ID); implements HeapOrdered.
+func (e blockEntry) LessThan(o blockEntry) bool {
+	if e.key != o.key {
+		return e.key < o.key
 	}
-	return h[i].block.ID < h[j].block.ID
-}
-func (h blockHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *blockHeap) Push(x any) { *h = append(*h, x.(blockEntry)) }
-func (h *blockHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	return e.block.ID < o.block.ID
 }

@@ -1,8 +1,6 @@
 package index
 
 import (
-	"container/heap"
-
 	"repro/internal/geom"
 )
 
@@ -11,6 +9,11 @@ import (
 // through best-first search: only the subtrees near the query point are
 // expanded, so a query that stops early touches O(popped · log) nodes
 // instead of every block.
+//
+// Implementations should be pointer types (or fit in one machine word):
+// nodes are stored in interface values on the traversal heap, and a node
+// wider than a word would be boxed — one heap allocation per push — on the
+// hottest path of every query.
 type TreeNode interface {
 	// NodeBounds returns the region the subtree is responsible for.
 	NodeBounds() geom.Rect
@@ -40,32 +43,41 @@ func NewTreeMaxDistIter(root TreeNode, p geom.Point) BlockIter {
 }
 
 type treeIter struct {
+	root    TreeNode
 	p       geom.Point
 	leafKey func(geom.Rect, geom.Point) float64
-	h       treeHeap
+	h       MinHeap[treeEntry]
 	scratch []TreeNode
 }
 
 func newTreeIter(root TreeNode, p geom.Point, leafKey func(geom.Rect, geom.Point) float64) *treeIter {
-	it := &treeIter{p: p, leafKey: leafKey}
-	it.push(root)
+	it := &treeIter{root: root, leafKey: leafKey}
+	it.Reset(p)
 	return it
+}
+
+// Reset re-aims the iterator at a new query point, reusing the heap and
+// child-scratch backing arrays. Implements ReusableIter.
+func (it *treeIter) Reset(p geom.Point) {
+	it.p = p
+	it.h = it.h[:0]
+	it.push(it.root)
 }
 
 func (it *treeIter) push(n TreeNode) {
 	if b := n.NodeBlock(); b != nil {
-		heap.Push(&it.h, treeEntry{key: it.leafKey(b.Bounds, it.p), block: b})
+		it.h.Push(treeEntry{key: it.leafKey(b.Bounds, it.p), block: b})
 		return
 	}
 	// Internal node: MINDIST lower-bounds both the MINDIST and the MAXDIST
 	// of every descendant block.
-	heap.Push(&it.h, treeEntry{key: n.NodeBounds().MinDistSq(it.p), node: n})
+	it.h.Push(treeEntry{key: n.NodeBounds().MinDistSq(it.p), node: n})
 }
 
 // Next implements BlockIter.
 func (it *treeIter) Next() (*Block, float64, bool) {
-	for it.h.Len() > 0 {
-		e := heap.Pop(&it.h).(treeEntry)
+	for len(it.h) > 0 {
+		e := it.h.Pop()
 		if e.block != nil {
 			return e.block, e.key, true
 		}
@@ -84,33 +96,19 @@ type treeEntry struct {
 	block *Block   // leaf block
 }
 
-type treeHeap []treeEntry
-
-func (h treeHeap) Len() int { return len(h) }
-
-// Less orders by key; on ties, internal nodes come before blocks (they may
-// hide equal-key blocks with smaller IDs), and blocks order by ID so the
-// yield order matches the eager scan exactly.
-func (h treeHeap) Less(i, j int) bool {
-	if h[i].key != h[j].key {
-		return h[i].key < h[j].key
+// LessThan orders by key; on ties, internal nodes come before blocks (they
+// may hide equal-key blocks with smaller IDs), and blocks order by ID so
+// the yield order matches the eager scan exactly. Implements HeapOrdered.
+func (e treeEntry) LessThan(o treeEntry) bool {
+	if e.key != o.key {
+		return e.key < o.key
 	}
-	ni, nj := h[i].block == nil, h[j].block == nil
-	if ni != nj {
-		return ni // node before block
+	ne, no := e.block == nil, o.block == nil
+	if ne != no {
+		return ne // node before block
 	}
-	if !ni {
-		return h[i].block.ID < h[j].block.ID
+	if !ne {
+		return e.block.ID < o.block.ID
 	}
 	return false
-}
-
-func (h treeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *treeHeap) Push(x any)   { *h = append(*h, x.(treeEntry)) }
-func (h *treeHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
 }

@@ -1,0 +1,86 @@
+package locality_test
+
+// Allocation-regression tests for the kNN hot path: one Searcher.Neighborhood
+// call must be allocation-free in steady state on every index family. The
+// first queries on a fresh Searcher may grow its scratch buffers (iterator
+// heaps, the selection heap, the result arrays); after a warm-up, nothing on
+// the query path may touch the garbage collector.
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/locality"
+	"repro/internal/testutil"
+)
+
+func searcherForKind(t *testing.T, kind testutil.IndexKind) (*locality.Searcher, []geom.Point) {
+	t.Helper()
+	bounds := geom.NewRect(0, 0, 1000, 1000)
+	pts := testutil.UniformPoints(4000, bounds, 41)
+	queries := testutil.UniformPoints(128, bounds, 42)
+	return locality.NewSearcher(testutil.BuildIndex(t, kind, pts)), queries
+}
+
+func TestNeighborhoodZeroAllocsSteadyState(t *testing.T) {
+	const k = 16
+	for _, kind := range testutil.AllIndexKinds {
+		t.Run(string(kind), func(t *testing.T) {
+			s, queries := searcherForKind(t, kind)
+			// Warm up: let every scratch buffer reach steady-state capacity.
+			for _, q := range queries {
+				s.Neighborhood(q, k, nil)
+			}
+			i := 0
+			avg := testing.AllocsPerRun(200, func() {
+				s.Neighborhood(queries[i%len(queries)], k, nil)
+				i++
+			})
+			if avg != 0 {
+				t.Errorf("%s: Neighborhood allocates %v per call in steady state, want 0", kind, avg)
+			}
+		})
+	}
+}
+
+func TestNeighborhoodWithinZeroAllocsSteadyState(t *testing.T) {
+	const k = 16
+	for _, kind := range testutil.AllIndexKinds {
+		t.Run(string(kind), func(t *testing.T) {
+			s, queries := searcherForKind(t, kind)
+			for _, q := range queries {
+				s.NeighborhoodWithin(q, k, 150, nil)
+				s.NeighborhoodClipped(q, k, 150, nil)
+			}
+			i := 0
+			avg := testing.AllocsPerRun(200, func() {
+				q := queries[i%len(queries)]
+				s.NeighborhoodWithin(q, k, 150, nil)
+				s.NeighborhoodClipped(q, k, 150, nil)
+				i++
+			})
+			if avg != 0 {
+				t.Errorf("%s: clipped neighborhoods allocate %v per call in steady state, want 0", kind, avg)
+			}
+		})
+	}
+}
+
+func TestCountStrictlyCloserZeroAllocs(t *testing.T) {
+	for _, kind := range testutil.AllIndexKinds {
+		t.Run(string(kind), func(t *testing.T) {
+			s, queries := searcherForKind(t, kind)
+			for _, q := range queries {
+				s.CountStrictlyCloser(q, 10, 100*100, nil)
+			}
+			i := 0
+			avg := testing.AllocsPerRun(200, func() {
+				s.CountStrictlyCloser(queries[i%len(queries)], 10, 100*100, nil)
+				i++
+			})
+			if avg != 0 {
+				t.Errorf("%s: CountStrictlyCloser allocates %v per call, want 0", kind, avg)
+			}
+		})
+	}
+}

@@ -102,13 +102,18 @@ func (n *Neighborhood) Contains(p geom.Point) bool {
 	return false
 }
 
-// Set returns the neighbors as a point set for intersection operations.
-func (n *Neighborhood) Set() map[geom.Point]struct{} {
-	s := make(map[geom.Point]struct{}, len(n.Points))
-	for _, p := range n.Points {
-		s[p] = struct{}{}
+// Clone returns an independent deep copy of the neighborhood.
+//
+// Searcher results are reused across calls (see Searcher.Neighborhood), so
+// any caller that retains a result past the searcher's next query — or
+// mutates it — must clone it first. Callers that only read the result
+// before the next query, or copy the points they need, should not.
+func (n *Neighborhood) Clone() *Neighborhood {
+	return &Neighborhood{
+		Center: n.Center,
+		Points: append([]geom.Point(nil), n.Points...),
+		Dists:  append([]float64(nil), n.Dists...),
 	}
-	return s
 }
 
 // Intersect returns the points present in both neighborhoods, in n's order.
@@ -145,20 +150,27 @@ func NaiveKNN(pts []geom.Point, p geom.Point, k int) *Neighborhood {
 // Searcher computes neighborhoods over one index, reusing internal scratch
 // buffers across queries. A Searcher is not safe for concurrent use; create
 // one per goroutine with Clone.
+//
+// Results are reused too: every Neighborhood* method returns a pointer to
+// the Searcher's single result buffer, valid until the next query on the
+// same Searcher. In steady state a query therefore allocates nothing —
+// iterators, the selection heap and the result arrays all live in the
+// Searcher. Callers that retain a result across queries must Clone it.
 type Searcher struct {
 	ix     index.Index
 	blocks []*index.Block
+	iters  *index.IterPool
 
 	// scratch buffers, reused across queries
-	cands   []geom.Point
 	heap    maxKHeap
+	result  Neighborhood
 	inLoc   []bool // per-block locality membership, cleared via touched
 	touched []int  // block IDs marked in inLoc during the current query
 }
 
 // NewSearcher returns a Searcher over ix.
 func NewSearcher(ix index.Index) *Searcher {
-	return &Searcher{ix: ix, blocks: ix.Blocks()}
+	return &Searcher{ix: ix, blocks: ix.Blocks(), iters: index.NewIterPool(ix)}
 }
 
 // Clone returns an independent Searcher over the same index, for concurrent
@@ -197,44 +209,75 @@ func (s *Searcher) NeighborhoodClipped(p geom.Point, k int, threshold float64, c
 // refinement over Procedure 5; see DESIGN.md §3.6.
 func (s *Searcher) NeighborhoodWithin(p geom.Point, k int, threshold float64, c *stats.Counters) *Neighborhood {
 	if k <= 0 {
-		return &Neighborhood{Center: p}
+		return s.emptyResult(p)
 	}
-	s.cands = s.cands[:0]
 	thresholdSq := threshold * threshold
-	it := index.MinDistOrder(s.ix, p)
-	scanned := 0
+	s.heap.reset(k)
+	it := s.iters.MinDist(p)
+	scanned, examined := 0, 0
 	for {
 		b, minSq, ok := it.Next()
 		if !ok || minSq > thresholdSq {
 			break
 		}
+		// Blocks arrive in increasing MINDIST order, so once the heap holds
+		// k candidates no block beyond the k-th distance can contribute.
+		if s.heap.full() && minSq > s.heap.boundSq() {
+			break
+		}
 		scanned++
-		s.cands = append(s.cands, b.Points...)
+		examined += len(b.Points)
+		for _, q := range b.Points {
+			s.heap.offer(q, q.DistSq(p))
+		}
 	}
 	c.AddBlocksScanned(scanned)
-	c.AddNeighborhood(len(s.cands))
-	return selectK(p, s.cands, k, &s.heap)
+	c.AddNeighborhood(examined)
+	return s.heap.extractInto(&s.result, p)
+}
+
+// CountStrictlyCloser counts indexed points in blocks whose MAXDIST from p
+// is strictly below the (squared) threshold, consuming blocks in MAXDIST
+// order and stopping early once the count reaches k. It is the per-tuple
+// primitive of the Counting algorithm (Procedure 1): a return value of k or
+// more proves the k nearest neighbors of p all lie strictly within the
+// threshold. The scan state is pooled, so steady-state calls allocate
+// nothing.
+func (s *Searcher) CountStrictlyCloser(p geom.Point, k int, thresholdSq float64, c *stats.Counters) int {
+	count, scanned := 0, 0
+	it := s.iters.MaxDist(p)
+	for count < k {
+		b, maxSq, ok := it.Next()
+		if !ok {
+			break
+		}
+		scanned++
+		if maxSq >= thresholdSq {
+			break // this block and all following are not strictly inside
+		}
+		count += b.Count()
+	}
+	c.AddBlocksScanned(scanned)
+	return count
 }
 
 func (s *Searcher) neighborhood(p geom.Point, k int, thresholdSq float64, c *stats.Counters) *Neighborhood {
 	if k <= 0 {
-		return &Neighborhood{Center: p}
+		return s.emptyResult(p)
 	}
-	s.cands = s.cands[:0]
 	if len(s.inLoc) < len(s.blocks) {
 		s.inLoc = make([]bool, len(s.blocks))
 	}
 	s.touched = s.touched[:0]
-	admit := func(b *index.Block) {
-		s.inLoc[b.ID] = true
-		s.touched = append(s.touched, b.ID)
-		s.cands = append(s.cands, b.Points...)
-	}
+	s.heap.reset(k)
+	examined := 0
 
 	// Phase 1: MAXDIST order until the accumulated count reaches k. The
 	// iterator is incremental where the index supports it, so only blocks
-	// near p are touched.
-	maxIt := index.MaxDistOrder(s.ix, p)
+	// near p are touched. Admitted blocks feed the selection heap directly;
+	// once the heap is full, a block whose MINDIST exceeds the running k-th
+	// distance is marked consumed without examining its points.
+	maxIt := s.iters.MaxDist(p)
 	count := 0
 	mSq := math.Inf(1) // bound on the k-th NN distance, squared
 	scanned := 0
@@ -249,19 +292,35 @@ func (s *Searcher) neighborhood(p geom.Point, k int, thresholdSq float64, c *sta
 		}
 		count += b.Count()
 		mSq = maxSq
-		if b.Bounds.MinDistSq(p) <= thresholdSq {
-			admit(b)
+		minSq := b.Bounds.MinDistSq(p)
+		if minSq <= thresholdSq {
+			s.inLoc[b.ID] = true
+			s.touched = append(s.touched, b.ID)
+			if !s.heap.full() || minSq <= s.heap.boundSq() {
+				examined += len(b.Points)
+				for _, q := range b.Points {
+					s.heap.offer(q, q.DistSq(p))
+				}
+			}
 		}
 	}
 
-	// Phase 2: remaining blocks in MINDIST order may hold closer points;
-	// the scan stops at the first block with MINDIST beyond M ([15]'s
-	// optimal-locality criterion).
+	// Phase 2: remaining blocks in MINDIST order may hold closer points.
+	// The stop bound starts at M ([15]'s optimal-locality criterion) and
+	// tightens to the heap's running k-th distance as soon as the heap is
+	// full — far-but-qualifying blocks under M are skipped entirely.
 	if count >= k {
-		minIt := index.MinDistOrder(s.ix, p)
+		minIt := s.iters.MinDist(p)
 		for {
 			b, minSq, ok := minIt.Next()
-			if !ok || minSq > mSq {
+			if !ok {
+				break
+			}
+			bound := mSq
+			if s.heap.full() && s.heap.boundSq() < bound {
+				bound = s.heap.boundSq()
+			}
+			if minSq > bound {
 				break
 			}
 			scanned++
@@ -269,7 +328,10 @@ func (s *Searcher) neighborhood(p geom.Point, k int, thresholdSq float64, c *sta
 				continue
 			}
 			if minSq <= thresholdSq {
-				admit(b)
+				examined += len(b.Points)
+				for _, q := range b.Points {
+					s.heap.offer(q, q.DistSq(p))
+				}
 			}
 		}
 	}
@@ -280,39 +342,17 @@ func (s *Searcher) neighborhood(p geom.Point, k int, thresholdSq float64, c *sta
 		s.inLoc[id] = false
 	}
 
-	c.AddNeighborhood(len(s.cands))
-	return selectK(p, s.cands, k, &s.heap)
+	c.AddNeighborhood(examined)
+	return s.heap.extractInto(&s.result, p)
 }
 
-// selectK picks the k candidates closest to p (ties by point order) using a
-// bounded max-heap, and returns them sorted ascending.
-func selectK(p geom.Point, cands []geom.Point, k int, h *maxKHeap) *Neighborhood {
-	h.center = p
-	h.items = h.items[:0]
-	for _, q := range cands {
-		d := q.DistSq(p)
-		if len(h.items) < k {
-			h.push(pointDist(q, d))
-			continue
-		}
-		if top := h.items[0]; lessPD(pdEntry{q, d}, top, p) {
-			h.items[0] = pdEntry{q, d}
-			h.siftDown(0)
-		}
-	}
-	// Extract in descending order, fill result ascending.
-	n := len(h.items)
-	pts := make([]geom.Point, n)
-	dists := make([]float64, n)
-	for i := n - 1; i >= 0; i-- {
-		e := h.items[0]
-		h.items[0] = h.items[len(h.items)-1]
-		h.items = h.items[:len(h.items)-1]
-		h.siftDown(0)
-		pts[i] = e.p
-		dists[i] = math.Sqrt(e.dSq)
-	}
-	return &Neighborhood{Center: p, Points: pts, Dists: dists}
+// emptyResult resets and returns the reusable result as an empty
+// neighborhood centered at p.
+func (s *Searcher) emptyResult(p geom.Point) *Neighborhood {
+	s.result.Center = p
+	s.result.Points = s.result.Points[:0]
+	s.result.Dists = s.result.Dists[:0]
+	return &s.result
 }
 
 // pdEntry is a candidate neighbor with its squared distance.
@@ -321,22 +361,71 @@ type pdEntry struct {
 	dSq float64
 }
 
-func pointDist(p geom.Point, dSq float64) pdEntry { return pdEntry{p: p, dSq: dSq} }
-
-// lessPD reports whether a orders before b as a neighbor of center:
-// smaller distance first, ties by point order.
-func lessPD(a, b pdEntry, center geom.Point) bool {
+// lessPD reports whether a orders before b as a neighbor: smaller distance
+// first, exact ties by canonical point order.
+func lessPD(a, b pdEntry) bool {
 	if a.dSq != b.dSq {
 		return a.dSq < b.dSq
 	}
 	return a.p.Less(b.p)
 }
 
-// maxKHeap is a max-heap on the neighbor order (worst candidate at the root)
-// used for bounded k-selection.
+// maxKHeap is a bounded max-heap on the neighbor order (worst candidate at
+// the root) used for k-selection. It is filled through offer, which ignores
+// candidates that cannot displace the current k-th neighbor, and exposes
+// the running k-th distance through boundSq for block-level pruning.
 type maxKHeap struct {
-	center geom.Point
-	items  []pdEntry
+	k     int
+	items []pdEntry
+}
+
+// reset prepares the heap for a new query of size k.
+func (h *maxKHeap) reset(k int) {
+	h.k = k
+	h.items = h.items[:0]
+}
+
+// full reports whether the heap holds k candidates.
+func (h *maxKHeap) full() bool { return len(h.items) >= h.k }
+
+// boundSq returns the squared distance of the current k-th (worst) held
+// candidate. Call only when full.
+func (h *maxKHeap) boundSq() float64 { return h.items[0].dSq }
+
+// offer considers one candidate: pushed while the heap is below k,
+// displacing the worst held candidate otherwise when it orders before it.
+func (h *maxKHeap) offer(q geom.Point, dSq float64) {
+	if len(h.items) < h.k {
+		h.push(pdEntry{p: q, dSq: dSq})
+		return
+	}
+	if e := (pdEntry{p: q, dSq: dSq}); lessPD(e, h.items[0]) {
+		h.items[0] = e
+		h.siftDown(0)
+	}
+}
+
+// extractInto empties the heap into res in ascending neighbor order,
+// reusing res's backing arrays when they are large enough.
+func (h *maxKHeap) extractInto(res *Neighborhood, center geom.Point) *Neighborhood {
+	n := len(h.items)
+	res.Center = center
+	if cap(res.Points) < n {
+		res.Points = make([]geom.Point, n)
+		res.Dists = make([]float64, n)
+	} else {
+		res.Points = res.Points[:n]
+		res.Dists = res.Dists[:n]
+	}
+	for i := n - 1; i >= 0; i-- {
+		e := h.items[0]
+		h.items[0] = h.items[len(h.items)-1]
+		h.items = h.items[:len(h.items)-1]
+		h.siftDown(0)
+		res.Points[i] = e.p
+		res.Dists[i] = math.Sqrt(e.dSq)
+	}
+	return res
 }
 
 func (h *maxKHeap) push(e pdEntry) {
@@ -344,7 +433,7 @@ func (h *maxKHeap) push(e pdEntry) {
 	i := len(h.items) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !lessPD(h.items[parent], h.items[i], h.center) {
+		if !lessPD(h.items[parent], h.items[i]) {
 			break
 		}
 		h.items[parent], h.items[i] = h.items[i], h.items[parent]
@@ -357,10 +446,10 @@ func (h *maxKHeap) siftDown(i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		largest := i
-		if l < n && lessPD(h.items[largest], h.items[l], h.center) {
+		if l < n && lessPD(h.items[largest], h.items[l]) {
 			largest = l
 		}
-		if r < n && lessPD(h.items[largest], h.items[r], h.center) {
+		if r < n && lessPD(h.items[largest], h.items[r]) {
 			largest = r
 		}
 		if largest == i {

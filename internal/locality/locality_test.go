@@ -125,9 +125,10 @@ func TestNeighborhoodHelpers(t *testing.T) {
 	if !n.Contains(geom.Point{X: 1, Y: 0}) || n.Contains(geom.Point{X: 5, Y: 5}) {
 		t.Errorf("Contains misbehaves")
 	}
-	set := n.Set()
-	if len(set) != 2 {
-		t.Errorf("Set size = %d, want 2", len(set))
+	clone := n.Clone()
+	clone.Points[0] = geom.Point{X: 42, Y: 42}
+	if n.Points[0] != (geom.Point{X: 1, Y: 0}) {
+		t.Errorf("Clone shares backing storage with the original")
 	}
 	m := &locality.Neighborhood{
 		Center: geom.Point{X: 9, Y: 9},
@@ -161,7 +162,9 @@ func TestClippedNeighborhoodGuarantee(t *testing.T) {
 			k := 1 + rng.Intn(200)
 			threshold := rng.Float64() * 300
 
-			clipped := s.NeighborhoodClipped(q, k, threshold, nil)
+			// Clone: both results come from the same searcher's reusable
+			// buffer, and clipped must survive the within query.
+			clipped := s.NeighborhoodClipped(q, k, threshold, nil).Clone()
 			within := s.NeighborhoodWithin(q, k, threshold, nil)
 			truth := locality.NaiveKNN(pts, q, k)
 
