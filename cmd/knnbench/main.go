@@ -14,6 +14,11 @@
 //	knnbench -stats             # append operation-counter columns
 //	knnbench -json out.json     # also write the results as machine-readable
 //	                            # JSON (the BENCH_PR*.json trajectory files)
+//	knnbench -parallel          # run only the concurrency experiments:
+//	                            # parallel-join worker scaling and the
+//	                            # contention sweep (pooled searcher handles
+//	                            # vs a mutex-guarded searcher at 1/4/16
+//	                            # goroutines), recorded in BENCH_PR2.json
 package main
 
 import (
@@ -27,27 +32,28 @@ import (
 
 func main() {
 	var (
-		figFlag   = flag.String("fig", "", "comma-separated figure numbers or ablation ids to run (e.g. \"19,26,abl-index\"); empty = all figures")
-		ablFlag   = flag.Bool("ablations", false, "run the ablation experiments (contour stop, index families, parallel join)")
-		scaleFlag = flag.String("scale", "ci", "workload scale: \"ci\" (reduced, minutes) or \"paper\" (full cardinalities)")
-		statsFlag = flag.Bool("stats", false, "print machine-independent operation counters per plan")
-		jsonFlag  = flag.String("json", "", "path to write the results as machine-readable JSON")
+		figFlag      = flag.String("fig", "", "comma-separated figure numbers or ablation ids to run (e.g. \"19,26,abl-index\"); empty = all figures")
+		ablFlag      = flag.Bool("ablations", false, "run the ablation experiments (contour stop, index families, parallel join, contention)")
+		parallelFlag = flag.Bool("parallel", false, "run only the concurrency experiments (parallel-join scaling and the 1/4/16-goroutine contention sweep)")
+		scaleFlag    = flag.String("scale", "ci", "workload scale: \"ci\" (reduced, minutes) or \"paper\" (full cardinalities)")
+		statsFlag    = flag.Bool("stats", false, "print machine-independent operation counters per plan")
+		jsonFlag     = flag.String("json", "", "path to write the results as machine-readable JSON")
 	)
 	flag.Parse()
 
-	if err := run(*figFlag, *ablFlag, *scaleFlag, *statsFlag, *jsonFlag); err != nil {
+	if err := run(*figFlag, *ablFlag, *parallelFlag, *scaleFlag, *statsFlag, *jsonFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "knnbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(figs string, ablations bool, scaleName string, withStats bool, jsonPath string) error {
+func run(figs string, ablations, parallel bool, scaleName string, withStats bool, jsonPath string) error {
 	scale, err := bench.ParseScale(scaleName)
 	if err != nil {
 		return err
 	}
 
-	selected, err := selectExperiments(figs, ablations)
+	selected, err := selectExperiments(figs, ablations, parallel)
 	if err != nil {
 		return err
 	}
@@ -79,9 +85,15 @@ func run(figs string, ablations bool, scaleName string, withStats bool, jsonPath
 	return nil
 }
 
-func selectExperiments(figs string, ablations bool) ([]bench.Experiment, error) {
+func selectExperiments(figs string, ablations, parallel bool) ([]bench.Experiment, error) {
+	if figs != "" && parallel {
+		return nil, fmt.Errorf("-parallel selects the concurrency experiments and cannot be combined with -fig; use -fig abl-parallel,abl-contention to mix")
+	}
 	if figs == "" {
-		if ablations {
+		switch {
+		case parallel:
+			return bench.ParallelExperiments, nil
+		case ablations:
 			return bench.Ablations, nil
 		}
 		return bench.Experiments, nil

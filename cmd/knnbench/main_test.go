@@ -6,7 +6,7 @@ import (
 )
 
 func TestSelectExperimentsAllFigures(t *testing.T) {
-	exps, err := selectExperiments("", false)
+	exps, err := selectExperiments("", false, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -16,17 +16,30 @@ func TestSelectExperimentsAllFigures(t *testing.T) {
 }
 
 func TestSelectExperimentsAblations(t *testing.T) {
-	exps, err := selectExperiments("", true)
+	exps, err := selectExperiments("", true, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(exps) != 3 {
-		t.Fatalf("ablation selection has %d experiments, want 3", len(exps))
+	if len(exps) != 4 {
+		t.Fatalf("ablation selection has %d experiments, want 4", len(exps))
+	}
+}
+
+func TestSelectExperimentsParallel(t *testing.T) {
+	exps, err := selectExperiments("", false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != 2 || exps[0].ID != "abl-parallel" || exps[1].ID != "abl-contention" {
+		t.Fatalf("parallel selection = %v, want abl-parallel and abl-contention", exps)
+	}
+	if _, err := selectExperiments("19", false, true); err == nil {
+		t.Fatal("-fig combined with -parallel must error instead of silently dropping one")
 	}
 }
 
 func TestSelectExperimentsByNumber(t *testing.T) {
-	exps, err := selectExperiments("19, 26", false)
+	exps, err := selectExperiments("19, 26", false, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +49,7 @@ func TestSelectExperimentsByNumber(t *testing.T) {
 }
 
 func TestSelectExperimentsMixed(t *testing.T) {
-	exps, err := selectExperiments("fig22,abl-index", false)
+	exps, err := selectExperiments("fig22,abl-index", false, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +59,7 @@ func TestSelectExperimentsMixed(t *testing.T) {
 }
 
 func TestSelectExperimentsUnknown(t *testing.T) {
-	_, err := selectExperiments("99", false)
+	_, err := selectExperiments("99", false, false)
 	if err == nil {
 		t.Fatal("unknown figure must error")
 	}
@@ -56,7 +69,7 @@ func TestSelectExperimentsUnknown(t *testing.T) {
 }
 
 func TestSelectExperimentsEmptyTokens(t *testing.T) {
-	if _, err := selectExperiments(",,", false); err == nil {
+	if _, err := selectExperiments(",,", false, false); err == nil {
 		t.Fatal("empty selection must error")
 	}
 }

@@ -38,7 +38,8 @@
 //
 // All query functions accept options: WithAlgorithm forces a strategy,
 // WithStats collects operation counters, WithExplain captures an EXPLAIN
-// tree of the chosen plan.
+// tree of the chosen plan, WithConcurrency fans the join algorithms out
+// across pooled searchers.
 //
 // # Determinism
 //
@@ -48,9 +49,42 @@
 //
 // # Concurrency
 //
-// A Relation holds reusable search buffers and must not be used from
-// multiple goroutines concurrently; Clone creates an independent handle
-// sharing the same immutable index.
+// Every query entry point — KNNSelect, KNNJoin, SelectInnerJoin,
+// SelectOuterJoin, TwoSelects, UnchainedJoins, ChainedJoins,
+// RangeInnerJoin — is safe to call from any number of goroutines against
+// the same *Relation values. A Relation's index is immutable; the mutable
+// searcher scratch (iterator pools, selection heap, result buffer) lives
+// in per-goroutine handles managed by an internal searcher pool. At entry
+// a query borrows one handle for each relation whose searcher it actually
+// probes (relations that are only scanned, like the outer of a join, cost
+// nothing) and returns it on exit, so concurrent queries never share
+// mutable state, and in steady state the borrowing allocates nothing.
+//
+// The pool is unbounded by default: a burst of N concurrent queries grows
+// it to N handles, which are then recycled (and eventually collected when
+// idle). WithMaxSearchers(n) bounds it instead — at most n handles ever
+// exist, fixing the relation's scratch memory at n·O(handle); queries
+// beyond the bound block until a handle frees up. This is the explicit
+// space–time tradeoff of concurrent serving: more handles, more in-flight
+// queries, more resident scratch.
+//
+// Two levels of parallelism compose:
+//
+//   - inter-query: many goroutines each run their own query against shared
+//     relations (a server's natural shape);
+//   - intra-query: WithConcurrency(n) fans one join's tuple batches out
+//     across n workers, each borrowing its own handle; per-worker arena
+//     buffers make the result byte-identical to the sequential evaluation,
+//     including order.
+//
+// Stats counters are atomic, so one *Stats may accumulate across
+// concurrent queries. Clone remains available to give a long-lived
+// component a dedicated handle, but is no longer required for correctness.
+//
+// Internally (relevant only to code using the internal packages): a
+// locality.Neighborhood returned by a Searcher is owned by that searcher
+// and valid only until its next query — retain it across queries with
+// Clone. That rule is what makes the pool handles allocation-free.
 //
 // # Performance notes
 //

@@ -1,0 +1,129 @@
+package twoknn_test
+
+// Runnable godoc examples for the query entry points. Each example uses a
+// tiny hand-laid point set so the expected output is obvious from the
+// geometry; `go test` executes them, so the documented behavior is pinned
+// by CI.
+
+import (
+	"fmt"
+	"log"
+
+	twoknn "repro"
+)
+
+// ExampleKNNJoin joins every taxi to its nearest charging station.
+func ExampleKNNJoin() {
+	taxis, err := twoknn.NewRelation("taxis", []twoknn.Point{
+		{X: 1, Y: 1}, {X: 4, Y: 4}, {X: 9, Y: 2},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stations, err := twoknn.NewRelation("stations", []twoknn.Point{
+		{X: 1, Y: 2}, {X: 5, Y: 4}, {X: 9, Y: 9},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pairs, err := twoknn.KNNJoin(taxis, stations, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range pairs {
+		fmt.Printf("taxi %v -> station %v\n", p.Left, p.Right)
+	}
+	// Output:
+	// taxi (1, 1) -> station (1, 2)
+	// taxi (4, 4) -> station (5, 4)
+	// taxi (9, 2) -> station (5, 4)
+}
+
+// ExampleTwoSelects finds points that are simultaneously among the nearest
+// neighbors of two different focal points — the Section 5 query, which
+// cannot be evaluated by chaining the two selects.
+func ExampleTwoSelects() {
+	sensors, err := twoknn.NewRelation("sensors", []twoknn.Point{
+		{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 4, Y: 0}, {X: 6, Y: 0}, {X: 8, Y: 0},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The 3 nearest to f1=(0,0) are {0,2,4}; the 3 nearest to f2=(8,0) are
+	// {8,6,4}. Only x=4 satisfies both predicates.
+	pts, err := twoknn.TwoSelects(sensors,
+		twoknn.Point{X: 0, Y: 0}, 3,
+		twoknn.Point{X: 8, Y: 0}, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(pts)
+	// Output:
+	// [(4, 0)]
+}
+
+// ExampleChainedJoins walks a chain of joins: each delivery van to its
+// nearest warehouse, and that warehouse to its nearest rail terminal.
+func ExampleChainedJoins() {
+	vans, err := twoknn.NewRelation("vans", []twoknn.Point{
+		{X: 0, Y: 0}, {X: 10, Y: 10},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	warehouses, err := twoknn.NewRelation("warehouses", []twoknn.Point{
+		{X: 1, Y: 1}, {X: 9, Y: 9},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	terminals, err := twoknn.NewRelation("terminals", []twoknn.Point{
+		{X: 2, Y: 0}, {X: 8, Y: 10},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	triples, err := twoknn.ChainedJoins(vans, warehouses, terminals, 1, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, tr := range triples {
+		fmt.Printf("van %v -> warehouse %v -> terminal %v\n", tr.A, tr.B, tr.C)
+	}
+	// Output:
+	// van (0, 0) -> warehouse (1, 1) -> terminal (2, 0)
+	// van (10, 10) -> warehouse (9, 9) -> terminal (8, 10)
+}
+
+// ExampleWithConcurrency fans a join's tuple batches out across pooled
+// searcher handles; the result is identical to the sequential evaluation,
+// including order.
+func ExampleWithConcurrency() {
+	taxis, err := twoknn.NewRelation("taxis", []twoknn.Point{
+		{X: 1, Y: 1}, {X: 4, Y: 4},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stations, err := twoknn.NewRelation("stations", []twoknn.Point{
+		{X: 1, Y: 2}, {X: 5, Y: 4},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sequential, err := twoknn.KNNJoin(taxis, stations, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parallel, err := twoknn.KNNJoin(taxis, stations, 1, twoknn.WithConcurrency(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(sequential) == len(parallel))
+	// Output:
+	// true
+}

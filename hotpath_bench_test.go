@@ -11,6 +11,7 @@ package twoknn_test
 // comparable across runs and across PRs.
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/bench"
@@ -69,6 +70,49 @@ func BenchmarkKNNJoinClustered(b *testing.B) {
 		core.KNNJoin(outer, inner, hotK, nil)
 	}
 }
+
+// benchNeighborhoodContention measures per-query cost when g goroutines
+// serve kNN-selects over ONE shared relation through the searcher pool —
+// the contention benchmark of the concurrency layer. b.N queries are split
+// evenly across the goroutines, so ns/op stays per-query and directly
+// comparable across goroutine counts: flat-or-falling numbers mean the
+// pool adds no serialization.
+func benchNeighborhoodContention(b *testing.B, goroutines int) {
+	rel := bench.Relation("hot/nbr", bench.UniformPoints("hot/nbr", 50000))
+	queries := bench.UniformPoints("hot/nbrq", 1024)
+	// Warm the pool so steady state is measured, not handle minting.
+	var warm sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		warm.Add(1)
+		go func() {
+			defer warm.Done()
+			h := rel.Acquire()
+			h.S.Neighborhood(queries[0], hotK, nil)
+			h.Release()
+		}()
+	}
+	warm.Wait()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < b.N; i += goroutines {
+				h := rel.Acquire()
+				h.S.Neighborhood(queries[i%len(queries)], hotK, nil)
+				h.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func BenchmarkNeighborhoodContention1(b *testing.B)  { benchNeighborhoodContention(b, 1) }
+func BenchmarkNeighborhoodContention4(b *testing.B)  { benchNeighborhoodContention(b, 4) }
+func BenchmarkNeighborhoodContention16(b *testing.B) { benchNeighborhoodContention(b, 16) }
 
 // BenchmarkKNNJoinCounting measures the Counting algorithm's per-tuple scan
 // plus intersection path (Procedure 1) end to end.

@@ -2,8 +2,11 @@ package bench
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/geom"
 	"repro/internal/index"
 	"repro/internal/index/kdtree"
 	"repro/internal/index/quadtree"
@@ -14,9 +17,14 @@ import (
 // Ablations are experiments beyond the paper's figures that isolate this
 // repository's design choices: the contour early-stop of Block-Marking
 // preprocessing, the index-agnosticism claim across four index families,
-// the 2-kNN-select locality refinement (covered inside fig26), and the
-// parallel join. They run through the same harness as the figures.
-var Ablations = []Experiment{ablPreprocess, ablIndexKinds, ablParallel}
+// the 2-kNN-select locality refinement (covered inside fig26), the
+// parallel join, and the concurrent-serving contention sweep. They run
+// through the same harness as the figures.
+var Ablations = []Experiment{ablPreprocess, ablIndexKinds, ablParallel, ablContention}
+
+// ParallelExperiments are the concurrency-focused subset run by
+// `knnbench -parallel` (the BENCH_PR2.json trajectory).
+var ParallelExperiments = []Experiment{ablParallel, ablContention}
 
 // AnyByID looks up an experiment among both figures and ablations.
 func AnyByID(id string) (Experiment, bool) {
@@ -166,4 +174,73 @@ var ablParallel = Experiment{
 		}
 		return []Case{{X: fmt.Sprintf("%dx%d", n, n), Plans: plans}}
 	},
+}
+
+// --- Ablation: concurrent query serving under contention ---
+
+// ablContention measures the cost of serving a fixed batch of kNN-selects
+// from 1, 4 and 16 goroutines over one shared relation. "pooled" is the
+// repository's concurrency layer (each query borrows a searcher handle from
+// the relation's pool); "mutex" is the naive alternative — one shared
+// searcher behind a lock — which serializes every neighborhood computation
+// and shows what the pool buys.
+var ablContention = Experiment{
+	ID:     "abl-contention",
+	Title:  "concurrent query serving: a fixed kNN-select batch over one shared BerlinMOD index, pooled handles vs a mutex-guarded searcher",
+	XLabel: "goroutines",
+	Expect: "pooled handles keep total time near-flat (or falling) with more goroutines; the mutex serializes and stays flat at best; identical result cardinality everywhere",
+	Cases: func(scale Scale) []Case {
+		n, queries := 20000, 4096
+		if scale == ScalePaper {
+			n, queries = 100000, 16384
+		}
+		rel := BerlinMODRelation("fig19-inner", n)
+		probes := UniformPoints("contention/probes", queries)
+		var cases []Case
+		for _, g := range []int{1, 4, 16} {
+			g := g
+			cases = append(cases, Case{
+				X: fmt.Sprintf("%d", g),
+				Plans: []Plan{
+					{Name: "pooled", Run: func(c *stats.Counters) int {
+						return contentionBatch(probes, g, c, func(q geom.Point, ctr *stats.Counters) int {
+							h := rel.Acquire()
+							defer h.Release()
+							return h.S.Neighborhood(q, kDefault, ctr).Len()
+						})
+					}},
+					{Name: "mutex", Run: func(c *stats.Counters) int {
+						var mu sync.Mutex
+						return contentionBatch(probes, g, c, func(q geom.Point, ctr *stats.Counters) int {
+							mu.Lock()
+							defer mu.Unlock()
+							return rel.S.Neighborhood(q, kDefault, ctr).Len()
+						})
+					}},
+				},
+			})
+		}
+		return cases
+	},
+}
+
+// contentionBatch splits the probe batch across g goroutines and sums the
+// per-query result sizes (the cardinality the harness verifies across
+// plans).
+func contentionBatch(probes []geom.Point, g int, c *stats.Counters, query func(geom.Point, *stats.Counters) int) int {
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			found := 0
+			for i := w; i < len(probes); i += g {
+				found += query(probes[i], c)
+			}
+			total.Add(int64(found))
+		}(w)
+	}
+	wg.Wait()
+	return int(total.Load())
 }

@@ -67,7 +67,7 @@ func ChainedJoins(a, b, cRel *Relation, kAB, kBC int, qep ChainedQEP, c *stats.C
 	case ChainedRightDeep:
 		return chainedRightDeep(a, b, cRel, kAB, kBC, c)
 	case ChainedJoinIntersection:
-		return chainedJoinIntersection(a, b, cRel, kAB, kBC, c)
+		return chainedJoinIntersection(a, b, cRel, kAB, kBC, 1, c)
 	case ChainedNestedJoin:
 		return chainedNestedJoin(a, b, cRel, kAB, kBC, false, c)
 	default: // ChainedAuto, ChainedNestedJoinCached
@@ -101,27 +101,19 @@ func chainedRightDeep(a, b, cRel *Relation, kAB, kBC int, c *stats.Counters) []T
 }
 
 // chainedJoinIntersection is QEP2: both joins run independently and their
-// pair sets are intersected on B.
-func chainedJoinIntersection(a, b, cRel *Relation, kAB, kBC int, c *stats.Counters) []Triple {
-	abPairs := KNNJoin(a, b, kAB, c)
-	bcPairs := KNNJoin(b, cRel, kBC, c)
-
-	// B may hold duplicate coordinates (e.g. co-located observations), and
-	// each duplicate instance contributes an identical neighborhood run to
-	// bcPairs. Keep exactly one list per distinct b value — the other QEPs
-	// probe one list per b value too. Every neighborhood has exactly
-	// min(kBC, |C|) entries, so capping the list length keeps the first
-	// full copy and drops repeats, regardless of run interleaving.
-	nbrLen := kBC
-	if cLen := cRel.Len(); cLen < nbrLen {
-		nbrLen = cLen
+// pair sets are intersected on B. workers == 1 is fully sequential; any
+// other value fans each join's tuple batches out under KNNJoinParallel's
+// worker semantics (the joins themselves still run one after the other).
+func chainedJoinIntersection(a, b, cRel *Relation, kAB, kBC, workers int, c *stats.Counters) []Triple {
+	var abPairs, bcPairs []Pair
+	if workers == 1 {
+		abPairs = KNNJoin(a, b, kAB, c)
+		bcPairs = KNNJoin(b, cRel, kBC, c)
+	} else {
+		abPairs = KNNJoinParallel(a, b, kAB, workers, c)
+		bcPairs = KNNJoinParallel(b, cRel, kBC, workers, c)
 	}
-	cByB := make(map[geom.Point][]geom.Point)
-	for _, pr := range bcPairs {
-		if lst := cByB[pr.Left]; len(lst) < nbrLen {
-			cByB[pr.Left] = append(lst, pr.Right)
-		}
-	}
+	cByB := groupRightsByLeft(bcPairs, neighborhoodLen(kBC, cRel))
 	var out []Triple
 	for _, pr := range abPairs {
 		for _, cp := range cByB[pr.Right] {
@@ -129,6 +121,73 @@ func chainedJoinIntersection(a, b, cRel *Relation, kAB, kBC int, c *stats.Counte
 		}
 	}
 	return out
+}
+
+// neighborhoodLen is the exact size of every neighborhood of inner at k:
+// min(k, |inner|).
+func neighborhoodLen(k int, inner *Relation) int {
+	if n := inner.Len(); n < k {
+		return n
+	}
+	return k
+}
+
+// groupRightsByLeft groups the Right components of pairs by their Left
+// point, capping each list at maxLen. B may hold duplicate coordinates
+// (e.g. co-located observations), and each duplicate instance contributes
+// an identical neighborhood run to the pair set; every neighborhood has
+// exactly maxLen entries, so the cap keeps the first full copy and drops
+// repeats, regardless of run interleaving — one list per distinct b value,
+// as the probing QEPs expect.
+func groupRightsByLeft(pairs []Pair, maxLen int) map[geom.Point][]geom.Point {
+	m := make(map[geom.Point][]geom.Point)
+	for _, pr := range pairs {
+		if lst := m[pr.Left]; len(lst) < maxLen {
+			m[pr.Left] = append(lst, pr.Right)
+		}
+	}
+	return m
+}
+
+// ChainedJoinsParallel evaluates the chained query with tuple batches
+// fanned out across workers holding pooled searcher handles. Every plan
+// returns results identical — including order — to its sequential form:
+//
+//   - right-deep materializes B ⋈ C with the parallel join, then fans the
+//     probe phase out over A's blocks;
+//   - join-intersection fans each of its two full joins out in turn;
+//   - the nested-join plans fan A's blocks out with a *per-worker*
+//     neighborhood cache (same answers; the shared sequential cache would
+//     serialize the workers, so hit counts are lower in exchange).
+func ChainedJoinsParallel(a, b, cRel *Relation, kAB, kBC int, qep ChainedQEP, workers int, c *stats.Counters) []Triple {
+	switch qep {
+	case ChainedRightDeep:
+		return chainedRightDeepParallel(a, b, cRel, kAB, kBC, workers, c)
+	case ChainedJoinIntersection:
+		return chainedJoinIntersection(a, b, cRel, kAB, kBC, workers, c)
+	case ChainedNestedJoin:
+		return chainedNestedJoinParallel(a, b, cRel, kAB, kBC, false, workers, c)
+	default: // ChainedAuto, ChainedNestedJoinCached
+		return chainedNestedJoinParallel(a, b, cRel, kAB, kBC, true, workers, c)
+	}
+}
+
+// chainedRightDeepParallel is QEP1 with both phases parallel: the inner
+// B ⋈ C join through KNNJoinParallel, the probe phase over A's blocks with
+// the materialized map shared read-only across workers.
+func chainedRightDeepParallel(a, b, cRel *Relation, kAB, kBC, workers int, c *stats.Counters) []Triple {
+	bcPairs := KNNJoinParallel(b, cRel, kBC, workers, c)
+	bc := groupRightsByLeft(bcPairs, neighborhoodLen(kBC, cRel))
+	return parallelEmit(&tripleArenas, blockGroups(a), b, workers, c, nil,
+		func(h *Relation, ap geom.Point, dst []Triple, ctr *stats.Counters) []Triple {
+			nbrA := h.S.Neighborhood(ap, kAB, ctr)
+			for _, bp := range nbrA.Points {
+				for _, cp := range bc[bp] {
+					dst = append(dst, Triple{A: ap, B: bp, C: cp})
+				}
+			}
+			return dst
+		})
 }
 
 // chainedNestedJoin is QEP3: for every pair (a, b) of the first join,
@@ -172,4 +231,77 @@ func chainedNestedJoin(a, b, cRel *Relation, kAB, kBC int, useCache bool, c *sta
 		}
 	})
 	return out
+}
+
+// chainedNestedJoinParallel fans QEP3 out over A's blocks through the
+// shared parallelRun driver. Each worker holds its own handles on B (from
+// the driver) and C (acquired by its worker factory) and, when caching,
+// its own neighborhood cache: the shared sequential cache would serialize
+// the crew behind a lock, so the parallel plan trades duplicate misses
+// across workers for lock-free probing. The emitted triples are identical
+// — including order — to the sequential nested join.
+func chainedNestedJoinParallel(a, b, cRel *Relation, kAB, kBC int, useCache bool, workers int, c *stats.Counters) []Triple {
+	groups := blockGroups(a)
+	if normalizeWorkers(workers, len(groups)) <= 1 {
+		return chainedNestedJoin(a, b, cRel, kAB, kBC, useCache, c)
+	}
+
+	return parallelRun(&tripleArenas, groups, b, workers, c,
+		func(hb *Relation, primary bool, ctr *stats.Counters) (worker[Triple], bool) {
+			hc := cRel
+			var done func()
+			switch {
+			case cRel == b || cRel.Pool() != nil && cRel.Pool() == b.Pool():
+				// B and C are views over one pool (e.g. a self-chain or a
+				// Clone): the worker's B handle serves both sides — the
+				// emit path copies nbrA out before probing C.
+				hc = hb
+			case !primary:
+				// Extra workers also need a C handle; if C's bounded pool
+				// is at capacity the worker stands down.
+				hhc, err := cRel.TryAcquire()
+				if err != nil {
+					return worker[Triple]{}, false
+				}
+				hc = hhc
+				done = hhc.Release
+			}
+
+			var cache map[geom.Point][]geom.Point
+			if useCache {
+				cache = make(map[geom.Point][]geom.Point)
+			}
+			neighborhoodOfB := func(bp geom.Point) []geom.Point {
+				if useCache {
+					if pts, ok := cache[bp]; ok {
+						ctr.AddCacheHit()
+						return pts
+					}
+					ctr.AddCacheMiss()
+				}
+				nbr := hc.S.Neighborhood(bp, kBC, ctr)
+				if !useCache {
+					return nbr.Points
+				}
+				pts := make([]geom.Point, len(nbr.Points))
+				copy(pts, nbr.Points)
+				cache[bp] = pts
+				return pts
+			}
+
+			var bps []geom.Point // scratch: nbrA's buffer is clobbered when hb and hc share a searcher
+			return worker[Triple]{
+				emit: func(ap geom.Point, dst []Triple) []Triple {
+					nbrA := hb.S.Neighborhood(ap, kAB, ctr)
+					bps = append(bps[:0], nbrA.Points...)
+					for _, bp := range bps {
+						for _, cp := range neighborhoodOfB(bp) {
+							dst = append(dst, Triple{A: ap, B: bp, C: cp})
+						}
+					}
+					return dst
+				},
+				done: done,
+			}, true
+		})
 }

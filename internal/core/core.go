@@ -26,10 +26,18 @@
 // (distance, X, Y) tie order, and result slices come out in a canonical
 // order after Sort*, so different plans for one query can be compared for
 // exact equality.
+//
+// Beyond the paper, the package provides the concurrency layer for serving
+// many queries over one shared index: a per-relation SearcherPool of
+// query-local handles (pool.go), and *Parallel variants of the join
+// algorithms that fan tuple batches out across pooled handles with
+// per-worker arena buffers (parallel.go). Every parallel variant returns
+// results byte-identical to its sequential counterpart, order included.
 package core
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/geom"
 	"repro/internal/index"
@@ -40,19 +48,46 @@ import (
 // reusable neighborhood searcher over that index.
 //
 // A Relation is immutable after construction but its Searcher holds scratch
-// buffers, so a Relation must not be shared between goroutines without
-// cloning the searcher.
+// buffers, so one Relation value must not be probed by two goroutines at
+// the same time. Concurrent serving goes through the relation's
+// SearcherPool instead: Acquire borrows a query-local view (same index,
+// private searcher) and Release returns it — see pool.go.
 type Relation struct {
 	// Ix is the block partition of the relation's points.
 	Ix index.Index
 
 	// S computes neighborhoods over Ix.
 	S *locality.Searcher
+
+	// pool recycles per-goroutine query handles over Ix; nil on hand-built
+	// views (handles themselves point back at their pool for Release).
+	pool *SearcherPool
+
+	// leased marks a handle as currently out of its pool (set by Acquire,
+	// cleared by Release's compare-and-swap); long-lived views like Clones
+	// are never leased, which is what makes Release safe to call on
+	// anything.
+	leased atomic.Bool
 }
 
-// NewRelation wraps an index into a Relation.
+// NewRelation wraps an index into a Relation with an unbounded searcher
+// pool: handles are minted on demand and recycled through a sync.Pool.
 func NewRelation(ix index.Index) *Relation {
-	return &Relation{Ix: ix, S: locality.NewSearcher(ix)}
+	r := &Relation{Ix: ix, S: locality.NewSearcher(ix)}
+	r.pool = newSearcherPool(r, 0)
+	return r
+}
+
+// NewRelationBounded is NewRelation with a hard cap on concurrent searcher
+// state: at most maxSearchers query handles exist at any moment, and
+// Acquire blocks (TryAcquire errors) while all are in use. The cap makes
+// the memory cost of concurrency explicit — each handle owns iterator
+// pools, a selection heap and a result buffer, so total scratch memory is
+// proportional to maxSearchers, not to the number of in-flight queries.
+func NewRelationBounded(ix index.Index, maxSearchers int) *Relation {
+	r := &Relation{Ix: ix, S: locality.NewSearcher(ix)}
+	r.pool = newSearcherPool(r, maxSearchers)
+	return r
 }
 
 // Len returns the relation's cardinality.

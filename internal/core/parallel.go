@@ -3,76 +3,296 @@ package core
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/geom"
+	"repro/internal/index"
 	"repro/internal/stats"
 )
 
-// KNNJoinParallel evaluates outer ⋈kNN inner with the outer relation's
-// blocks distributed over a pool of workers. Each worker owns a cloned
-// searcher (searchers hold scratch buffers) and private counters, merged at
-// the end. The result is identical — including order — to the sequential
-// KNNJoin: per-block outputs are concatenated in block-ID order.
+// This file implements the batched parallel execution driver shared by the
+// *Parallel variants of the join algorithms. The outer relation's tuples
+// are split into groups (index blocks, or fixed-size chunks of a selected
+// point list); a fixed crew of workers claims groups through an atomic
+// cursor, each worker holding a pooled searcher handle on the inner
+// relation. Workers append their results into a private *arena* drawn from
+// a process-wide pool and record one (start, end) span per group, so the
+// driver performs no per-group result allocation at all; the per-group
+// spans are concatenated once, in group order, which makes every parallel
+// result byte-identical to its sequential counterpart — including order.
 //
-// workers ≤ 1 falls back to the sequential join; workers ≤ 0 uses
-// GOMAXPROCS.
-func KNNJoinParallel(outer, inner *Relation, k, workers int, c *stats.Counters) []Pair {
-	if k <= 0 {
-		return nil
+// Extra worker handles come from the inner relation's SearcherPool via
+// TryAcquire: on a bounded pool that is already at capacity the crew
+// degrades gracefully to fewer workers (worker 0 always runs on the
+// caller's own handle), rather than blocking or deadlocking.
+
+// maxArenaRetain caps the capacity (in elements) of arenas returned to the
+// shared pool; oversized arenas from a huge join are left to the GC instead
+// of pinning their memory for the process lifetime.
+const maxArenaRetain = 1 << 18
+
+// arena is a worker-private append buffer recycled across parallel queries.
+type arena[T any] struct{ buf []T }
+
+// arenaPool recycles arenas of one element type.
+type arenaPool[T any] struct{ p sync.Pool }
+
+func (ap *arenaPool[T]) get() *arena[T] {
+	if a, ok := ap.p.Get().(*arena[T]); ok {
+		return a
 	}
+	return new(arena[T])
+}
+
+func (ap *arenaPool[T]) put(a *arena[T]) {
+	if a == nil || cap(a.buf) > maxArenaRetain {
+		return
+	}
+	a.buf = a.buf[:0]
+	ap.p.Put(a)
+}
+
+var (
+	pairArenas   arenaPool[Pair]
+	tripleArenas arenaPool[Triple]
+)
+
+// span records where one group's results landed: in which worker's arena
+// and at which offsets.
+type span struct{ worker, start, end int }
+
+// concatSpans assembles the final result slice from per-worker arenas in
+// group order — the single allocation of the output path.
+func concatSpans[T any](spans []span, arenas []*arena[T]) []T {
+	total := 0
+	for _, sp := range spans {
+		total += sp.end - sp.start
+	}
+	if total == 0 {
+		return nil // matches the sequential variants' nil empty result
+	}
+	out := make([]T, 0, total)
+	for _, sp := range spans {
+		out = append(out, arenas[sp.worker].buf[sp.start:sp.end]...)
+	}
+	return out
+}
+
+// normalizeWorkers resolves a worker-count request against the group count:
+// non-positive means GOMAXPROCS, and there is no point running more workers
+// than groups.
+func normalizeWorkers(workers, groups int) int {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	blocks := outer.Ix.Blocks()
-	if workers == 1 || len(blocks) < 2 {
-		return KNNJoin(outer, inner, k, c)
+	if workers > groups {
+		workers = groups
 	}
-	if workers > len(blocks) {
-		workers = len(blocks)
+	return workers
+}
+
+// worker is one crew member's behavior in a parallelRun: emit produces the
+// results of one outer tuple, gate (optional) admits or skips a whole
+// group before its points are emitted, and done (optional) releases any
+// extra resources the worker factory acquired.
+type worker[T any] struct {
+	emit func(e1 geom.Point, dst []T) []T
+	gate func(gi int) bool
+	done func()
+}
+
+// parallelRun fans groups out across a worker crew and returns the
+// concatenated per-group results in group order. newWorker builds each
+// crew member's behavior: it receives a searcher handle on inner (worker 0
+// — primary — runs on the caller's own handle, the rest borrow from
+// inner's pool) and a counter shard, and may acquire extra per-worker
+// state (more handles, caches) released via worker.done. Returning ok ==
+// false stands the worker down — the remaining crew drains the groups; the
+// primary worker must always succeed.
+//
+// workers <= 1 (after normalization against the group count) degenerates
+// to a sequential loop on the caller's goroutine with no arena machinery.
+func parallelRun[T any](ap *arenaPool[T], groups [][]geom.Point, inner *Relation, workers int,
+	c *stats.Counters,
+	newWorker func(h *Relation, primary bool, ctr *stats.Counters) (worker[T], bool)) []T {
+
+	workers = normalizeWorkers(workers, len(groups))
+	if workers <= 1 {
+		wk, _ := newWorker(inner, true, c)
+		if wk.done != nil {
+			defer wk.done()
+		}
+		var out []T
+		for gi, g := range groups {
+			if wk.gate != nil && !wk.gate(gi) {
+				continue
+			}
+			for _, e1 := range g {
+				out = wk.emit(e1, out)
+			}
+		}
+		return out
 	}
 
-	perBlock := make([][]Pair, len(blocks))
-	counters := make([]stats.Counters, workers)
-	next := make(chan int)
+	spans := make([]span, len(groups))
+	arenas := make([]*arena[T], workers)
+	// Counter shards are individually allocated (not one contiguous slice)
+	// so adjacent workers' atomic increments do not false-share cache
+	// lines; when the caller asked for no stats, workers get nil shards
+	// and the nil-receiver no-op keeps the hot loop increment-free.
+	var counters []*stats.Counters
+	if c != nil {
+		counters = make([]*stats.Counters, workers)
+		for w := range counters {
+			counters[w] = new(stats.Counters)
+		}
+	}
+	var cursor atomic.Int64
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			s := inner.S.Clone()
-			ctr := &counters[w]
-			for bi := range next {
-				b := blocks[bi]
-				if b.Count() == 0 {
+			h := inner
+			if w > 0 {
+				hh, err := inner.TryAcquire()
+				if err != nil {
+					// Bounded pool at capacity: drop this worker; the
+					// remaining crew (at least worker 0) drains the groups.
+					return
+				}
+				defer hh.Release()
+				h = hh
+			}
+			var ctr *stats.Counters
+			if counters != nil {
+				ctr = counters[w]
+			}
+			wk, ok := newWorker(h, w == 0, ctr)
+			if !ok {
+				return
+			}
+			if wk.done != nil {
+				defer wk.done()
+			}
+			a := ap.get()
+			arenas[w] = a
+			for {
+				gi := int(cursor.Add(1)) - 1
+				if gi >= len(groups) {
+					return
+				}
+				if wk.gate != nil && !wk.gate(gi) {
 					continue
 				}
-				out := make([]Pair, 0, b.Count()*k)
-				for _, e1 := range b.Points {
-					nbr := s.Neighborhood(e1, k, ctr)
-					for _, e2 := range nbr.Points {
-						out = append(out, Pair{Left: e1, Right: e2})
-					}
+				start := len(a.buf)
+				for _, e1 := range groups[gi] {
+					a.buf = wk.emit(e1, a.buf)
 				}
-				perBlock[bi] = out
+				spans[gi] = span{worker: w, start: start, end: len(a.buf)}
 			}
 		}(w)
 	}
-	for bi := range blocks {
-		next <- bi
-	}
-	close(next)
 	wg.Wait()
 
-	for w := range counters {
-		c.Add(&counters[w])
+	for _, shard := range counters {
+		c.Add(shard)
 	}
-	total := 0
-	for _, ps := range perBlock {
-		total += len(ps)
+	out := concatSpans(spans, arenas)
+	for _, a := range arenas {
+		ap.put(a)
 	}
-	out := make([]Pair, 0, total)
-	for _, ps := range perBlock {
-		out = append(out, ps...)
+	return out
+}
+
+// parallelEmit is parallelRun for the common case of stateless workers: a
+// per-point emit (and optional per-group gate) parameterized only by the
+// worker's handle and counter shard.
+func parallelEmit[T any](ap *arenaPool[T], groups [][]geom.Point, inner *Relation, workers int,
+	c *stats.Counters,
+	gate func(h *Relation, gi int, ctr *stats.Counters) bool,
+	emit func(h *Relation, e1 geom.Point, dst []T, ctr *stats.Counters) []T) []T {
+
+	return parallelRun(ap, groups, inner, workers, c,
+		func(h *Relation, _ bool, ctr *stats.Counters) (worker[T], bool) {
+			wk := worker[T]{emit: func(e1 geom.Point, dst []T) []T { return emit(h, e1, dst, ctr) }}
+			if gate != nil {
+				wk.gate = func(gi int) bool { return gate(h, gi, ctr) }
+			}
+			return wk, true
+		})
+}
+
+// pointGroups exposes a block list as emission groups, preserving block
+// order so parallel results concatenate into the sequential order.
+func pointGroups(blocks []*index.Block) [][]geom.Point {
+	groups := make([][]geom.Point, len(blocks))
+	for i, b := range blocks {
+		groups[i] = b.Points
+	}
+	return groups
+}
+
+// blockGroups is pointGroups over the relation's full block partition —
+// the same order ForEachPoint scans.
+func blockGroups(rel *Relation) [][]geom.Point {
+	return pointGroups(rel.Ix.Blocks())
+}
+
+// pointChunks splits a point list into contiguous chunks sized for dynamic
+// load balancing across workers (several chunks per worker so a slow chunk
+// does not straggle the crew).
+func pointChunks(pts []geom.Point, workers int) [][]geom.Point {
+	if len(pts) == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	chunk := (len(pts) + workers*4 - 1) / (workers * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	groups := make([][]geom.Point, 0, (len(pts)+chunk-1)/chunk)
+	for start := 0; start < len(pts); start += chunk {
+		end := start + chunk
+		if end > len(pts) {
+			end = len(pts)
+		}
+		groups = append(groups, pts[start:end])
+	}
+	return groups
+}
+
+// knnPairEmitter returns the plain kNN-join emitter: the neighborhood of
+// each outer point, as (outer, neighbor) pairs.
+func knnPairEmitter(k int) func(h *Relation, e1 geom.Point, dst []Pair, ctr *stats.Counters) []Pair {
+	return func(h *Relation, e1 geom.Point, dst []Pair, ctr *stats.Counters) []Pair {
+		nbr := h.S.Neighborhood(e1, k, ctr)
+		for _, e2 := range nbr.Points {
+			dst = append(dst, Pair{Left: e1, Right: e2})
+		}
+		return dst
+	}
+}
+
+// KNNJoinParallel evaluates outer ⋈kNN inner with the outer relation's
+// blocks fanned out across workers, each holding a pooled searcher handle
+// on the inner relation. The result is identical — including order — to the
+// sequential KNNJoin. workers <= 0 uses GOMAXPROCS; workers == 1 (or a
+// degenerate outer partition) falls back to the sequential join.
+func KNNJoinParallel(outer, inner *Relation, k, workers int, c *stats.Counters) []Pair {
+	if k <= 0 {
+		return nil
+	}
+	groups := blockGroups(outer)
+	if normalizeWorkers(workers, len(groups)) <= 1 {
+		return KNNJoin(outer, inner, k, c)
+	}
+	out := parallelEmit(&pairArenas, groups, inner, workers, c, nil, knnPairEmitter(k))
+	if out == nil {
+		out = []Pair{} // KNNJoin returns a non-nil slice for valid k
 	}
 	return out
 }

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/core"
@@ -48,6 +49,83 @@ func TestKNNJoinParallelCounters(t *testing.T) {
 	}
 	if par.PointsCompared != seq.PointsCompared {
 		t.Errorf("parallel points = %d, sequential = %d", par.PointsCompared, seq.PointsCompared)
+	}
+}
+
+// TestParallelVariantsMatchSequential checks that every *Parallel algorithm
+// returns the exact sequential result — same rows, same order — across
+// worker counts. Run with -race to validate the synchronization.
+func TestParallelVariantsMatchSequential(t *testing.T) {
+	bounds := geom.NewRect(0, 0, 1000, 1000)
+	a := testutil.BuildRelation(t, testutil.Grid, testutil.ClusteredPoints(500, 5, 40, bounds, 1401))
+	b := testutil.BuildRelation(t, testutil.Grid, testutil.UniformPoints(600, bounds, 1402))
+	cRel := testutil.BuildRelation(t, testutil.Grid, testutil.ClusteredPoints(400, 4, 50, bounds, 1403))
+	f := geom.Point{X: 400, Y: 600}
+	rng := geom.NewRect(300, 300, 700, 700)
+	const kJoin, kSel = 4, 12
+
+	cases := []struct {
+		name string
+		seq  func() any
+		par  func(workers int) any
+	}{
+		{"SelectInnerJoinConceptual",
+			func() any { return core.SelectInnerJoinConceptual(a, b, f, kJoin, kSel, nil) },
+			func(w int) any { return core.SelectInnerJoinConceptualParallel(a, b, f, kJoin, kSel, w, nil) }},
+		{"SelectInnerJoinCounting",
+			func() any { return core.SelectInnerJoinCounting(a, b, f, kJoin, kSel, nil) },
+			func(w int) any { return core.SelectInnerJoinCountingParallel(a, b, f, kJoin, kSel, w, nil) }},
+		{"SelectInnerJoinBlockMarking",
+			func() any {
+				return core.SelectInnerJoinBlockMarking(a, b, f, kJoin, kSel, core.BlockMarkingOptions{}, nil)
+			},
+			func(w int) any {
+				return core.SelectInnerJoinBlockMarkingParallel(a, b, f, kJoin, kSel, core.BlockMarkingOptions{}, w, nil)
+			}},
+		{"SelectOuterJoin",
+			func() any { return core.SelectOuterJoin(a, b, f, kSel, kJoin, nil) },
+			func(w int) any { return core.SelectOuterJoinParallel(a, b, f, kSel, kJoin, w, nil) }},
+		{"RangeInnerJoinConceptual",
+			func() any { return core.RangeInnerJoinConceptual(a, b, rng, kJoin, nil) },
+			func(w int) any { return core.RangeInnerJoinConceptualParallel(a, b, rng, kJoin, w, nil) }},
+		{"RangeInnerJoinCounting",
+			func() any { return core.RangeInnerJoinCounting(a, b, rng, kJoin, nil) },
+			func(w int) any { return core.RangeInnerJoinCountingParallel(a, b, rng, kJoin, w, nil) }},
+		{"RangeInnerJoinBlockMarking",
+			func() any { return core.RangeInnerJoinBlockMarking(a, b, rng, kJoin, core.BlockMarkingOptions{}, nil) },
+			func(w int) any {
+				return core.RangeInnerJoinBlockMarkingParallel(a, b, rng, kJoin, core.BlockMarkingOptions{}, w, nil)
+			}},
+		{"UnchainedConceptual",
+			func() any { return core.UnchainedConceptual(a, b, cRel, kJoin, kJoin, nil) },
+			func(w int) any { return core.UnchainedConceptualParallel(a, b, cRel, kJoin, kJoin, w, nil) }},
+		{"UnchainedBlockMarking",
+			func() any { return core.UnchainedBlockMarking(a, b, cRel, kJoin, kJoin, core.OrderAuto, nil) },
+			func(w int) any {
+				return core.UnchainedBlockMarkingParallel(a, b, cRel, kJoin, kJoin, core.OrderAuto, w, nil)
+			}},
+	}
+	for _, qep := range []core.ChainedQEP{core.ChainedRightDeep, core.ChainedJoinIntersection,
+		core.ChainedNestedJoin, core.ChainedNestedJoinCached} {
+		qep := qep
+		cases = append(cases, struct {
+			name string
+			seq  func() any
+			par  func(workers int) any
+		}{"ChainedJoins/" + qep.String(),
+			func() any { return core.ChainedJoins(a, b, cRel, kJoin, kJoin, qep, nil) },
+			func(w int) any { return core.ChainedJoinsParallel(a, b, cRel, kJoin, kJoin, qep, w, nil) }})
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := tc.seq()
+			for _, workers := range []int{2, 4, 16} {
+				if got := tc.par(workers); !reflect.DeepEqual(got, want) {
+					t.Fatalf("workers=%d: parallel result diverges from sequential", workers)
+				}
+			}
+		})
 	}
 }
 

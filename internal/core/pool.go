@@ -1,0 +1,203 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the concurrency layer that makes one Relation —
+// hence one shared spatial index — servable to many goroutines at once.
+//
+// The query algorithms are written against a Relation whose Searcher owns
+// mutable scratch (iterator pools, the selection heap, a single reusable
+// Neighborhood buffer), so a Relation value must never be probed by two
+// goroutines at the same time. Instead of locking the searcher (which would
+// serialize every neighborhood computation), each top-level query borrows a
+// *handle* — a query-local Relation view over the same immutable index with
+// a private Searcher — from the relation's SearcherPool, and returns it when
+// the query finishes. Handles are recycled through a sync.Pool, so a query
+// in steady state allocates nothing for its searcher machinery.
+//
+// The bounded variant trades the sync.Pool's elasticity for a hard memory
+// ceiling: at most maxHandles searcher states ever exist, and Acquire blocks
+// (TryAcquire errors) while all of them are out. This makes the space cost
+// of concurrency explicit — the tradeoff framing of Esmailpour, Hu & Sintos
+// ("Space-Time Tradeoffs for Spatial Conjunctive Queries", 2025).
+
+// ErrSearchersExhausted is returned by TryAcquire on a bounded pool whose
+// handles are all in use.
+var ErrSearchersExhausted = errors.New("core: bounded searcher pool exhausted")
+
+// poolIDs numbers pools in construction order; multi-relation queries
+// acquire handles in ascending pool-ID order so that two queries over the
+// same relations can never deadlock on bounded pools.
+var poolIDs atomic.Uint64
+
+// SearcherPool hands out per-goroutine query handles over one shared root
+// Relation. A handle is itself a *Relation (same index, private searcher),
+// so the core algorithms run on it unchanged.
+type SearcherPool struct {
+	id      uint64
+	root    *Relation
+	handles sync.Pool     // recycled *Relation views
+	tokens  chan struct{} // capacity permits; nil for unbounded pools
+}
+
+// newSearcherPool builds the pool for root. maxHandles <= 0 means unbounded
+// (sync.Pool only); maxHandles > 0 caps the number of simultaneously
+// outstanding handles — and therefore the number of searcher scratch states
+// that can ever exist at once.
+func newSearcherPool(root *Relation, maxHandles int) *SearcherPool {
+	p := &SearcherPool{id: poolIDs.Add(1), root: root}
+	p.handles.New = func() any { return p.newHandle() }
+	if maxHandles > 0 {
+		p.tokens = make(chan struct{}, maxHandles)
+		for i := 0; i < maxHandles; i++ {
+			p.tokens <- struct{}{}
+		}
+	}
+	return p
+}
+
+// newHandle mints a fresh view: same index, private searcher, same pool.
+func (p *SearcherPool) newHandle() *Relation {
+	return &Relation{Ix: p.root.Ix, S: p.root.S.Clone(), pool: p}
+}
+
+// Bound returns the maximum number of outstanding handles, or 0 for an
+// unbounded pool.
+func (p *SearcherPool) Bound() int {
+	if p.tokens == nil {
+		return 0
+	}
+	return cap(p.tokens)
+}
+
+// Acquire returns a query handle, blocking while a bounded pool is
+// exhausted. The handle must be returned with Release exactly once.
+func (p *SearcherPool) Acquire() *Relation {
+	if p.tokens != nil {
+		<-p.tokens
+	}
+	h := p.handles.Get().(*Relation)
+	h.leased.Store(true)
+	return h
+}
+
+// TryAcquire is Acquire without blocking: on a bounded pool whose handles
+// are all out it returns ErrSearchersExhausted immediately.
+func (p *SearcherPool) TryAcquire() (*Relation, error) {
+	if p.tokens != nil {
+		select {
+		case <-p.tokens:
+		default:
+			return nil, ErrSearchersExhausted
+		}
+	}
+	h := p.handles.Get().(*Relation)
+	h.leased.Store(true)
+	return h, nil
+}
+
+// release returns a handle to the pool. The handle's scratch buffers are
+// kept warm for the next Acquire; its previous query results (the reusable
+// Neighborhood) are dead the moment it is back in the pool.
+func (p *SearcherPool) release(h *Relation) {
+	p.handles.Put(h)
+	if p.tokens != nil {
+		p.tokens <- struct{}{}
+	}
+}
+
+// Pool returns the relation's searcher pool. Handles share the root's pool,
+// so Pool can be called on a root relation or on a handle alike.
+func (r *Relation) Pool() *SearcherPool { return r.pool }
+
+// Acquire borrows a query handle for this relation: a Relation view over
+// the same index with a private searcher, safe to use from the calling
+// goroutine until Release. On a relation without a pool (a hand-built
+// literal) it returns a fresh unpooled view.
+func (r *Relation) Acquire() *Relation {
+	if r.pool == nil {
+		return &Relation{Ix: r.Ix, S: r.S.Clone()}
+	}
+	return r.pool.Acquire()
+}
+
+// TryAcquire is Acquire without blocking; it fails only on an exhausted
+// bounded pool.
+func (r *Relation) TryAcquire() (*Relation, error) {
+	if r.pool == nil {
+		return &Relation{Ix: r.Ix, S: r.S.Clone()}, nil
+	}
+	return r.pool.TryAcquire()
+}
+
+// Release returns a handle obtained from Acquire/TryAcquire to its pool;
+// the handle must not be used afterwards. Release no-ops (via an atomic
+// compare-and-swap on the lease flag) on anything not currently leased —
+// an unpooled view, a Clone, or an already-released handle — so a stray
+// Release cannot inflate a bounded pool's capacity or double-insert a
+// handle into the free list. The one misuse it cannot detect is releasing
+// a handle that was already released AND re-acquired by another goroutine:
+// that is a use-after-free of the handle, on the caller, like any other
+// use of a released handle.
+func (h *Relation) Release() {
+	if h.pool == nil || !h.leased.CompareAndSwap(true, false) {
+		return
+	}
+	h.pool.release(h)
+}
+
+// Clone returns an independent long-lived view over the same immutable
+// index with a private searcher, sharing the root's pool. The private
+// searcher matters to callers that probe S directly (the core-level usage
+// pattern); callers going through Acquire/Release borrow pooled handles
+// either way.
+func (r *Relation) Clone() *Relation {
+	return &Relation{Ix: r.Ix, S: r.S.Clone(), pool: r.pool}
+}
+
+// poolID orders relations for deadlock-free multi-acquisition; relations
+// without a pool sort first (their acquisition can never block).
+func (r *Relation) poolID() uint64 {
+	if r.pool == nil {
+		return 0
+	}
+	return r.pool.id
+}
+
+// AcquirePair borrows handles for a query that probes the searchers of two
+// relations (SelectOuterJoin probes outer and inner; ChainedJoins probes B
+// and C). Duplicate relation arguments share one handle (the algorithms
+// tolerate a shared searcher across argument positions), and acquisition
+// happens in global pool order so concurrent multi-relation queries cannot
+// deadlock on bounded pools. Release the results with ReleasePair.
+//
+// Relations that are only *scanned* — iterated block by block, searcher
+// untouched, like the outer of a kNN-join — need no handle at all: their
+// index is immutable, so callers pass them as-is and spend no pool permit.
+func AcquirePair(a, b *Relation) (ha, hb *Relation) {
+	// Dedup by pool, not pointer: two distinct views over one pool (e.g. a
+	// relation and its Clone) draw on the same bounded capacity, and
+	// acquiring twice from a pool bounded at one handle would self-deadlock.
+	if a == b || (a.pool != nil && a.pool == b.pool) {
+		ha = a.Acquire()
+		return ha, ha
+	}
+	if a.poolID() <= b.poolID() {
+		return a.Acquire(), b.Acquire()
+	}
+	hb = b.Acquire()
+	return a.Acquire(), hb
+}
+
+// ReleasePair releases the handles of AcquirePair, releasing a shared
+// handle once.
+func ReleasePair(ha, hb *Relation) {
+	ha.Release()
+	if hb != ha {
+		hb.Release()
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/geom"
 	"repro/internal/index"
+	"repro/internal/locality"
 	"repro/internal/stats"
 )
 
@@ -93,14 +94,84 @@ func RangeInnerJoinBlockMarking(outer, inner *Relation, rng geom.Rect, kJoin int
 	if kJoin <= 0 {
 		return nil
 	}
+	var out []Pair
+	for _, b := range markContributingBlocksRange(outer, inner, rng, kJoin, opt, c) {
+		for _, e1 := range b.Points {
+			out = emitRangePairs(out, e1, inner.S.Neighborhood(e1, kJoin, c), rng)
+		}
+	}
+	return out
+}
+
+// RangeInnerJoinConceptualParallel is RangeInnerJoinConceptual with the
+// full kNN-join fanned out across workers.
+func RangeInnerJoinConceptualParallel(outer, inner *Relation, rng geom.Rect, kJoin, workers int, c *stats.Counters) []Pair {
+	pairs := KNNJoinParallel(outer, inner, kJoin, workers, c)
+	out := pairs[:0:0]
+	for _, pr := range pairs {
+		if rng.Contains(pr.Right) {
+			out = append(out, pr)
+		}
+	}
+	return out
+}
+
+// RangeInnerJoinCountingParallel is the range Counting algorithm with the
+// per-tuple scans fanned out across workers over the outer relation's
+// blocks; results are identical — including order — to the sequential form.
+func RangeInnerJoinCountingParallel(outer, inner *Relation, rng geom.Rect, kJoin, workers int, c *stats.Counters) []Pair {
+	if kJoin <= 0 {
+		return nil
+	}
+	return parallelEmit(&pairArenas, blockGroups(outer), inner, workers, c, nil,
+		func(h *Relation, e1 geom.Point, dst []Pair, ctr *stats.Counters) []Pair {
+			if h.S.CountStrictlyCloser(e1, kJoin, rng.MinDistSq(e1), ctr) >= kJoin {
+				ctr.AddOuterSkipped(1)
+				return dst
+			}
+			return emitRangePairs(dst, e1, h.S.Neighborhood(e1, kJoin, ctr), rng)
+		})
+}
+
+// RangeInnerJoinBlockMarkingParallel is the range Block-Marking algorithm
+// with the join over Contributing blocks fanned out across workers; the
+// contour-scan preprocessing stays sequential, as in the kNN-select case.
+func RangeInnerJoinBlockMarkingParallel(outer, inner *Relation, rng geom.Rect, kJoin int,
+	opt BlockMarkingOptions, workers int, c *stats.Counters) []Pair {
+
+	if kJoin <= 0 {
+		return nil
+	}
+	contributing := markContributingBlocksRange(outer, inner, rng, kJoin, opt, c)
+	return parallelEmit(&pairArenas, pointGroups(contributing), inner, workers, c, nil,
+		func(h *Relation, e1 geom.Point, dst []Pair, ctr *stats.Counters) []Pair {
+			return emitRangePairs(dst, e1, h.S.Neighborhood(e1, kJoin, ctr), rng)
+		})
+}
+
+// emitRangePairs appends the pairs (e1, e2) for neighbors e2 inside the
+// rectangle.
+func emitRangePairs(dst []Pair, e1 geom.Point, nbr *locality.Neighborhood, rng geom.Rect) []Pair {
+	for _, e2 := range nbr.Points {
+		if rng.Contains(e2) {
+			dst = append(dst, Pair{Left: e1, Right: e2})
+		}
+	}
+	return dst
+}
+
+// markContributingBlocksRange is the preprocessing phase of the range
+// Block-Marking algorithm: a contour scan of the outer blocks in MINDIST
+// order from the rectangle center (the range analogue of scanning from f),
+// returning the Contributing blocks in scan order.
+func markContributingBlocksRange(outer, inner *Relation, rng geom.Rect, kJoin int,
+	opt BlockMarkingOptions, c *stats.Counters) []*index.Block {
+
 	exhaustive := opt.Exhaustive || !index.TilesSpace(outer.Ix)
 	total := len(outer.Ix.Blocks())
-
-	// The contour scan orders outer blocks by MINDIST from the rectangle
-	// center — the range analogue of scanning from f.
 	focal := rng.Center()
 
-	var out []Pair
+	var contributing []*index.Block
 	scan := index.MinDistOrder(outer.Ix, focal)
 	mSq := -1.0
 	scanned := 0
@@ -128,15 +199,10 @@ func RangeInnerJoinBlockMarking(outer, inner *Relation, rng geom.Rect, kJoin int
 			continue
 		}
 		mSq = -1
-		for _, e1 := range b.Points {
-			nbrE1 := inner.S.Neighborhood(e1, kJoin, c)
-			for _, e2 := range nbrE1.Points {
-				if rng.Contains(e2) {
-					out = append(out, Pair{Left: e1, Right: e2})
-				}
-			}
+		if b.Count() > 0 {
+			contributing = append(contributing, b)
 		}
 	}
 	c.AddBlocksScanned(scanned)
-	return out
+	return contributing
 }

@@ -104,6 +104,85 @@ func SelectInnerJoinCounting(outer, inner *Relation, f geom.Point, kJoin, kSel i
 	return out
 }
 
+// SelectInnerJoinConceptualParallel is SelectInnerJoinConceptual with the
+// full kNN-join fanned out across workers (the select and the intersection
+// are negligible next to the join).
+func SelectInnerJoinConceptualParallel(outer, inner *Relation, f geom.Point, kJoin, kSel, workers int, c *stats.Counters) []Pair {
+	nbrF := inner.S.Neighborhood(f, kSel, c)
+	sel := sortedPointSet(nbrF) // copied out: nbrF is invalidated by the join's searches
+	pairs := KNNJoinParallel(outer, inner, kJoin, workers, c)
+	return intersectPairs(pairs, sel)
+}
+
+// SelectOuterJoinParallel is SelectOuterJoin with the selected points'
+// join fanned out across workers in contiguous chunks. Results are
+// identical — including order — to the sequential evaluation.
+func SelectOuterJoinParallel(outer, inner *Relation, f geom.Point, kSel, kJoin, workers int, c *stats.Counters) []Pair {
+	selected := KNNSelect(outer, f, kSel, c)
+	if kJoin <= 0 {
+		return nil
+	}
+	out := parallelEmit(&pairArenas, pointChunks(selected, workers), inner, workers, c, nil,
+		knnPairEmitter(kJoin))
+	if out == nil {
+		out = []Pair{} // SelectOuterJoin returns a non-nil slice for valid k
+	}
+	return out
+}
+
+// SelectInnerJoinCountingParallel is the Counting algorithm with the
+// per-tuple scans fanned out across workers over the outer relation's
+// blocks. The count-based skip decision is independent per tuple, so the
+// result is identical — including order — to SelectInnerJoinCounting.
+func SelectInnerJoinCountingParallel(outer, inner *Relation, f geom.Point, kJoin, kSel, workers int, c *stats.Counters) []Pair {
+	if kJoin <= 0 || kSel <= 0 {
+		return nil
+	}
+	nbrF := inner.S.Neighborhood(f, kSel, c)
+	if nbrF.Len() == 0 {
+		return nil
+	}
+	// The workers consult nbrF concurrently while their handles keep
+	// running queries, so it must be cloned out of the reusable result.
+	nbrF = nbrF.Clone()
+	sel := sortedPointSet(nbrF)
+
+	return parallelEmit(&pairArenas, blockGroups(outer), inner, workers, c, nil,
+		func(h *Relation, e1 geom.Point, dst []Pair, ctr *stats.Counters) []Pair {
+			thr := nbrF.NearestDistTo(e1)
+			if h.S.CountStrictlyCloser(e1, kJoin, thr*thr, ctr) >= kJoin {
+				ctr.AddOuterSkipped(1)
+				return dst
+			}
+			return emitIntersection(dst, e1, h.S.Neighborhood(e1, kJoin, ctr), sel)
+		})
+}
+
+// SelectInnerJoinBlockMarkingParallel is the Block-Marking algorithm with
+// the join over Contributing blocks fanned out across workers. The marking
+// preprocessing itself stays sequential: the contour early-stop is a
+// data-dependent scan in MINDIST order that cannot be split without giving
+// up its early termination.
+func SelectInnerJoinBlockMarkingParallel(outer, inner *Relation, f geom.Point, kJoin, kSel int,
+	opt BlockMarkingOptions, workers int, c *stats.Counters) []Pair {
+
+	if kJoin <= 0 || kSel <= 0 {
+		return nil
+	}
+	nbrF := inner.S.Neighborhood(f, kSel, c)
+	if nbrF.Len() == 0 {
+		return nil
+	}
+	sel := sortedPointSet(nbrF)
+	fFarthest := nbrF.FarthestDist()
+
+	contributing := markContributingBlocks(outer, inner, f, fFarthest, kJoin, opt, c)
+	return parallelEmit(&pairArenas, pointGroups(contributing), inner, workers, c, nil,
+		func(h *Relation, e1 geom.Point, dst []Pair, ctr *stats.Counters) []Pair {
+			return emitIntersection(dst, e1, h.S.Neighborhood(e1, kJoin, ctr), sel)
+		})
+}
+
 // BlockMarkingOptions tune the Block-Marking algorithm.
 type BlockMarkingOptions struct {
 	// Exhaustive disables the contour early-stop of the preprocessing phase

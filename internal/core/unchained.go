@@ -126,13 +126,7 @@ func projectB(pairs []Pair) []geom.Point {
 // order chooses the first join; OrderAuto applies the Section 4.1.2
 // heuristic (start with the relation of smaller cluster coverage).
 func UnchainedBlockMarking(a, b, cRel *Relation, kAB, kCB int, order JoinOrder, c *stats.Counters) []Triple {
-	if order == OrderAuto {
-		if EstimateClusterCoverage(a) <= EstimateClusterCoverage(cRel) {
-			order = OrderABFirst
-		} else {
-			order = OrderCBFirst
-		}
-	}
+	order = resolveJoinOrder(order, a, cRel)
 	if order == OrderABFirst {
 		abPairs := KNNJoin(a, b, kAB, c)
 		cbPairs := prunedSecondJoin(cRel, b, kCB, abPairs, c)
@@ -141,6 +135,64 @@ func UnchainedBlockMarking(a, b, cRel *Relation, kAB, kCB int, order JoinOrder, 
 	cbPairs := KNNJoin(cRel, b, kCB, c)
 	abPairs := prunedSecondJoin(a, b, kAB, cbPairs, c)
 	return intersectOnB(abPairs, cbPairs)
+}
+
+// resolveJoinOrder applies the Section 4.1.2 heuristic when the caller
+// left the order automatic: start with the join whose outer relation has
+// the smaller cluster coverage. Sequential and parallel plans share this
+// resolution so they always pick the same first join.
+func resolveJoinOrder(order JoinOrder, a, cRel *Relation) JoinOrder {
+	if order != OrderAuto {
+		return order
+	}
+	if EstimateClusterCoverage(a) <= EstimateClusterCoverage(cRel) {
+		return OrderABFirst
+	}
+	return OrderCBFirst
+}
+
+// UnchainedConceptualParallel is UnchainedConceptual with both full joins
+// fanned out across workers.
+func UnchainedConceptualParallel(a, b, cRel *Relation, kAB, kCB, workers int, c *stats.Counters) []Triple {
+	abPairs := KNNJoinParallel(a, b, kAB, workers, c)
+	cbPairs := KNNJoinParallel(cRel, b, kCB, workers, c)
+	return intersectOnB(abPairs, cbPairs)
+}
+
+// UnchainedBlockMarkingParallel is the Procedure 4 plan with both the first
+// (full) join and the pruned second join fanned out across workers; the
+// per-block Contributing test runs on each worker's own handle. Results are
+// identical — including order — to UnchainedBlockMarking.
+func UnchainedBlockMarkingParallel(a, b, cRel *Relation, kAB, kCB int, order JoinOrder, workers int, c *stats.Counters) []Triple {
+	order = resolveJoinOrder(order, a, cRel)
+	if order == OrderABFirst {
+		abPairs := KNNJoinParallel(a, b, kAB, workers, c)
+		cbPairs := prunedSecondJoinParallel(cRel, b, kCB, abPairs, workers, c)
+		return intersectOnB(abPairs, cbPairs)
+	}
+	cbPairs := KNNJoinParallel(cRel, b, kCB, workers, c)
+	abPairs := prunedSecondJoinParallel(a, b, kAB, cbPairs, workers, c)
+	return intersectOnB(abPairs, cbPairs)
+}
+
+// prunedSecondJoinParallel fans the pruned second join out across workers:
+// the Contributing gate runs once per block on the claiming worker, and
+// points of Contributing blocks join as usual.
+func prunedSecondJoinParallel(second, b *Relation, k int, firstPairs []Pair, workers int, c *stats.Counters) []Pair {
+	candidates := candidateBlocks(b, firstPairs)
+	blocks := second.Ix.Blocks()
+	gate := func(h *Relation, gi int, ctr *stats.Counters) bool {
+		blk := blocks[gi]
+		if blk.Count() == 0 {
+			return false
+		}
+		if !blockContributes(blk, h, k, candidates, ctr) {
+			ctr.AddBlocksPruned(1)
+			return false
+		}
+		return true
+	}
+	return parallelEmit(&pairArenas, pointGroups(blocks), b, workers, c, gate, knnPairEmitter(k))
 }
 
 // prunedSecondJoin evaluates (second ⋈kNN b) restricted to points in

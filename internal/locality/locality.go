@@ -19,6 +19,14 @@
 // The neighborhood is then selected from the points of the locality blocks
 // alone. Section 5 of the paper clips this construction with a search
 // threshold to evaluate two kNN-select predicates; see NeighborhoodClipped.
+//
+// Ownership contract: a Searcher owns mutable scratch (iterator pools, the
+// selection heap, one reusable Neighborhood result) and is single-threaded
+// by design; every Neighborhood* method returns a pointer into the
+// searcher's result buffer, valid only until the searcher's next query.
+// Callers that retain a result must copy it out with Neighborhood.Clone.
+// Concurrent serving stacks on top of this contract in internal/core: a
+// SearcherPool hands each goroutine its own Searcher-carrying handle.
 package locality
 
 import (

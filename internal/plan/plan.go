@@ -2,9 +2,20 @@
 // algorithms: operator trees with EXPLAIN rendering, validity rules for the
 // rewrites the paper analyzes (most importantly, the *invalid* pushdown of a
 // kNN-select below the inner relation of a kNN-join), and the optimizer
-// heuristics the paper prescribes (Counting vs Block-Marking by outer
-// cardinality, join ordering by cluster coverage, nested-join-with-cache for
-// chained joins).
+// heuristics the paper prescribes.
+//
+// Paper mapping ("Spatial Queries with Two kNN Predicates", Aly, Aref,
+// Ouzzani; VLDB 2012):
+//
+//   - Section 3 / Figures 1–3: ValidateSelectPushdown encodes which side of
+//     a kNN-join admits a select pushdown (outer yes, inner no);
+//   - Section 3.3: ChooseSelectJoinAlgorithm picks Counting for small outer
+//     relations and Block-Marking for large ones;
+//   - Section 4.1.2: ChooseJoinOrder starts the unchained pair with the
+//     more clustered outer relation, and skips preprocessing entirely when
+//     both look uniform;
+//   - Section 4.2 / Figure 13: ChooseChainedQEP defaults to the nested
+//     join with the neighborhood cache, the paper's winner.
 //
 // The package is deliberately free of execution logic; it describes and
 // decides, the core package executes. This keeps plan construction cheap

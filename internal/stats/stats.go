@@ -5,11 +5,27 @@
 // so experiments can report machine-independent evidence next to timings.
 package stats
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Counters accumulates per-query operation counts. A nil *Counters is valid
 // everywhere and records nothing, so instrumentation is free on hot paths
 // that do not request it.
+//
+// All mutation goes through the Add* methods, which are atomic: one Counters
+// value may be shared by any number of goroutines — parallel workers of one
+// query, or many concurrent queries accumulating into a server-wide total —
+// without locking. Reading the fields directly is safe once the recording
+// queries have finished (or via Snapshot for a consistent mid-flight copy).
+//
+// The fields stay plain exported int64s (rather than atomic.Int64) so that
+// direct reads and JSON marshaling keep working; the cost is the usual
+// sync/atomic alignment rule on 32-bit platforms: a Counters must be
+// 64-bit aligned there. Heap-allocated values (&Counters{}, new) always
+// are; when embedding a Counters by value in another struct on a 32-bit
+// target, place it first or after 8-byte-aligned fields.
 type Counters struct {
 	// Neighborhoods is the number of k-nearest-neighbor computations
 	// performed (the dominant cost in every algorithm of the paper).
@@ -43,8 +59,8 @@ func (c *Counters) AddNeighborhood(n int) {
 	if c == nil {
 		return
 	}
-	c.Neighborhoods++
-	c.PointsCompared += int64(n)
+	atomic.AddInt64(&c.Neighborhoods, 1)
+	atomic.AddInt64(&c.PointsCompared, int64(n))
 }
 
 // AddBlocksScanned records n popped blocks.
@@ -52,7 +68,7 @@ func (c *Counters) AddBlocksScanned(n int) {
 	if c == nil {
 		return
 	}
-	c.BlocksScanned += int64(n)
+	atomic.AddInt64(&c.BlocksScanned, int64(n))
 }
 
 // AddBlocksPruned records n pruned blocks.
@@ -60,7 +76,7 @@ func (c *Counters) AddBlocksPruned(n int) {
 	if c == nil {
 		return
 	}
-	c.BlocksPruned += int64(n)
+	atomic.AddInt64(&c.BlocksPruned, int64(n))
 }
 
 // AddOuterSkipped records n skipped outer points.
@@ -68,7 +84,7 @@ func (c *Counters) AddOuterSkipped(n int) {
 	if c == nil {
 		return
 	}
-	c.OuterSkipped += int64(n)
+	atomic.AddInt64(&c.OuterSkipped, int64(n))
 }
 
 // AddCacheHit records one cache hit.
@@ -76,7 +92,7 @@ func (c *Counters) AddCacheHit() {
 	if c == nil {
 		return
 	}
-	c.CacheHits++
+	atomic.AddInt64(&c.CacheHits, 1)
 }
 
 // AddCacheMiss records one cache miss.
@@ -84,21 +100,40 @@ func (c *Counters) AddCacheMiss() {
 	if c == nil {
 		return
 	}
-	c.CacheMisses++
+	atomic.AddInt64(&c.CacheMisses, 1)
 }
 
-// Add accumulates other into c. Both receivers may be nil.
+// Add accumulates other into c. Both receivers may be nil. Add is atomic on
+// both sides, so per-worker shards can merge into a shared total while other
+// workers are still recording.
 func (c *Counters) Add(other *Counters) {
 	if c == nil || other == nil {
 		return
 	}
-	c.Neighborhoods += other.Neighborhoods
-	c.BlocksScanned += other.BlocksScanned
-	c.PointsCompared += other.PointsCompared
-	c.BlocksPruned += other.BlocksPruned
-	c.OuterSkipped += other.OuterSkipped
-	c.CacheHits += other.CacheHits
-	c.CacheMisses += other.CacheMisses
+	atomic.AddInt64(&c.Neighborhoods, atomic.LoadInt64(&other.Neighborhoods))
+	atomic.AddInt64(&c.BlocksScanned, atomic.LoadInt64(&other.BlocksScanned))
+	atomic.AddInt64(&c.PointsCompared, atomic.LoadInt64(&other.PointsCompared))
+	atomic.AddInt64(&c.BlocksPruned, atomic.LoadInt64(&other.BlocksPruned))
+	atomic.AddInt64(&c.OuterSkipped, atomic.LoadInt64(&other.OuterSkipped))
+	atomic.AddInt64(&c.CacheHits, atomic.LoadInt64(&other.CacheHits))
+	atomic.AddInt64(&c.CacheMisses, atomic.LoadInt64(&other.CacheMisses))
+}
+
+// Snapshot returns a plain copy of the counters read atomically field by
+// field, for reporting while recording goroutines may still be running.
+func (c *Counters) Snapshot() Counters {
+	if c == nil {
+		return Counters{}
+	}
+	return Counters{
+		Neighborhoods:  atomic.LoadInt64(&c.Neighborhoods),
+		BlocksScanned:  atomic.LoadInt64(&c.BlocksScanned),
+		PointsCompared: atomic.LoadInt64(&c.PointsCompared),
+		BlocksPruned:   atomic.LoadInt64(&c.BlocksPruned),
+		OuterSkipped:   atomic.LoadInt64(&c.OuterSkipped),
+		CacheHits:      atomic.LoadInt64(&c.CacheHits),
+		CacheMisses:    atomic.LoadInt64(&c.CacheMisses),
+	}
 }
 
 // Reset zeroes all counters.
@@ -106,7 +141,13 @@ func (c *Counters) Reset() {
 	if c == nil {
 		return
 	}
-	*c = Counters{}
+	atomic.StoreInt64(&c.Neighborhoods, 0)
+	atomic.StoreInt64(&c.BlocksScanned, 0)
+	atomic.StoreInt64(&c.PointsCompared, 0)
+	atomic.StoreInt64(&c.BlocksPruned, 0)
+	atomic.StoreInt64(&c.OuterSkipped, 0)
+	atomic.StoreInt64(&c.CacheHits, 0)
+	atomic.StoreInt64(&c.CacheMisses, 0)
 }
 
 // String implements fmt.Stringer with a compact one-line summary.
@@ -114,7 +155,8 @@ func (c *Counters) String() string {
 	if c == nil {
 		return "stats: <nil>"
 	}
+	s := c.Snapshot()
 	return fmt.Sprintf("nbr=%d blocksScanned=%d ptsCompared=%d blocksPruned=%d outerSkipped=%d cache=%d/%d",
-		c.Neighborhoods, c.BlocksScanned, c.PointsCompared, c.BlocksPruned,
-		c.OuterSkipped, c.CacheHits, c.CacheHits+c.CacheMisses)
+		s.Neighborhoods, s.BlocksScanned, s.PointsCompared, s.BlocksPruned,
+		s.OuterSkipped, s.CacheHits, s.CacheHits+s.CacheMisses)
 }

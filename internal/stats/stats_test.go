@@ -2,6 +2,7 @@ package stats
 
 import (
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -56,6 +57,54 @@ func TestCountersAccumulateAndReset(t *testing.T) {
 	c.Reset()
 	if c != (Counters{}) {
 		t.Errorf("Reset left %+v", c)
+	}
+}
+
+// TestCountersConcurrentMutation shares one Counters value between many
+// goroutines mixing every mutation path — the situation a server hits when
+// it accumulates all queries into one WithStats total. Run under -race this
+// proves the counters are race-free; the totals prove no increment is lost.
+func TestCountersConcurrentMutation(t *testing.T) {
+	const goroutines = 16
+	const iters = 500
+
+	var c Counters
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var shard Counters
+			for i := 0; i < iters; i++ {
+				c.AddNeighborhood(3)
+				c.AddBlocksScanned(2)
+				c.AddBlocksPruned(1)
+				c.AddOuterSkipped(1)
+				c.AddCacheHit()
+				c.AddCacheMiss()
+				shard.AddNeighborhood(1)
+				_ = c.Snapshot()
+				_ = c.String()
+			}
+			c.Add(&shard) // merge a per-worker shard while others still record
+		}()
+	}
+	wg.Wait()
+
+	// Each iteration records one neighborhood directly and one through its
+	// shard (3 and 1 points compared respectively).
+	const n = goroutines * iters
+	if want := int64(2 * n); c.Neighborhoods != want {
+		t.Errorf("Neighborhoods = %d, want %d", c.Neighborhoods, want)
+	}
+	if want := int64(3*n + n); c.PointsCompared != want {
+		t.Errorf("PointsCompared = %d, want %d", c.PointsCompared, want)
+	}
+	if c.BlocksScanned != int64(2*n) || c.BlocksPruned != int64(n) || c.OuterSkipped != int64(n) {
+		t.Errorf("block counters lost increments: %+v", c)
+	}
+	if c.CacheHits != int64(n) || c.CacheMisses != int64(n) {
+		t.Errorf("cache counters lost increments: %+v", c)
 	}
 }
 

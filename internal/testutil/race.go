@@ -1,0 +1,10 @@
+//go:build race
+
+package testutil
+
+// RaceEnabled reports whether the binary was built with the race detector.
+// Allocation-regression tests that exercise sync.Pool skip their strict
+// zero-alloc assertions under race builds: the detector's pool
+// instrumentation allocates on Get/Put, which is measurement noise, not a
+// regression.
+const RaceEnabled = true

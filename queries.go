@@ -94,7 +94,7 @@ type queryConfig struct {
 	order             JoinOrder
 	chained           ChainedQEP
 	exhaustive        bool
-	parallelism       int
+	concurrency       int
 	stats             *Stats
 	explain           *string
 }
@@ -136,19 +136,39 @@ func WithExhaustivePreprocessing() QueryOption {
 	return func(c *queryConfig) { c.exhaustive = true }
 }
 
-// WithParallelism runs KNNJoin over n workers (n ≤ 0 selects GOMAXPROCS;
-// the default without this option is sequential). The result is identical
-// to the sequential evaluation, including order. Currently honored by
-// KNNJoin; the two-predicate queries evaluate sequentially, as in the
-// paper.
-func WithParallelism(n int) QueryOption {
+// WithConcurrency fans one query's tuple batches out across n workers
+// (n ≤ 0 selects GOMAXPROCS; the default without this option is
+// sequential). Each worker borrows a searcher handle from the inner
+// relation's pool and appends into a private arena, so the result is
+// identical to the sequential evaluation — including order — and no
+// per-batch result allocation occurs.
+//
+// The option is honored by the join algorithms: KNNJoin, SelectInnerJoin
+// (all strategies), SelectOuterJoin, RangeInnerJoin (all strategies),
+// UnchainedJoins and ChainedJoins. KNNSelect and TwoSelects evaluate one
+// or two tuples and ignore it. On a relation bounded with WithMaxSearchers
+// the fan-out degrades gracefully: workers that cannot obtain a handle
+// stand down instead of blocking, and the query still completes.
+//
+// WithConcurrency parallelizes one query. Independently of it, every query
+// entry point is safe to call from many goroutines against the same
+// relations; use both to scale a server on top of intra-query parallelism.
+func WithConcurrency(n int) QueryOption {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	return func(c *queryConfig) { c.parallelism = n }
+	return func(c *queryConfig) { c.concurrency = n }
 }
 
-// WithStats accumulates operation counters for the query into s.
+// WithParallelism is the former name of WithConcurrency.
+//
+// Deprecated: use WithConcurrency, which now covers every join algorithm,
+// not only KNNJoin.
+func WithParallelism(n int) QueryOption { return WithConcurrency(n) }
+
+// WithStats accumulates operation counters for the query into s. The
+// counters are atomic: one *Stats may be shared across concurrent queries
+// (e.g. a server-wide total) without locking.
 func WithStats(s *Stats) QueryOption {
 	return func(c *queryConfig) { c.stats = s }
 }
@@ -181,14 +201,27 @@ func SelectInnerJoin(outer, inner *Relation, f Point, kJoin, kSel int, opts ...Q
 	cfg := applyOptions(opts)
 	alg, reason := plan.ChooseSelectJoinAlgorithm(cfg.algorithm.planAlgorithm(), outer.Len(), cfg.countingThreshold)
 
+	// Every strategy probes only the inner relation's searcher; the outer
+	// side is scanned through its immutable index and needs no handle.
+	hi := inner.rel.Acquire()
+	defer hi.Release()
+	ho := outer.rel
+
 	var pairs []Pair
-	switch alg {
-	case plan.Conceptual:
-		pairs = core.SelectInnerJoinConceptual(outer.rel, inner.rel, f, kJoin, kSel, cfg.stats)
-	case plan.Counting:
-		pairs = core.SelectInnerJoinCounting(outer.rel, inner.rel, f, kJoin, kSel, cfg.stats)
+	switch {
+	case alg == plan.Conceptual && cfg.concurrency > 1:
+		pairs = core.SelectInnerJoinConceptualParallel(ho, hi, f, kJoin, kSel, cfg.concurrency, cfg.stats)
+	case alg == plan.Conceptual:
+		pairs = core.SelectInnerJoinConceptual(ho, hi, f, kJoin, kSel, cfg.stats)
+	case alg == plan.Counting && cfg.concurrency > 1:
+		pairs = core.SelectInnerJoinCountingParallel(ho, hi, f, kJoin, kSel, cfg.concurrency, cfg.stats)
+	case alg == plan.Counting:
+		pairs = core.SelectInnerJoinCounting(ho, hi, f, kJoin, kSel, cfg.stats)
+	case cfg.concurrency > 1:
+		pairs = core.SelectInnerJoinBlockMarkingParallel(ho, hi, f, kJoin, kSel,
+			core.BlockMarkingOptions{Exhaustive: cfg.exhaustive}, cfg.concurrency, cfg.stats)
 	default:
-		pairs = core.SelectInnerJoinBlockMarking(outer.rel, inner.rel, f, kJoin, kSel,
+		pairs = core.SelectInnerJoinBlockMarking(ho, hi, f, kJoin, kSel,
 			core.BlockMarkingOptions{Exhaustive: cfg.exhaustive}, cfg.stats)
 	}
 
@@ -213,7 +246,14 @@ func SelectOuterJoin(outer, inner *Relation, f Point, kSel, kJoin int, opts ...Q
 		return nil, err
 	}
 	cfg := applyOptions(opts)
-	pairs := core.SelectOuterJoin(outer.rel, inner.rel, f, kSel, kJoin, cfg.stats)
+	ho, hi := core.AcquirePair(outer.rel, inner.rel)
+	defer core.ReleasePair(ho, hi)
+	var pairs []Pair
+	if cfg.concurrency > 1 {
+		pairs = core.SelectOuterJoinParallel(ho, hi, f, kSel, kJoin, cfg.concurrency, cfg.stats)
+	} else {
+		pairs = core.SelectOuterJoin(ho, hi, f, kSel, kJoin, cfg.stats)
+	}
 	if cfg.explain != nil {
 		node := plan.SelectOuterJoinPlan(outer.name, inner.name, outer.Len(), inner.Len(), kSel, kJoin)
 		*cfg.explain = node.Explain()
@@ -247,11 +287,21 @@ func UnchainedJoins(a, b, c *Relation, kAB, kCB int, opts ...QueryOption) ([]Tri
 	covC := core.EstimateClusterCoverage(c.rel)
 	order, prune, reason := plan.ChooseJoinOrder(cfg.order, covA, covC)
 
+	// Both unchained joins probe only B's searcher; A and C are scanned
+	// through their immutable indexes and need no handles.
+	hb := b.rel.Acquire()
+	defer hb.Release()
+
 	var triples []Triple
-	if prune {
-		triples = core.UnchainedBlockMarking(a.rel, b.rel, c.rel, kAB, kCB, order, cfg.stats)
-	} else {
-		triples = core.UnchainedConceptual(a.rel, b.rel, c.rel, kAB, kCB, cfg.stats)
+	switch {
+	case prune && cfg.concurrency > 1:
+		triples = core.UnchainedBlockMarkingParallel(a.rel, hb, c.rel, kAB, kCB, order, cfg.concurrency, cfg.stats)
+	case prune:
+		triples = core.UnchainedBlockMarking(a.rel, hb, c.rel, kAB, kCB, order, cfg.stats)
+	case cfg.concurrency > 1:
+		triples = core.UnchainedConceptualParallel(a.rel, hb, c.rel, kAB, kCB, cfg.concurrency, cfg.stats)
+	default:
+		triples = core.UnchainedConceptual(a.rel, hb, c.rel, kAB, kCB, cfg.stats)
 	}
 
 	if cfg.explain != nil {
@@ -281,7 +331,17 @@ func ChainedJoins(a, b, c *Relation, kAB, kBC int, opts ...QueryOption) ([]Tripl
 	}
 	cfg := applyOptions(opts)
 	qep, reason := plan.ChooseChainedQEP(cfg.chained)
-	triples := core.ChainedJoins(a.rel, b.rel, c.rel, kAB, kBC, qep, cfg.stats)
+	// The chain probes B's and C's searchers (A is only scanned), so two
+	// handles suffice; AcquirePair dedups b == c and orders the blocking
+	// acquisitions deadlock-free.
+	hb, hc := core.AcquirePair(b.rel, c.rel)
+	defer core.ReleasePair(hb, hc)
+	var triples []Triple
+	if cfg.concurrency > 1 {
+		triples = core.ChainedJoinsParallel(a.rel, hb, hc, kAB, kBC, qep, cfg.concurrency, cfg.stats)
+	} else {
+		triples = core.ChainedJoins(a.rel, hb, hc, kAB, kBC, qep, cfg.stats)
+	}
 	if cfg.explain != nil {
 		node := plan.ChainedPlan(qep, a.name, b.name, c.name, a.Len(), b.Len(), c.Len(), kAB, kBC)
 		*cfg.explain = fmt.Sprintf("plan: %s (%s)\n%s", qep, reason, node.Explain())
@@ -309,11 +369,13 @@ func TwoSelects(rel *Relation, f1 Point, k1 int, f2 Point, k2 int, opts ...Query
 		return nil, err
 	}
 	cfg := applyOptions(opts)
+	h := rel.rel.Acquire()
+	defer h.Release()
 	var pts []Point
 	if cfg.algorithm == AlgorithmConceptual {
-		pts = core.TwoSelectsConceptual(rel.rel, f1, k1, f2, k2, cfg.stats)
+		pts = core.TwoSelectsConceptual(h, f1, k1, f2, k2, cfg.stats)
 	} else {
-		pts = core.TwoSelects(rel.rel, f1, k1, f2, k2, cfg.stats)
+		pts = core.TwoSelects(h, f1, k1, f2, k2, cfg.stats)
 	}
 	if cfg.explain != nil {
 		node := plan.TwoSelectsPlan(cfg.algorithm != AlgorithmConceptual, rel.name, rel.Len(), k1, k2)
@@ -337,14 +399,27 @@ func RangeInnerJoin(outer, inner *Relation, rng Rect, kJoin int, opts ...QueryOp
 	cfg := applyOptions(opts)
 	alg, reason := plan.ChooseSelectJoinAlgorithm(cfg.algorithm.planAlgorithm(), outer.Len(), cfg.countingThreshold)
 
+	// Every strategy probes only the inner relation's searcher; the outer
+	// side is scanned through its immutable index and needs no handle.
+	hi := inner.rel.Acquire()
+	defer hi.Release()
+	ho := outer.rel
+
 	var pairs []Pair
-	switch alg {
-	case plan.Conceptual:
-		pairs = core.RangeInnerJoinConceptual(outer.rel, inner.rel, rng, kJoin, cfg.stats)
-	case plan.Counting:
-		pairs = core.RangeInnerJoinCounting(outer.rel, inner.rel, rng, kJoin, cfg.stats)
+	switch {
+	case alg == plan.Conceptual && cfg.concurrency > 1:
+		pairs = core.RangeInnerJoinConceptualParallel(ho, hi, rng, kJoin, cfg.concurrency, cfg.stats)
+	case alg == plan.Conceptual:
+		pairs = core.RangeInnerJoinConceptual(ho, hi, rng, kJoin, cfg.stats)
+	case alg == plan.Counting && cfg.concurrency > 1:
+		pairs = core.RangeInnerJoinCountingParallel(ho, hi, rng, kJoin, cfg.concurrency, cfg.stats)
+	case alg == plan.Counting:
+		pairs = core.RangeInnerJoinCounting(ho, hi, rng, kJoin, cfg.stats)
+	case cfg.concurrency > 1:
+		pairs = core.RangeInnerJoinBlockMarkingParallel(ho, hi, rng, kJoin,
+			core.BlockMarkingOptions{Exhaustive: cfg.exhaustive}, cfg.concurrency, cfg.stats)
 	default:
-		pairs = core.RangeInnerJoinBlockMarking(outer.rel, inner.rel, rng, kJoin,
+		pairs = core.RangeInnerJoinBlockMarking(ho, hi, rng, kJoin,
 			core.BlockMarkingOptions{Exhaustive: cfg.exhaustive}, cfg.stats)
 	}
 	if cfg.explain != nil {

@@ -85,9 +85,10 @@ type Relation struct {
 type RelationOption func(*relationConfig)
 
 type relationConfig struct {
-	kind     IndexKind
-	capacity int
-	bounds   Rect
+	kind         IndexKind
+	capacity     int
+	bounds       Rect
+	maxSearchers int
 }
 
 // WithIndexKind selects the spatial index implementation (default
@@ -107,6 +108,19 @@ func WithBlockCapacity(n int) RelationOption {
 // common block geometry.
 func WithBounds(r Rect) RelationOption {
 	return func(c *relationConfig) { c.bounds = r }
+}
+
+// WithMaxSearchers bounds the relation's searcher pool: at most n query
+// handles — each owning iterator pools, a selection heap and a result
+// buffer — ever exist at once, so the scratch memory added by concurrency
+// is n·O(handle) no matter how many queries are in flight. Queries beyond
+// the bound block until a handle frees up (and WithConcurrency fan-out
+// degrades to the handles it can get instead of blocking). n ≤ 0 (the
+// default) leaves the pool unbounded: handles are minted on demand and
+// recycled through a sync.Pool, which adapts to load but lets a burst of
+// concurrent queries grow the resident scratch set.
+func WithMaxSearchers(n int) RelationOption {
+	return func(c *relationConfig) { c.maxSearchers = n }
 }
 
 // NewRelation indexes pts under the given name. The name appears in EXPLAIN
@@ -144,7 +158,13 @@ func NewRelation(name string, pts []Point, opts ...RelationOption) (*Relation, e
 	if err != nil {
 		return nil, fmt.Errorf("twoknn: building %s index for %q: %w", cfg.kind, name, err)
 	}
-	return &Relation{name: name, kind: cfg.kind, rel: core.NewRelation(ix)}, nil
+	var rel *core.Relation
+	if cfg.maxSearchers > 0 {
+		rel = core.NewRelationBounded(ix, cfg.maxSearchers)
+	} else {
+		rel = core.NewRelation(ix)
+	}
+	return &Relation{name: name, kind: cfg.kind, rel: rel}, nil
 }
 
 // Name returns the relation's name.
@@ -162,10 +182,14 @@ func (r *Relation) IndexKind() IndexKind { return r.kind }
 // Points returns a copy of the relation's points in index scan order.
 func (r *Relation) Points() []Point { return r.rel.Points() }
 
-// Clone returns an independent handle over the same immutable index, for
-// use from another goroutine (relations hold per-handle search buffers).
+// Clone returns an independent handle over the same immutable index and
+// searcher pool. Every query entry point is goroutine-safe against a
+// shared *Relation (queries borrow pooled searchers internally), so
+// queries on a clone behave exactly like queries on the original; Clone is
+// retained for API continuity with the pre-concurrency versions of this
+// package, not for performance.
 func (r *Relation) Clone() *Relation {
-	return &Relation{name: r.name, kind: r.kind, rel: &core.Relation{Ix: r.rel.Ix, S: r.rel.S.Clone()}}
+	return &Relation{name: r.name, kind: r.kind, rel: r.rel.Clone()}
 }
 
 // KNNSelect returns the k points of the relation closest to the focal point
@@ -175,7 +199,9 @@ func (r *Relation) KNNSelect(f Point, k int, opts ...QueryOption) ([]Point, erro
 		return nil, err
 	}
 	cfg := applyOptions(opts)
-	return core.KNNSelect(r.rel, f, k, cfg.stats), nil
+	h := r.rel.Acquire()
+	defer h.Release()
+	return core.KNNSelect(h, f, k, cfg.stats), nil
 }
 
 // KNNJoin evaluates outer ⋈kNN inner: all pairs (e1, e2) with e2 among the
@@ -188,10 +214,14 @@ func KNNJoin(outer, inner *Relation, k int, opts ...QueryOption) ([]Pair, error)
 		return nil, err
 	}
 	cfg := applyOptions(opts)
-	if cfg.parallelism > 1 {
-		return core.KNNJoinParallel(outer.rel, inner.rel, k, cfg.parallelism, cfg.stats), nil
+	// The join only probes the inner relation's searcher; the outer side is
+	// scanned through its immutable index and needs no handle.
+	hi := inner.rel.Acquire()
+	defer hi.Release()
+	if cfg.concurrency > 1 {
+		return core.KNNJoinParallel(outer.rel, hi, k, cfg.concurrency, cfg.stats), nil
 	}
-	return core.KNNJoin(outer.rel, inner.rel, k, cfg.stats), nil
+	return core.KNNJoin(outer.rel, hi, k, cfg.stats), nil
 }
 
 // checkK validates a k parameter.
