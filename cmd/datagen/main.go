@@ -44,15 +44,17 @@ func main() {
 func run(kind string, n, clusters, perCluster int, radius float64, seed int64, out string, width, height float64) error {
 	bounds := geom.NewRect(0, 0, width, height)
 
+	// Generators fill pre-sized columnar stores; the CSV writer streams
+	// them out without materializing []geom.Point.
 	var (
-		pts []geom.Point
+		st  *geom.PointStore
 		err error
 	)
 	switch kind {
 	case "uniform":
-		pts = datagen.Uniform(n, bounds, seed)
+		st = datagen.UniformStore(n, bounds, seed)
 	case "clustered":
-		pts, err = datagen.Clustered(datagen.ClusterConfig{
+		st, err = datagen.ClusteredStore(datagen.ClusterConfig{
 			NumClusters:      clusters,
 			PointsPerCluster: perCluster,
 			Radius:           radius,
@@ -60,7 +62,7 @@ func run(kind string, n, clusters, perCluster int, radius float64, seed int64, o
 			Seed:             seed,
 		})
 	case "berlinmod":
-		pts, err = berlinmod.Points(n, berlinmod.Config{
+		st, err = berlinmod.Store(n, berlinmod.Config{
 			Network: berlinmod.NetworkConfig{Bounds: bounds, Seed: seed},
 			Seed:    seed + 1,
 		})
@@ -72,11 +74,11 @@ func run(kind string, n, clusters, perCluster int, radius float64, seed int64, o
 	}
 
 	if out == "" {
-		return pointio.Write(os.Stdout, pts)
+		return pointio.WriteStore(os.Stdout, st)
 	}
-	if err := pointio.WriteFile(out, pts); err != nil {
+	if err := pointio.WriteFileStore(out, st); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote %d points to %s\n", len(pts), out)
+	fmt.Fprintf(os.Stderr, "wrote %d points to %s\n", st.Len(), out)
 	return nil
 }

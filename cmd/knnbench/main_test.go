@@ -20,8 +20,8 @@ func TestSelectExperimentsAblations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(exps) != 4 {
-		t.Fatalf("ablation selection has %d experiments, want 4", len(exps))
+	if len(exps) != 5 {
+		t.Fatalf("ablation selection has %d experiments, want 5", len(exps))
 	}
 }
 

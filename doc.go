@@ -104,4 +104,30 @@
 // internal/locality and internal/core, and the hot-path benchmarks
 // (go test -bench 'KNNJoin|Neighborhood') are recorded per PR in the
 // BENCH_PR*.json files at the repository root.
+//
+// # Memory layout
+//
+// Point storage is columnar (structure-of-arrays): each Relation owns one
+// flat PointStore — separate X and Y float64 columns plus a parallel
+// stable-ID column — that its index permuted into block-contiguous order at
+// build time. An index block is a (offset, length) span into that store,
+// not a slice of Point structs. The layout exists for the distance-scan
+// inner loop, the dominant cost of every query shape once allocations and
+// lock contention are gone: scanning two contiguous float64 arrays streams
+// through the cache at full line utilization and compiles to straight-line
+// arithmetic with no struct loads, where the former array-of-structs
+// layout made every candidate a 16-byte strided struct copy behind a
+// per-block slice header. The abl-layout experiment of cmd/knnbench
+// measures both layouts over identical blocks and is recorded in the
+// BENCH_PR3.json trajectory file.
+//
+// The permutation is invisible to results (the cross-layout equivalence
+// tests in internal/core pin byte-identical answers on all index families)
+// and is inverted by stable point IDs: a point's ID is its position in the
+// slice passed to NewRelation, fixed for the relation's lifetime and
+// independent of which index kind placed it where. PointID, PointAt,
+// PointIDs and PointByID expose the mapping. Stable IDs are the identity
+// primitive layers above snapshots build on — streaming results by ID,
+// sharding relations and gathering per-shard answers, or diffing
+// consecutive snapshots — without pinning any particular index layout.
 package twoknn

@@ -114,6 +114,50 @@ func BenchmarkNeighborhoodContention1(b *testing.B)  { benchNeighborhoodContenti
 func BenchmarkNeighborhoodContention4(b *testing.B)  { benchNeighborhoodContention(b, 4) }
 func BenchmarkNeighborhoodContention16(b *testing.B) { benchNeighborhoodContention(b, 16) }
 
+// benchLayoutScan measures the raw distance-filter inner loop — the
+// operation underneath every neighborhood computation — over 50k points in
+// the two storage layouts: the columnar SoA span scan (flat X/Y arrays via
+// Block.XYs) and an AoS shadow of the identical blocks ([]geom.Point per
+// block). The ratio between the two is the PR 3 layout win at micro scale;
+// the abl-layout knnbench experiment records the same comparison at
+// workload scale.
+func benchLayoutScan(b *testing.B, soa bool) {
+	rel := bench.Relation("hot/nbr", bench.UniformPoints("hot/nbr", 50000))
+	queries := bench.UniformPoints("hot/nbrq", 1024)
+	blocks := rel.Ix.Blocks()
+	var shadow [][]geom.Point
+	if !soa {
+		shadow = make([][]geom.Point, len(blocks))
+		for i, blk := range blocks {
+			shadow[i] = blk.AppendPoints(nil)
+		}
+	}
+	const radiusSq = 250.0 * 250.0
+	sink := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		if soa {
+			for _, blk := range blocks {
+				sink += blk.CountWithinSq(q, radiusSq)
+			}
+		} else {
+			for _, pts := range shadow {
+				for _, p := range pts {
+					if p.DistSq(q) <= radiusSq {
+						sink++
+					}
+				}
+			}
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkLayoutScanSoA(b *testing.B) { benchLayoutScan(b, true) }
+func BenchmarkLayoutScanAoS(b *testing.B) { benchLayoutScan(b, false) }
+
 // BenchmarkKNNJoinCounting measures the Counting algorithm's per-tuple scan
 // plus intersection path (Procedure 1) end to end.
 func BenchmarkKNNJoinCounting(b *testing.B) {

@@ -18,9 +18,10 @@ import (
 // repository's design choices: the contour early-stop of Block-Marking
 // preprocessing, the index-agnosticism claim across four index families,
 // the 2-kNN-select locality refinement (covered inside fig26), the
-// parallel join, and the concurrent-serving contention sweep. They run
-// through the same harness as the figures.
-var Ablations = []Experiment{ablPreprocess, ablIndexKinds, ablParallel, ablContention}
+// parallel join, the concurrent-serving contention sweep, and the
+// columnar-layout scan comparison. They run through the same harness as
+// the figures.
+var Ablations = []Experiment{ablPreprocess, ablIndexKinds, ablParallel, ablContention, ablLayout}
 
 // ParallelExperiments are the concurrency-focused subset run by
 // `knnbench -parallel` (the BENCH_PR2.json trajectory).
@@ -216,6 +217,64 @@ var ablContention = Experiment{
 							defer mu.Unlock()
 							return rel.S.Neighborhood(q, kDefault, ctr).Len()
 						})
+					}},
+				},
+			})
+		}
+		return cases
+	},
+}
+
+// --- Ablation: columnar (SoA) span scan vs array-of-structs scan ---
+
+// ablLayout isolates the PR 3 storage change: the same radius filter — the
+// distance-scan inner loop underneath every query shape — runs once over
+// the relation's flat X/Y span columns ("soa-span") and once over an
+// AoS shadow copy of the identical blocks ([]geom.Point per block,
+// "aos-struct"). Identical counts prove the layouts hold the same points;
+// the time ratio is the layout win recorded in the perf trajectory.
+var ablLayout = Experiment{
+	ID:     "abl-layout",
+	Title:  "point-storage layout: columnar SoA span scan vs AoS struct scan (full-relation radius filter, BerlinMOD)",
+	XLabel: "|points|",
+	Expect: "the flat X/Y span scan is at parity or faster than the AoS struct scan at every cardinality; identical counts",
+	Cases: func(scale Scale) []Case {
+		const radius = 500.0
+		probes := UniformPoints("layout/probes", 64)
+		var cases []Case
+		for _, n := range sweep(scale, []int{20000, 80000}, []int{160000, 640000}) {
+			rel := BerlinMODRelation("layout", n)
+			blocks := rel.Ix.Blocks()
+			// AoS shadow build: the same points in the same block order,
+			// materialized as one []geom.Point per block.
+			shadow := make([][]geom.Point, len(blocks))
+			for i, b := range blocks {
+				shadow[i] = b.AppendPoints(nil)
+			}
+			cases = append(cases, Case{
+				X: fmt.Sprintf("%d", n),
+				Plans: []Plan{
+					{Name: "soa-span", Run: func(c *stats.Counters) int {
+						total := 0
+						for _, q := range probes {
+							for _, b := range blocks {
+								total += b.CountWithinSq(q, radius*radius)
+							}
+						}
+						return total
+					}},
+					{Name: "aos-struct", Run: func(c *stats.Counters) int {
+						total := 0
+						for _, q := range probes {
+							for _, pts := range shadow {
+								for _, p := range pts {
+									if p.DistSq(q) <= radius*radius {
+										total++
+									}
+								}
+							}
+						}
+						return total
 					}},
 				},
 			})

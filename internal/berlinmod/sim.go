@@ -214,6 +214,18 @@ func (s *Simulation) position(v *vehicle) geom.Point {
 // of points"). A few warm-up ticks run first so the fleet disperses from its
 // home nodes onto the roads.
 func Points(n int, cfg Config) ([]geom.Point, error) {
+	st, err := Store(n, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return st.Points(), nil
+}
+
+// Store is Points accumulating directly into a columnar point store,
+// pre-sized for exactly n points (no append-regrow) with stable IDs in
+// accumulation order. It produces the same coordinate sequence as Points
+// for the same parameters.
+func Store(n int, cfg Config) (*geom.PointStore, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("berlinmod: requested %d points", n)
 	}
@@ -225,17 +237,17 @@ func Points(n int, cfg Config) ([]geom.Point, error) {
 	for i := 0; i < warmup; i++ {
 		sim.Step()
 	}
-	pts := make([]geom.Point, 0, n)
-	for len(pts) < n {
+	st := geom.NewPointStore(n)
+	for st.Len() < n {
 		sim.Step()
 		for _, p := range sim.Positions() {
-			pts = append(pts, p)
-			if len(pts) == n {
+			st.Append(p)
+			if st.Len() == n {
 				break
 			}
 		}
 	}
-	return pts, nil
+	return st, nil
 }
 
 func max(a, b int) int {

@@ -5,10 +5,12 @@
 // snapshot-to-continuous step for the select/select case, the combination
 // whose one-shot form Procedure 5 optimizes.
 //
-// The model: a mutable relation (grid.Dynamic) receives point insertions
-// and removals (e.g. vehicles reporting new positions). Each registered
-// monitor maintains its predicate's current answer and emits change events
-// instead of recomputing from scratch:
+// The model: a mutable relation (grid.Dynamic, whose cells own private
+// columnar point stores so mutations stay O(1) while scans run over flat
+// X/Y arrays) receives point insertions and removals (e.g. vehicles
+// reporting new positions). Each registered monitor maintains its
+// predicate's current answer and emits change events instead of
+// recomputing from scratch:
 //
 //   - an insertion enters a neighborhood iff it beats the current k-th
 //     neighbor (O(k) check, no index traversal);

@@ -59,6 +59,11 @@ type Relation struct {
 	// S computes neighborhoods over Ix.
 	S *locality.Searcher
 
+	// store is the relation-wide columnar point store Ix permuted its input
+	// into (block-contiguous spans, stable IDs); nil when the index keeps no
+	// unified store (the dynamic grid).
+	store *geom.PointStore
+
 	// pool recycles per-goroutine query handles over Ix; nil on hand-built
 	// views (handles themselves point back at their pool for Release).
 	pool *SearcherPool
@@ -73,7 +78,7 @@ type Relation struct {
 // NewRelation wraps an index into a Relation with an unbounded searcher
 // pool: handles are minted on demand and recycled through a sync.Pool.
 func NewRelation(ix index.Index) *Relation {
-	r := &Relation{Ix: ix, S: locality.NewSearcher(ix)}
+	r := &Relation{Ix: ix, S: locality.NewSearcher(ix), store: index.StoreOf(ix)}
 	r.pool = newSearcherPool(r, 0)
 	return r
 }
@@ -85,7 +90,7 @@ func NewRelation(ix index.Index) *Relation {
 // pools, a selection heap and a result buffer, so total scratch memory is
 // proportional to maxSearchers, not to the number of in-flight queries.
 func NewRelationBounded(ix index.Index, maxSearchers int) *Relation {
-	r := &Relation{Ix: ix, S: locality.NewSearcher(ix)}
+	r := &Relation{Ix: ix, S: locality.NewSearcher(ix), store: index.StoreOf(ix)}
 	r.pool = newSearcherPool(r, maxSearchers)
 	return r
 }
@@ -94,11 +99,13 @@ func NewRelationBounded(ix index.Index, maxSearchers int) *Relation {
 func (r *Relation) Len() int { return r.Ix.Len() }
 
 // ForEachPoint calls fn for every point of the relation, in block-ID then
-// storage order (a deterministic full scan).
+// storage order (a deterministic full scan). The scan walks the flat X/Y
+// columns of each block's span, so no Point structs are loaded from memory.
 func (r *Relation) ForEachPoint(fn func(p geom.Point)) {
 	for _, b := range r.Ix.Blocks() {
-		for _, p := range b.Points {
-			fn(p)
+		xs, ys := b.XYs()
+		for i := range xs {
+			fn(geom.Point{X: xs[i], Y: ys[i]})
 		}
 	}
 }
@@ -107,9 +114,16 @@ func (r *Relation) ForEachPoint(fn func(p geom.Point)) {
 // algorithms iterate with ForEachPoint instead.
 func (r *Relation) Points() []geom.Point {
 	out := make([]geom.Point, 0, r.Len())
-	r.ForEachPoint(func(p geom.Point) { out = append(out, p) })
+	for _, b := range r.Ix.Blocks() {
+		out = b.AppendPoints(out)
+	}
 	return out
 }
+
+// Store returns the relation-wide columnar point store (position i is the
+// i-th point in scan order; IDs[i] its stable identity), or nil when the
+// index keeps no unified store.
+func (r *Relation) Store() *geom.PointStore { return r.store }
 
 // Pair is one result row of a kNN-join: Right is among the k nearest
 // neighbors of Left in the inner relation.

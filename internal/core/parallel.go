@@ -101,6 +101,30 @@ type worker[T any] struct {
 	done func()
 }
 
+// tupleGroup is one unit of outer-tuple work for the parallel driver:
+// either a block span (scanned over the store's flat X/Y columns, no point
+// materialization up front) or an explicit point list (chunks of a selected
+// point set).
+type tupleGroup struct {
+	blk *index.Block
+	pts []geom.Point
+}
+
+// emitGroup runs wk.emit over every tuple of the group, appending to buf.
+func emitGroup[T any](g tupleGroup, wk worker[T], buf []T) []T {
+	if g.blk != nil {
+		xs, ys := g.blk.XYs()
+		for i := range xs {
+			buf = wk.emit(geom.Point{X: xs[i], Y: ys[i]}, buf)
+		}
+		return buf
+	}
+	for _, e1 := range g.pts {
+		buf = wk.emit(e1, buf)
+	}
+	return buf
+}
+
 // parallelRun fans groups out across a worker crew and returns the
 // concatenated per-group results in group order. newWorker builds each
 // crew member's behavior: it receives a searcher handle on inner (worker 0
@@ -112,7 +136,7 @@ type worker[T any] struct {
 //
 // workers <= 1 (after normalization against the group count) degenerates
 // to a sequential loop on the caller's goroutine with no arena machinery.
-func parallelRun[T any](ap *arenaPool[T], groups [][]geom.Point, inner *Relation, workers int,
+func parallelRun[T any](ap *arenaPool[T], groups []tupleGroup, inner *Relation, workers int,
 	c *stats.Counters,
 	newWorker func(h *Relation, primary bool, ctr *stats.Counters) (worker[T], bool)) []T {
 
@@ -127,9 +151,7 @@ func parallelRun[T any](ap *arenaPool[T], groups [][]geom.Point, inner *Relation
 			if wk.gate != nil && !wk.gate(gi) {
 				continue
 			}
-			for _, e1 := range g {
-				out = wk.emit(e1, out)
-			}
+			out = emitGroup(g, wk, out)
 		}
 		return out
 	}
@@ -187,9 +209,7 @@ func parallelRun[T any](ap *arenaPool[T], groups [][]geom.Point, inner *Relation
 					continue
 				}
 				start := len(a.buf)
-				for _, e1 := range groups[gi] {
-					a.buf = wk.emit(e1, a.buf)
-				}
+				a.buf = emitGroup(groups[gi], wk, a.buf)
 				spans[gi] = span{worker: w, start: start, end: len(a.buf)}
 			}
 		}(w)
@@ -209,7 +229,7 @@ func parallelRun[T any](ap *arenaPool[T], groups [][]geom.Point, inner *Relation
 // parallelEmit is parallelRun for the common case of stateless workers: a
 // per-point emit (and optional per-group gate) parameterized only by the
 // worker's handle and counter shard.
-func parallelEmit[T any](ap *arenaPool[T], groups [][]geom.Point, inner *Relation, workers int,
+func parallelEmit[T any](ap *arenaPool[T], groups []tupleGroup, inner *Relation, workers int,
 	c *stats.Counters,
 	gate func(h *Relation, gi int, ctr *stats.Counters) bool,
 	emit func(h *Relation, e1 geom.Point, dst []T, ctr *stats.Counters) []T) []T {
@@ -224,26 +244,27 @@ func parallelEmit[T any](ap *arenaPool[T], groups [][]geom.Point, inner *Relatio
 		})
 }
 
-// pointGroups exposes a block list as emission groups, preserving block
-// order so parallel results concatenate into the sequential order.
-func pointGroups(blocks []*index.Block) [][]geom.Point {
-	groups := make([][]geom.Point, len(blocks))
+// pointGroups exposes a block list as emission groups (one span per
+// block), preserving block order so parallel results concatenate into the
+// sequential order. No points are materialized; workers scan the spans.
+func pointGroups(blocks []*index.Block) []tupleGroup {
+	groups := make([]tupleGroup, len(blocks))
 	for i, b := range blocks {
-		groups[i] = b.Points
+		groups[i] = tupleGroup{blk: b}
 	}
 	return groups
 }
 
 // blockGroups is pointGroups over the relation's full block partition —
 // the same order ForEachPoint scans.
-func blockGroups(rel *Relation) [][]geom.Point {
+func blockGroups(rel *Relation) []tupleGroup {
 	return pointGroups(rel.Ix.Blocks())
 }
 
 // pointChunks splits a point list into contiguous chunks sized for dynamic
 // load balancing across workers (several chunks per worker so a slow chunk
 // does not straggle the crew).
-func pointChunks(pts []geom.Point, workers int) [][]geom.Point {
+func pointChunks(pts []geom.Point, workers int) []tupleGroup {
 	if len(pts) == 0 {
 		return nil
 	}
@@ -254,13 +275,13 @@ func pointChunks(pts []geom.Point, workers int) [][]geom.Point {
 	if chunk < 1 {
 		chunk = 1
 	}
-	groups := make([][]geom.Point, 0, (len(pts)+chunk-1)/chunk)
+	groups := make([]tupleGroup, 0, (len(pts)+chunk-1)/chunk)
 	for start := 0; start < len(pts); start += chunk {
 		end := start + chunk
 		if end > len(pts) {
 			end = len(pts)
 		}
-		groups = append(groups, pts[start:end])
+		groups = append(groups, tupleGroup{pts: pts[start:end]})
 	}
 	return groups
 }

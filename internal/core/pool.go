@@ -60,9 +60,10 @@ func newSearcherPool(root *Relation, maxHandles int) *SearcherPool {
 	return p
 }
 
-// newHandle mints a fresh view: same index, private searcher, same pool.
+// newHandle mints a fresh view: same index and store, private searcher,
+// same pool.
 func (p *SearcherPool) newHandle() *Relation {
-	return &Relation{Ix: p.root.Ix, S: p.root.S.Clone(), pool: p}
+	return &Relation{Ix: p.root.Ix, S: p.root.S.Clone(), store: p.root.store, pool: p}
 }
 
 // Bound returns the maximum number of outstanding handles, or 0 for an
@@ -120,7 +121,7 @@ func (r *Relation) Pool() *SearcherPool { return r.pool }
 // literal) it returns a fresh unpooled view.
 func (r *Relation) Acquire() *Relation {
 	if r.pool == nil {
-		return &Relation{Ix: r.Ix, S: r.S.Clone()}
+		return &Relation{Ix: r.Ix, S: r.S.Clone(), store: r.store}
 	}
 	return r.pool.Acquire()
 }
@@ -129,7 +130,7 @@ func (r *Relation) Acquire() *Relation {
 // bounded pool.
 func (r *Relation) TryAcquire() (*Relation, error) {
 	if r.pool == nil {
-		return &Relation{Ix: r.Ix, S: r.S.Clone()}, nil
+		return &Relation{Ix: r.Ix, S: r.S.Clone(), store: r.store}, nil
 	}
 	return r.pool.TryAcquire()
 }
@@ -156,7 +157,7 @@ func (h *Relation) Release() {
 // pattern); callers going through Acquire/Release borrow pooled handles
 // either way.
 func (r *Relation) Clone() *Relation {
-	return &Relation{Ix: r.Ix, S: r.S.Clone(), pool: r.pool}
+	return &Relation{Ix: r.Ix, S: r.S.Clone(), store: r.store, pool: r.pool}
 }
 
 // poolID orders relations for deadlock-free multi-acquisition; relations

@@ -53,7 +53,7 @@ func TestQuickMarkContributingSoundness(t *testing.T) {
 			BlockMarkingOptions{}, nil)
 		inContrib := make(map[geom.Point]bool)
 		for _, b := range contributing {
-			for _, p := range b.Points {
+			for p := range b.Points() {
 				inContrib[p] = true
 			}
 		}

@@ -96,7 +96,9 @@ func RangeInnerJoinBlockMarking(outer, inner *Relation, rng geom.Rect, kJoin int
 	}
 	var out []Pair
 	for _, b := range markContributingBlocksRange(outer, inner, rng, kJoin, opt, c) {
-		for _, e1 := range b.Points {
+		xs, ys := b.XYs()
+		for i := range xs {
+			e1 := geom.Point{X: xs[i], Y: ys[i]}
 			out = emitRangePairs(out, e1, inner.S.Neighborhood(e1, kJoin, c), rng)
 		}
 	}

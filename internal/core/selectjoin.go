@@ -216,7 +216,9 @@ func SelectInnerJoinBlockMarking(outer, inner *Relation, f geom.Point, kJoin, kS
 
 	var out []Pair
 	for _, b := range contributing {
-		for _, e1 := range b.Points {
+		xs, ys := b.XYs()
+		for i := range xs {
+			e1 := geom.Point{X: xs[i], Y: ys[i]}
 			nbrE1 := inner.S.Neighborhood(e1, kJoin, c)
 			out = emitIntersection(out, e1, nbrE1, sel)
 		}

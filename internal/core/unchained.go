@@ -208,7 +208,9 @@ func prunedSecondJoin(second, b *Relation, k int, firstPairs []Pair, c *stats.Co
 			c.AddBlocksPruned(1)
 			continue
 		}
-		for _, p := range blk.Points {
+		xs, ys := blk.XYs()
+		for i := range xs {
+			p := geom.Point{X: xs[i], Y: ys[i]}
 			nbr := b.S.Neighborhood(p, k, c)
 			for _, q := range nbr.Points {
 				out = append(out, Pair{Left: p, Right: q})

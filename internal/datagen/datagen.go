@@ -18,15 +18,23 @@ import (
 // Uniform returns n points independently and uniformly distributed over
 // bounds.
 func Uniform(n int, bounds geom.Rect, seed int64) []geom.Point {
+	return UniformStore(n, bounds, seed).Points()
+}
+
+// UniformStore is Uniform generating directly into a columnar point store,
+// pre-sized for exactly n points (no append-regrow) with stable IDs
+// 0..n-1 in generation order. It draws the same coordinate sequence as
+// Uniform for the same parameters.
+func UniformStore(n int, bounds geom.Rect, seed int64) *geom.PointStore {
 	rng := rand.New(rand.NewSource(seed))
-	pts := make([]geom.Point, n)
-	for i := range pts {
-		pts[i] = geom.Point{
+	st := geom.NewPointStore(n)
+	for i := 0; i < n; i++ {
+		st.Append(geom.Point{
 			X: bounds.MinX + rng.Float64()*bounds.Width(),
 			Y: bounds.MinY + rng.Float64()*bounds.Height(),
-		}
+		})
 	}
-	return pts
+	return st
 }
 
 // ClusterConfig parameterizes Clustered.
@@ -56,6 +64,18 @@ type ClusterConfig struct {
 // sampling so that cluster disks do not overlap; if the bounds cannot fit
 // the requested clusters, an error is returned.
 func Clustered(cfg ClusterConfig) ([]geom.Point, error) {
+	st, err := ClusteredStore(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return st.Points(), nil
+}
+
+// ClusteredStore is Clustered generating directly into a columnar point
+// store, pre-sized for exactly NumClusters·PointsPerCluster points with
+// stable IDs in generation order. It draws the same coordinate sequence as
+// Clustered for the same configuration.
+func ClusteredStore(cfg ClusterConfig) (*geom.PointStore, error) {
 	if cfg.NumClusters <= 0 {
 		return nil, fmt.Errorf("datagen: NumClusters must be positive, got %d", cfg.NumClusters)
 	}
@@ -77,13 +97,13 @@ func Clustered(cfg ClusterConfig) ([]geom.Point, error) {
 		return nil, err
 	}
 
-	pts := make([]geom.Point, 0, cfg.NumClusters*cfg.PointsPerCluster)
+	st := geom.NewPointStore(cfg.NumClusters * cfg.PointsPerCluster)
 	for _, c := range centers {
 		for i := 0; i < cfg.PointsPerCluster; i++ {
-			pts = append(pts, randomInDisk(c, radius, rng))
+			st.Append(randomInDisk(c, radius, rng))
 		}
 	}
-	return pts, nil
+	return st, nil
 }
 
 // ClusterCenters places n non-overlapping cluster centers for disks of the
@@ -106,6 +126,16 @@ func ClusterCenters(n int, radius float64, bounds geom.Rect, seed int64) ([]geom
 // given radius around each center. Unlike Clustered, the centers are caller
 // supplied, so different relations can share cluster locations.
 func ClusteredAt(centers []geom.Point, perCluster int, radius float64, seed int64) ([]geom.Point, error) {
+	st, err := ClusteredAtStore(centers, perCluster, radius, seed)
+	if err != nil {
+		return nil, err
+	}
+	return st.Points(), nil
+}
+
+// ClusteredAtStore is ClusteredAt generating directly into a pre-sized
+// columnar point store with stable IDs in generation order.
+func ClusteredAtStore(centers []geom.Point, perCluster int, radius float64, seed int64) (*geom.PointStore, error) {
 	if perCluster <= 0 {
 		return nil, fmt.Errorf("datagen: ClusteredAt perCluster must be positive, got %d", perCluster)
 	}
@@ -113,13 +143,13 @@ func ClusteredAt(centers []geom.Point, perCluster int, radius float64, seed int6
 		return nil, fmt.Errorf("datagen: ClusteredAt radius must be positive, got %v", radius)
 	}
 	rng := rand.New(rand.NewSource(seed))
-	pts := make([]geom.Point, 0, len(centers)*perCluster)
+	st := geom.NewPointStore(len(centers) * perCluster)
 	for _, c := range centers {
 		for i := 0; i < perCluster; i++ {
-			pts = append(pts, randomInDisk(c, radius, rng))
+			st.Append(randomInDisk(c, radius, rng))
 		}
 	}
-	return pts, nil
+	return st, nil
 }
 
 // placeCenters rejection-samples cluster centers whose disks of the given

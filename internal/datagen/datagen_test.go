@@ -135,3 +135,56 @@ func TestClusteredErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestStoreGeneratorsMatchPointGenerators pins the columnar generators to
+// the point generators: same parameters, same coordinate sequence, IDs in
+// generation order, and exactly pre-sized backing arrays.
+func TestStoreGeneratorsMatchPointGenerators(t *testing.T) {
+	bounds := geom.NewRect(0, 0, 100, 100)
+
+	upts := Uniform(500, bounds, 7)
+	ust := UniformStore(500, bounds, 7)
+	if !reflect.DeepEqual(ust.Points(), upts) {
+		t.Fatal("UniformStore diverges from Uniform")
+	}
+	if cap(ust.Xs) != 500 || cap(ust.Ys) != 500 || cap(ust.IDs) != 500 {
+		t.Fatalf("UniformStore not pre-sized exactly: caps %d/%d/%d", cap(ust.Xs), cap(ust.Ys), cap(ust.IDs))
+	}
+	for i := 0; i < ust.Len(); i++ {
+		if ust.ID(i) != int32(i) {
+			t.Fatalf("UniformStore ID(%d) = %d, want generation order", i, ust.ID(i))
+		}
+	}
+
+	cfg := ClusterConfig{NumClusters: 3, PointsPerCluster: 40, Bounds: bounds, Seed: 11}
+	cpts, err := Clustered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cst, err := ClusteredStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cst.Points(), cpts) {
+		t.Fatal("ClusteredStore diverges from Clustered")
+	}
+	if cap(cst.Xs) != 120 {
+		t.Fatalf("ClusteredStore not pre-sized exactly: cap %d, want 120", cap(cst.Xs))
+	}
+
+	centers, err := ClusterCenters(2, 10, bounds, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apts, err := ClusteredAt(centers, 25, 10, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ast, err := ClusteredAtStore(centers, 25, 10, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ast.Points(), apts) {
+		t.Fatal("ClusteredAtStore diverges from ClusteredAt")
+	}
+}

@@ -13,11 +13,18 @@ import (
 // evaluation of continuous queries as future work; package
 // internal/continuous builds it on this index).
 //
+// Unlike the static indexes, Dynamic keeps no relation-wide store: each of
+// its blocks owns a small private geom.PointStore (created through
+// index.NewMutableBlock), so insertions and removals are O(1) block-local
+// operations while scans still run over flat X/Y arrays. Stable IDs are
+// assigned from an insertion counter.
+//
 // Dynamic implements index.Index with one contract deviation: blocks mutate.
 // Queries and mutations must not run concurrently; the continuous monitors
 // serialize them.
 type Dynamic struct {
-	grid *Grid
+	grid   *Grid
+	nextID int32
 }
 
 var (
@@ -39,6 +46,12 @@ func NewDynamic(bounds geom.Rect, cols, rows int, pts []geom.Point) (*Dynamic, e
 	if err != nil {
 		return nil, err
 	}
+	// Swap every span block for one owning a private mutable store; the
+	// static grid's shared (empty) store is dropped.
+	for i, b := range g.blocks {
+		g.blocks[i] = index.NewMutableBlock(b.ID, b.Bounds)
+	}
+	g.store = nil
 	d := &Dynamic{grid: g}
 	for _, p := range pts {
 		if err := d.Insert(p); err != nil {
@@ -55,7 +68,8 @@ func (d *Dynamic) Insert(p geom.Point) error {
 	if b == nil {
 		return fmt.Errorf("grid: point %v outside dynamic grid bounds %v", p, d.grid.Bounds())
 	}
-	b.Points = append(b.Points, p)
+	b.Push(p, d.nextID)
+	d.nextID++
 	d.grid.n++
 	return nil
 }
@@ -67,11 +81,10 @@ func (d *Dynamic) Remove(p geom.Point) bool {
 	if b == nil {
 		return false
 	}
-	for i, q := range b.Points {
-		if q == p {
-			last := len(b.Points) - 1
-			b.Points[i] = b.Points[last]
-			b.Points = b.Points[:last]
+	xs, ys := b.XYs()
+	for i := range xs {
+		if xs[i] == p.X && ys[i] == p.Y {
+			b.RemoveAt(i)
 			d.grid.n--
 			return true
 		}

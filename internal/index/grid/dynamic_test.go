@@ -115,10 +115,10 @@ func TestDynamicMatchesStaticQueries(t *testing.T) {
 			t.Fatalf("cell %d count %d vs %d", i, db.Count(), sb.Count())
 		}
 		counts := make(map[geom.Point]int)
-		for _, p := range db.Points {
+		for p := range db.Points() {
 			counts[p]++
 		}
-		for _, p := range sb.Points {
+		for p := range sb.Points() {
 			counts[p]--
 		}
 		for p, n := range counts {

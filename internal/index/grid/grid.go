@@ -8,6 +8,12 @@
 // each non-empty region of space corresponds to exactly one cell, and every
 // cell — including empty ones — is exposed as a block so that MINDIST /
 // MAXDIST contours over the full space are well defined.
+//
+// Construction is a counting sort: one pass tallies points per cell, a
+// prefix sum lays the cells out as contiguous spans of one relation-wide
+// geom.PointStore, and a stable scatter permutes the input into that
+// block-contiguous order — so within each cell, points keep their input
+// order, exactly as the former per-cell append produced.
 package grid
 
 import (
@@ -26,10 +32,14 @@ type Grid struct {
 	cellW  float64
 	cellH  float64
 	blocks []*index.Block
+	store  *geom.PointStore
 	n      int
 }
 
-var _ index.Index = (*Grid)(nil)
+var (
+	_ index.Index  = (*Grid)(nil)
+	_ index.Storer = (*Grid)(nil)
+)
 
 // Options configure grid construction.
 type Options struct {
@@ -47,18 +57,26 @@ type Options struct {
 	Bounds geom.Rect
 }
 
-// New builds a grid over pts.
+// New builds a grid over pts, assigning stable point IDs 0..len-1 in input
+// order.
 //
 // New never fails for valid inputs; it returns an error when pts is empty
 // and no explicit Bounds is provided, because the indexed region would be
 // undefined.
 func New(pts []geom.Point, opt Options) (*Grid, error) {
+	return NewFromStore(geom.StoreFromPoints(pts), opt)
+}
+
+// NewFromStore builds a grid over the points of st, preserving the store's
+// IDs. The input store is not modified; the grid owns a block-contiguous
+// permutation of it.
+func NewFromStore(st *geom.PointStore, opt Options) (*Grid, error) {
 	bounds := opt.Bounds
 	if bounds == (geom.Rect{}) {
-		if len(pts) == 0 {
+		if st.Len() == 0 {
 			return nil, fmt.Errorf("grid: empty point set and no explicit bounds")
 		}
-		bounds = inflate(geom.RectFromPoints(pts))
+		bounds = inflate(st.MBR(0, st.Len()))
 	}
 	cols, rows := opt.Cols, opt.Rows
 	if cols <= 0 || rows <= 0 {
@@ -66,7 +84,7 @@ func New(pts []geom.Point, opt Options) (*Grid, error) {
 		if target <= 0 {
 			target = 64
 		}
-		cells := int(math.Ceil(float64(len(pts)) / float64(target)))
+		cells := int(math.Ceil(float64(st.Len()) / float64(target)))
 		if cells < 1 {
 			cells = 1
 		}
@@ -80,8 +98,40 @@ func New(pts []geom.Point, opt Options) (*Grid, error) {
 		rows:   rows,
 		cellW:  bounds.Width() / float64(cols),
 		cellH:  bounds.Height() / float64(rows),
-		n:      len(pts),
+		n:      st.Len(),
 	}
+
+	// Counting sort: tally per cell, prefix-sum into span offsets, scatter.
+	counts := make([]int, cols*rows)
+	for i := 0; i < st.Len(); i++ {
+		cell := g.cellIndex(st.Xs[i], st.Ys[i])
+		if cell < 0 {
+			return nil, fmt.Errorf("grid: point %v outside explicit bounds %v", st.At(i), bounds)
+		}
+		counts[cell]++
+	}
+	offsets := make([]int, cols*rows)
+	off := 0
+	for id, c := range counts {
+		offsets[id] = off
+		off += c
+	}
+	g.store = &geom.PointStore{
+		Xs:  make([]float64, st.Len()),
+		Ys:  make([]float64, st.Len()),
+		IDs: make([]int32, st.Len()),
+	}
+	cursor := make([]int, cols*rows)
+	copy(cursor, offsets)
+	for i := 0; i < st.Len(); i++ {
+		cell := g.cellIndex(st.Xs[i], st.Ys[i])
+		j := cursor[cell]
+		cursor[cell]++
+		g.store.Xs[j] = st.Xs[i]
+		g.store.Ys[j] = st.Ys[i]
+		g.store.IDs[j] = st.IDs[i]
+	}
+
 	g.blocks = make([]*index.Block, cols*rows)
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
@@ -101,17 +151,30 @@ func New(pts []geom.Point, opt Options) (*Grid, error) {
 			if r == rows-1 {
 				cell.MaxY = bounds.MaxY
 			}
-			g.blocks[id] = &index.Block{ID: id, Bounds: cell}
+			g.blocks[id] = index.NewBlock(id, cell, g.store, offsets[id], counts[id])
 		}
-	}
-	for _, p := range pts {
-		b := g.Locate(p)
-		if b == nil {
-			return nil, fmt.Errorf("grid: point %v outside explicit bounds %v", p, bounds)
-		}
-		b.Points = append(b.Points, p)
 	}
 	return g, nil
+}
+
+// cellIndex returns the cell holding coordinate (x, y), or -1 when it lies
+// outside the grid bounds. Points exactly on the max edge belong to the
+// last cell, matching Locate.
+func (g *Grid) cellIndex(x, y float64) int {
+	// Negated-conjunction form so NaN coordinates fail the containment test
+	// (a NaN compares false both ways and must not reach cell arithmetic).
+	if !(x >= g.bounds.MinX && x <= g.bounds.MaxX && y >= g.bounds.MinY && y <= g.bounds.MaxY) {
+		return -1
+	}
+	c := int((x - g.bounds.MinX) / g.cellW)
+	r := int((y - g.bounds.MinY) / g.cellH)
+	if c >= g.cols {
+		c = g.cols - 1
+	}
+	if r >= g.rows {
+		r = g.rows - 1
+	}
+	return r*g.cols + c
 }
 
 // inflate grows a bounding box by a hair so that points on the max edge map
@@ -140,24 +203,20 @@ func (g *Grid) Len() int { return g.n }
 // Bounds implements index.Index.
 func (g *Grid) Bounds() geom.Rect { return g.bounds }
 
+// Store implements index.Storer: the relation-wide store the grid permuted
+// its input into, cell by cell.
+func (g *Grid) Store() *geom.PointStore { return g.store }
+
 // Dims returns the grid dimensions (columns, rows).
 func (g *Grid) Dims() (cols, rows int) { return g.cols, g.rows }
 
 // Locate implements index.Index with O(1) cell arithmetic.
 func (g *Grid) Locate(p geom.Point) *index.Block {
-	if !g.bounds.Contains(p) {
+	cell := g.cellIndex(p.X, p.Y)
+	if cell < 0 {
 		return nil
 	}
-	c := int((p.X - g.bounds.MinX) / g.cellW)
-	r := int((p.Y - g.bounds.MinY) / g.cellH)
-	// Points exactly on the max edge belong to the last cell.
-	if c >= g.cols {
-		c = g.cols - 1
-	}
-	if r >= g.rows {
-		r = g.rows - 1
-	}
-	return g.blocks[r*g.cols+c]
+	return g.blocks[cell]
 }
 
 // TilesSpace reports that grid cells tile the indexed region exactly. This

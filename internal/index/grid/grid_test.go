@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -152,5 +153,25 @@ func TestRingIterDegenerateGrids(t *testing.T) {
 		if seen != dims[0]*dims[1] {
 			t.Fatalf("grid %v: enumerated %d blocks, want %d", dims, seen, dims[0]*dims[1])
 		}
+	}
+}
+
+// TestNaNPointsRejected pins the NaN guard in cell arithmetic: a NaN
+// coordinate must fail construction with the outside-bounds error (as the
+// pre-columnar Contains-based path did) and must not be locatable.
+func TestNaNPointsRejected(t *testing.T) {
+	bounds := geom.NewRect(0, 0, 10, 10)
+	nan := math.NaN()
+	for _, p := range []geom.Point{{X: nan, Y: 5}, {X: 5, Y: nan}, {X: nan, Y: nan}} {
+		if _, err := New([]geom.Point{p}, Options{Bounds: bounds, Cols: 1, Rows: 1}); err == nil {
+			t.Errorf("New with NaN point %v built a grid, want outside-bounds error", p)
+		}
+	}
+	g, err := New([]geom.Point{{X: 5, Y: 5}}, Options{Bounds: bounds, Cols: 3, Rows: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := g.Locate(geom.Point{X: nan, Y: nan}); b != nil {
+		t.Errorf("Locate(NaN) = %v, want nil", b)
 	}
 }

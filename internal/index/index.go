@@ -8,20 +8,29 @@
 // MINDIST or MAXDIST order from an arbitrary point. Package index captures
 // exactly that contract; the grid, quadtree and rtree subpackages provide
 // concrete partitions.
+//
+// Storage is columnar: an index permutes its input into block-contiguous
+// order inside one relation-wide geom.PointStore at build time, and each
+// Block is a (offset, length) span into that store. Hot distance loops scan
+// the store's flat X/Y arrays through Block.XYs; Block.Points / PointAt /
+// AppendPoints remain for cold callers that want geom.Point values.
 package index
 
 import (
 	"fmt"
+	"iter"
 
 	"repro/internal/geom"
 )
 
 // Block is a leaf region of a spatial index: a rectangle of space together
-// with the data points that fall inside it. Blocks of one index never share
-// points; every data point belongs to exactly one block.
+// with a span of the index's point store holding the data points that fall
+// inside it. Blocks of one index never share points; every data point
+// belongs to exactly one block.
 //
 // Blocks are created by index constructors and must be treated as read-only
-// by algorithms.
+// by algorithms. The only exception is the dynamic grid, whose blocks own
+// private mutable stores (see NewMutableBlock).
 type Block struct {
 	// ID is the position of the block in its index's Blocks() slice. It is
 	// used by algorithms to attach per-block state (marks, counts) in flat
@@ -33,14 +42,107 @@ type Block struct {
 	// bounding box of the points (a grid cell, for example).
 	Bounds geom.Rect
 
-	// Points holds the data points of the block.
-	Points []geom.Point
+	// store holds the block's points as the span [off, off+n). For blocks of
+	// a static index the store is shared by the whole relation; for dynamic
+	// blocks it is private with off == 0.
+	store *geom.PointStore
+	off   int
+	n     int
+
+	// mutable marks a block created with NewMutableBlock (private store);
+	// only such blocks accept Push/RemoveAt.
+	mutable bool
+}
+
+// NewBlock returns a block spanning [off, off+n) of store.
+func NewBlock(id int, bounds geom.Rect, store *geom.PointStore, off, n int) *Block {
+	return &Block{ID: id, Bounds: bounds, store: store, off: off, n: n}
+}
+
+// NewMutableBlock returns a block owning a private, initially empty store,
+// for indexes over mutable point sets (the dynamic grid). Only such blocks
+// may be mutated through Push and RemoveAt.
+func NewMutableBlock(id int, bounds geom.Rect) *Block {
+	return &Block{ID: id, Bounds: bounds, store: &geom.PointStore{}, mutable: true}
 }
 
 // Count returns the number of points stored in the block. The paper assumes
-// the index maintains this count per block; here it is simply the length of
-// the point slice.
-func (b *Block) Count() int { return len(b.Points) }
+// the index maintains this count per block; here it is the span length.
+func (b *Block) Count() int { return b.n }
+
+// Span returns the block's (offset, length) span into its store.
+func (b *Block) Span() (off, n int) { return b.off, b.n }
+
+// Store returns the point store the block's span refers to.
+func (b *Block) Store() *geom.PointStore { return b.store }
+
+// XYs returns the block's coordinate columns — the flat, parallel X and Y
+// slices every hot distance loop scans. The slices alias the store and must
+// not be modified.
+func (b *Block) XYs() (xs, ys []float64) {
+	return b.store.Xs[b.off : b.off+b.n], b.store.Ys[b.off : b.off+b.n]
+}
+
+// PointIDs returns the stable IDs of the block's points, parallel to XYs.
+// The slice aliases the store and must not be modified.
+func (b *Block) PointIDs() []int32 { return b.store.IDs[b.off : b.off+b.n] }
+
+// PointAt returns the i-th point of the block as a geom.Point value — the
+// compatibility accessor for cold callers and tests.
+func (b *Block) PointAt(i int) geom.Point {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("index: PointAt(%d) out of range on a block of %d points", i, b.n))
+	}
+	return b.store.At(b.off + i)
+}
+
+// AppendPoints appends the block's points to dst in storage order and
+// returns it — the copy-out accessor for cold callers that need a
+// []geom.Point.
+func (b *Block) AppendPoints(dst []geom.Point) []geom.Point {
+	return b.store.AppendRange(dst, b.off, b.n)
+}
+
+// Points iterates the block's points in storage order as geom.Point values
+// (range-over-func). Hot loops scan XYs directly instead.
+func (b *Block) Points() iter.Seq[geom.Point] {
+	return func(yield func(geom.Point) bool) {
+		xs, ys := b.XYs()
+		for i := range xs {
+			if !yield(geom.Point{X: xs[i], Y: ys[i]}) {
+				return
+			}
+		}
+	}
+}
+
+// CountWithinSq counts the block's points within squared distance dSq of p
+// as a flat span scan — the radius-filter kernel.
+func (b *Block) CountWithinSq(p geom.Point, dSq float64) int {
+	return b.store.CountWithinSq(b.off, b.n, p, dSq)
+}
+
+// Push appends p with the given stable ID to a mutable block (one created
+// with NewMutableBlock). It panics on span blocks of a shared store, whose
+// neighbors it would corrupt.
+func (b *Block) Push(p geom.Point, id int32) {
+	if !b.mutable {
+		panic("index: Push on an immutable span block")
+	}
+	b.store.AppendWithID(p, id)
+	b.n++
+}
+
+// RemoveAt deletes the i-th point of a mutable block by swapping the last
+// point into its place (matching the dynamic grid's historical removal
+// order). It panics on span blocks of a shared store.
+func (b *Block) RemoveAt(i int) {
+	if !b.mutable {
+		panic("index: RemoveAt on an immutable span block")
+	}
+	b.store.SwapRemove(i)
+	b.n--
+}
 
 // Center returns the center of the block's region. The Block-Marking
 // algorithm computes neighborhoods of block centers (Theorem 1 of the paper
@@ -52,7 +154,7 @@ func (b *Block) Diagonal() float64 { return b.Bounds.Diagonal() }
 
 // String implements fmt.Stringer.
 func (b *Block) String() string {
-	return fmt.Sprintf("block#%d %v (%d pts)", b.ID, b.Bounds, len(b.Points))
+	return fmt.Sprintf("block#%d %v (%d pts)", b.ID, b.Bounds, b.n)
 }
 
 // Index is a static partition of a point set into blocks. Implementations
@@ -74,6 +176,26 @@ type Index interface {
 	// Bounds returns the region covered by the index (the union of all
 	// block regions).
 	Bounds() geom.Rect
+}
+
+// Storer is implemented by indexes whose blocks are spans over one
+// relation-wide PointStore in block-contiguous order. All four static index
+// families implement it; the dynamic grid (per-block private stores) does
+// not.
+type Storer interface {
+	// Store returns the relation-wide point store. Position i of the store
+	// is the i-th point in block-ID-then-storage scan order, and IDs[i] is
+	// that point's stable identity.
+	Store() *geom.PointStore
+}
+
+// StoreOf returns the relation-wide store of ix, or nil when ix does not
+// keep one.
+func StoreOf(ix Index) *geom.PointStore {
+	if s, ok := ix.(Storer); ok {
+		return s.Store()
+	}
+	return nil
 }
 
 // TotalCount returns the sum of point counts over blocks; used by

@@ -32,7 +32,7 @@ func TestIndexConformance(t *testing.T) {
 					if b.ID != i {
 						t.Fatalf("block at position %d has ID %d", i, b.ID)
 					}
-					for _, p := range b.Points {
+					for p := range b.Points() {
 						if !b.Bounds.Contains(p) {
 							t.Fatalf("block %v does not contain its point %v", b, p)
 						}
@@ -50,7 +50,7 @@ func TestIndexConformance(t *testing.T) {
 						t.Fatalf("Locate(%v) = nil for an indexed point", p)
 					}
 					found := false
-					for _, q := range b.Points {
+					for q := range b.Points() {
 						if q == p {
 							found = true
 							break
@@ -79,7 +79,7 @@ func TestEachPointInExactlyOneBlock(t *testing.T) {
 		ix := testutil.BuildIndex(t, kind, pts)
 		seen := make(map[geom.Point]int)
 		for _, b := range ix.Blocks() {
-			for _, p := range b.Points {
+			for p := range b.Points() {
 				seen[p]++
 			}
 		}
@@ -181,11 +181,8 @@ func TestTilesSpaceDeclarations(t *testing.T) {
 }
 
 func TestBlockAccessors(t *testing.T) {
-	b := &index.Block{
-		ID:     3,
-		Bounds: geom.NewRect(0, 0, 3, 4),
-		Points: []geom.Point{{X: 1, Y: 1}, {X: 2, Y: 2}},
-	}
+	st := geom.StoreFromPoints([]geom.Point{{X: 9, Y: 9}, {X: 1, Y: 1}, {X: 2, Y: 2}})
+	b := index.NewBlock(3, geom.NewRect(0, 0, 3, 4), st, 1, 2)
 	if b.Count() != 2 {
 		t.Errorf("Count = %d, want 2", b.Count())
 	}
@@ -197,6 +194,24 @@ func TestBlockAccessors(t *testing.T) {
 	}
 	if b.String() == "" {
 		t.Errorf("String must not be empty")
+	}
+	if got, want := b.PointAt(0), (geom.Point{X: 1, Y: 1}); got != want {
+		t.Errorf("PointAt(0) = %v, want %v", got, want)
+	}
+	if off, n := b.Span(); off != 1 || n != 2 {
+		t.Errorf("Span = (%d, %d), want (1, 2)", off, n)
+	}
+	xs, ys := b.XYs()
+	if len(xs) != 2 || len(ys) != 2 || xs[1] != 2 || ys[1] != 2 {
+		t.Errorf("XYs = %v, %v, want the [1,2] span columns", xs, ys)
+	}
+	if ids := b.PointIDs(); len(ids) != 2 || ids[0] != 1 || ids[1] != 2 {
+		t.Errorf("PointIDs = %v, want [1 2]", ids)
+	}
+	got := b.AppendPoints(nil)
+	want := []geom.Point{{X: 1, Y: 1}, {X: 2, Y: 2}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("AppendPoints = %v, want %v", got, want)
 	}
 }
 
@@ -236,5 +251,35 @@ func TestIncrementalItersMatchEagerScans(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestSpanBlockMutationPanics pins the Push/RemoveAt misuse guard: a span
+// block of a static index — even one whose span covers its entire shared
+// store, where span geometry alone cannot tell it from a mutable block —
+// must panic instead of corrupting the relation-wide store.
+func TestSpanBlockMutationPanics(t *testing.T) {
+	st := geom.StoreFromPoints([]geom.Point{{X: 1, Y: 1}, {X: 2, Y: 2}})
+	full := index.NewBlock(0, geom.NewRect(0, 0, 4, 4), st, 0, st.Len())
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s on a span block must panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Push", func() { full.Push(geom.Point{X: 3, Y: 3}, 2) })
+	mustPanic("RemoveAt", func() { full.RemoveAt(0) })
+
+	mb := index.NewMutableBlock(0, geom.NewRect(0, 0, 4, 4))
+	mb.Push(geom.Point{X: 1, Y: 2}, 0)
+	if mb.Count() != 1 || mb.PointAt(0) != (geom.Point{X: 1, Y: 2}) {
+		t.Fatalf("mutable block Push failed: %v", mb)
+	}
+	mb.RemoveAt(0)
+	if mb.Count() != 0 {
+		t.Fatalf("mutable block RemoveAt failed: %v", mb)
 	}
 }

@@ -9,6 +9,10 @@
 // claim that the algorithms are index-agnostic: unlike the grid and the
 // quadtree its split positions adapt to the data distribution, so dense
 // regions get proportionally more, smaller blocks.
+//
+// Leaves are created in depth-first order and appended, points and stable
+// IDs together, to one relation-wide geom.PointStore, so every leaf block is
+// a contiguous span and the store as a whole is in block-ID order.
 package kdtree
 
 import (
@@ -24,11 +28,15 @@ type Tree struct {
 	root    *node
 	bounds  geom.Rect
 	blocks  []*index.Block
+	store   *geom.PointStore
 	n       int
 	leafCap int
 }
 
-var _ index.Index = (*Tree)(nil)
+var (
+	_ index.Index  = (*Tree)(nil)
+	_ index.Storer = (*Tree)(nil)
+)
 
 type node struct {
 	// axis is 0 for a vertical split (on X) and 1 for a horizontal split
@@ -57,26 +65,42 @@ type Options struct {
 	Bounds geom.Rect
 }
 
-// New builds a k-d tree over pts.
+// buildPoint carries one point with its stable ID through the recursive
+// partition; the result lands in SoA form in the tree's store.
+type buildPoint struct {
+	p  geom.Point
+	id int32
+}
+
+// New builds a k-d tree over pts, assigning stable point IDs 0..len-1 in
+// input order.
 func New(pts []geom.Point, opt Options) (*Tree, error) {
+	return NewFromStore(geom.StoreFromPoints(pts), opt)
+}
+
+// NewFromStore builds a k-d tree over the points of st, preserving the
+// store's IDs. The input store is not modified; the tree owns a
+// block-contiguous permutation of it.
+func NewFromStore(st *geom.PointStore, opt Options) (*Tree, error) {
 	if opt.LeafCapacity <= 0 {
 		opt.LeafCapacity = 64
 	}
 	bounds := opt.Bounds
 	if bounds == (geom.Rect{}) {
-		if len(pts) == 0 {
+		if st.Len() == 0 {
 			return nil, fmt.Errorf("kdtree: empty point set and no explicit bounds")
 		}
-		bounds = inflate(geom.RectFromPoints(pts))
+		bounds = inflate(st.MBR(0, st.Len()))
 	}
-	for _, p := range pts {
+	owned := make([]buildPoint, st.Len())
+	for i := range owned {
+		p := st.At(i)
 		if !bounds.Contains(p) {
 			return nil, fmt.Errorf("kdtree: point %v outside explicit bounds %v", p, bounds)
 		}
+		owned[i] = buildPoint{p: p, id: st.ID(i)}
 	}
-	t := &Tree{bounds: bounds, n: len(pts), leafCap: opt.LeafCapacity}
-	owned := make([]geom.Point, len(pts))
-	copy(owned, pts)
+	t := &Tree{bounds: bounds, n: st.Len(), leafCap: opt.LeafCapacity, store: geom.NewPointStore(st.Len())}
 	t.root = t.build(owned, bounds, 0)
 	return t, nil
 }
@@ -84,15 +108,19 @@ func New(pts []geom.Point, opt Options) (*Tree, error) {
 // build recursively splits pts at the median of the alternating axis. The
 // region rectangle — not the bounding box of the points — becomes the leaf
 // block's bounds, preserving the tiling property.
-func (t *Tree) build(pts []geom.Point, region geom.Rect, axis int) *node {
-	if len(pts) > capOf(t) && !canSplit(pts, axis) {
+func (t *Tree) build(pts []buildPoint, region geom.Rect, axis int) *node {
+	if len(pts) > t.leafCap && !canSplit(pts, axis) {
 		// The preferred axis is degenerate (all coordinates equal); fall
 		// back to the other axis — collinear point sets would otherwise
 		// never split.
 		axis = 1 - axis
 	}
-	if len(pts) <= capOf(t) || !canSplit(pts, axis) {
-		b := &index.Block{ID: len(t.blocks), Bounds: region, Points: pts}
+	if len(pts) <= t.leafCap || !canSplit(pts, axis) {
+		off := t.store.Len()
+		for _, bp := range pts {
+			t.store.AppendWithID(bp.p, bp.id)
+		}
+		b := index.NewBlock(len(t.blocks), region, t.store, off, len(pts))
 		t.blocks = append(t.blocks, b)
 		return &node{region: region, block: b}
 	}
@@ -105,12 +133,12 @@ func (t *Tree) build(pts []geom.Point, region geom.Rect, axis int) *node {
 		loRegion = geom.Rect{MinX: region.MinX, MinY: region.MinY, MaxX: region.MaxX, MaxY: split}
 		hiRegion = geom.Rect{MinX: region.MinX, MinY: split, MaxX: region.MaxX, MaxY: region.MaxY}
 	}
-	var lo, hi []geom.Point
-	for _, p := range pts {
-		if coord(p, axis) < split {
-			lo = append(lo, p)
+	var lo, hi []buildPoint
+	for _, bp := range pts {
+		if coord(bp.p, axis) < split {
+			lo = append(lo, bp)
 		} else {
-			hi = append(hi, p)
+			hi = append(hi, bp)
 		}
 	}
 	nd := &node{axis: axis, split: split, region: region}
@@ -119,16 +147,12 @@ func (t *Tree) build(pts []geom.Point, region geom.Rect, axis int) *node {
 	return nd
 }
 
-// capOf returns the configured leaf capacity, stashed on the Tree to avoid
-// threading it through the recursion.
-func capOf(t *Tree) int { return t.leafCap }
-
 // canSplit reports whether pts contains at least two distinct coordinates
 // on the axis — a degenerate (all-equal) axis cannot be median-split.
-func canSplit(pts []geom.Point, axis int) bool {
-	first := coord(pts[0], axis)
-	for _, p := range pts[1:] {
-		if coord(p, axis) != first {
+func canSplit(pts []buildPoint, axis int) bool {
+	first := coord(pts[0].p, axis)
+	for _, bp := range pts[1:] {
+		if coord(bp.p, axis) != first {
 			return true
 		}
 	}
@@ -138,10 +162,10 @@ func canSplit(pts []geom.Point, axis int) bool {
 // medianSplit returns a split coordinate that puts roughly half the points
 // strictly below it. It is guaranteed to be strictly inside the coordinate
 // range, so both sides are non-empty.
-func medianSplit(pts []geom.Point, axis int) float64 {
+func medianSplit(pts []buildPoint, axis int) float64 {
 	coords := make([]float64, len(pts))
-	for i, p := range pts {
-		coords[i] = coord(p, axis)
+	for i, bp := range pts {
+		coords[i] = coord(bp.p, axis)
 	}
 	sort.Float64s(coords)
 	split := coords[len(coords)/2]
@@ -173,6 +197,10 @@ func (t *Tree) Len() int { return t.n }
 
 // Bounds implements index.Index.
 func (t *Tree) Bounds() geom.Rect { return t.bounds }
+
+// Store implements index.Storer: the relation-wide store holding the leaves
+// as contiguous spans in depth-first (block-ID) order.
+func (t *Tree) Store() *geom.PointStore { return t.store }
 
 // TilesSpace reports that k-d tree leaf regions tile the indexed region
 // exactly, enabling the contour early-stop in Block-Marking preprocessing.

@@ -4,6 +4,10 @@
 // variants as one of the index families its algorithms run on unmodified;
 // this package exists to substantiate that index-agnosticism claim in tests
 // and benchmarks.
+//
+// Leaves are created in depth-first order and appended, points and stable
+// IDs together, to one relation-wide geom.PointStore, so every leaf block is
+// a contiguous span and the store as a whole is in block-ID order.
 package quadtree
 
 import (
@@ -19,10 +23,14 @@ type Tree struct {
 	root   *node
 	bounds geom.Rect
 	blocks []*index.Block
+	store  *geom.PointStore
 	n      int
 }
 
-var _ index.Index = (*Tree)(nil)
+var (
+	_ index.Index  = (*Tree)(nil)
+	_ index.Storer = (*Tree)(nil)
+)
 
 type node struct {
 	bounds   geom.Rect
@@ -47,8 +55,23 @@ type Options struct {
 	Bounds geom.Rect
 }
 
-// New builds a quadtree over pts.
+// buildPoint carries one point with its stable ID through the recursive
+// partition; the result lands in SoA form in the tree's store.
+type buildPoint struct {
+	p  geom.Point
+	id int32
+}
+
+// New builds a quadtree over pts, assigning stable point IDs 0..len-1 in
+// input order.
 func New(pts []geom.Point, opt Options) (*Tree, error) {
+	return NewFromStore(geom.StoreFromPoints(pts), opt)
+}
+
+// NewFromStore builds a quadtree over the points of st, preserving the
+// store's IDs. The input store is not modified; the tree owns a
+// block-contiguous permutation of it.
+func NewFromStore(st *geom.PointStore, opt Options) (*Tree, error) {
 	if opt.LeafCapacity <= 0 {
 		opt.LeafCapacity = 64
 	}
@@ -57,29 +80,28 @@ func New(pts []geom.Point, opt Options) (*Tree, error) {
 	}
 	bounds := opt.Bounds
 	if bounds == (geom.Rect{}) {
-		if len(pts) == 0 {
+		if st.Len() == 0 {
 			return nil, fmt.Errorf("quadtree: empty point set and no explicit bounds")
 		}
-		bounds = inflate(geom.RectFromPoints(pts))
+		bounds = inflate(st.MBR(0, st.Len()))
 	}
-	for _, p := range pts {
+	owned := make([]buildPoint, st.Len())
+	for i := range owned {
+		p := st.At(i)
 		if !bounds.Contains(p) {
 			return nil, fmt.Errorf("quadtree: point %v outside explicit bounds %v", p, bounds)
 		}
+		owned[i] = buildPoint{p: p, id: st.ID(i)}
 	}
-	t := &Tree{bounds: bounds, n: len(pts)}
-	owned := make([]geom.Point, len(pts))
-	copy(owned, pts)
+	t := &Tree{bounds: bounds, n: st.Len(), store: geom.NewPointStore(st.Len())}
 	t.root = t.build(bounds, owned, opt, 0)
 	return t, nil
 }
 
-func (t *Tree) build(bounds geom.Rect, pts []geom.Point, opt Options, depth int) *node {
+func (t *Tree) build(bounds geom.Rect, pts []buildPoint, opt Options, depth int) *node {
 	nd := &node{bounds: bounds}
 	if len(pts) <= opt.LeafCapacity || depth >= opt.MaxDepth-1 {
-		b := &index.Block{ID: len(t.blocks), Bounds: bounds, Points: pts}
-		t.blocks = append(t.blocks, b)
-		nd.block = b
+		nd.block = t.appendLeaf(bounds, pts)
 		return nd
 	}
 	cx := (bounds.MinX + bounds.MaxX) / 2
@@ -90,14 +112,27 @@ func (t *Tree) build(bounds geom.Rect, pts []geom.Point, opt Options, depth int)
 		{MinX: bounds.MinX, MinY: cy, MaxX: cx, MaxY: bounds.MaxY}, // NW
 		{MinX: cx, MinY: cy, MaxX: bounds.MaxX, MaxY: bounds.MaxY}, // NE
 	}
-	var parts [4][]geom.Point
-	for _, p := range pts {
-		parts[quadrant(p, cx, cy)] = append(parts[quadrant(p, cx, cy)], p)
+	var parts [4][]buildPoint
+	for _, bp := range pts {
+		q := quadrant(bp.p, cx, cy)
+		parts[q] = append(parts[q], bp)
 	}
 	for i := range quads {
 		nd.children[i] = t.build(quads[i], parts[i], opt, depth+1)
 	}
 	return nd
+}
+
+// appendLeaf writes a leaf's points to the store as the next contiguous
+// span and creates its block.
+func (t *Tree) appendLeaf(bounds geom.Rect, pts []buildPoint) *index.Block {
+	off := t.store.Len()
+	for _, bp := range pts {
+		t.store.AppendWithID(bp.p, bp.id)
+	}
+	b := index.NewBlock(len(t.blocks), bounds, t.store, off, len(pts))
+	t.blocks = append(t.blocks, b)
+	return b
 }
 
 // quadrant assigns a point to one of the four child quadrants. Points on the
@@ -121,6 +156,10 @@ func (t *Tree) Len() int { return t.n }
 
 // Bounds implements index.Index.
 func (t *Tree) Bounds() geom.Rect { return t.bounds }
+
+// Store implements index.Storer: the relation-wide store holding the leaves
+// as contiguous spans in depth-first (block-ID) order.
+func (t *Tree) Store() *geom.PointStore { return t.store }
 
 // Depth returns the height of the tree (a single leaf has depth 1).
 func (t *Tree) Depth() int { return depth(t.root) }

@@ -90,7 +90,7 @@ func TestQuadrantAssignmentConsistency(t *testing.T) {
 			t.Fatalf("Locate(%v) = nil", p)
 		}
 		found := false
-		for _, q := range b.Points {
+		for q := range b.Points() {
 			if q == p {
 				found = true
 			}

@@ -6,11 +6,13 @@
 // STR packing (Leutenegger, Lopez, Edgington 1997) sorts points by X, cuts
 // them into vertical slabs, sorts each slab by Y and cuts runs of the leaf
 // capacity. For static snapshots — the paper's setting — the resulting tree
-// is near-optimally packed. Leaf minimum bounding rectangles do not tile
-// space (there are gaps between them), which the contour optimization of the
-// Block-Marking preprocessing cannot rely on; the tree therefore reports
-// TilesSpace() == false and algorithms fall back to exhaustive block
-// preprocessing.
+// is near-optimally packed, and the STR order doubles as the permutation of
+// the relation-wide geom.PointStore: leaves are appended to the store in
+// creation order, so every leaf block is a contiguous span. Leaf minimum
+// bounding rectangles do not tile space (there are gaps between them), which
+// the contour optimization of the Block-Marking preprocessing cannot rely
+// on; the tree therefore reports TilesSpace() == false and algorithms fall
+// back to exhaustive block preprocessing.
 package rtree
 
 import (
@@ -27,11 +29,15 @@ type Tree struct {
 	root   *node
 	bounds geom.Rect
 	blocks []*index.Block
+	store  *geom.PointStore
 	n      int
 	height int
 }
 
-var _ index.Index = (*Tree)(nil)
+var (
+	_ index.Index  = (*Tree)(nil)
+	_ index.Storer = (*Tree)(nil)
+)
 
 type node struct {
 	bounds   geom.Rect
@@ -49,10 +55,24 @@ type Options struct {
 	Fanout int
 }
 
-// New builds an STR-packed R-tree over pts. It returns an error for an empty
-// point set: an R-tree over nothing has no region.
+// buildPoint carries one point with its stable ID through the STR sorts.
+type buildPoint struct {
+	p  geom.Point
+	id int32
+}
+
+// New builds an STR-packed R-tree over pts, assigning stable point IDs
+// 0..len-1 in input order. It returns an error for an empty point set: an
+// R-tree over nothing has no region.
 func New(pts []geom.Point, opt Options) (*Tree, error) {
-	if len(pts) == 0 {
+	return NewFromStore(geom.StoreFromPoints(pts), opt)
+}
+
+// NewFromStore builds an STR-packed R-tree over the points of st,
+// preserving the store's IDs. The input store is not modified; the tree
+// owns a block-contiguous (STR-ordered) permutation of it.
+func NewFromStore(st *geom.PointStore, opt Options) (*Tree, error) {
+	if st.Len() == 0 {
 		return nil, fmt.Errorf("rtree: empty point set")
 	}
 	if opt.LeafCapacity <= 0 {
@@ -62,9 +82,11 @@ func New(pts []geom.Point, opt Options) (*Tree, error) {
 		opt.Fanout = 16
 	}
 
-	owned := make([]geom.Point, len(pts))
-	copy(owned, pts)
-	t := &Tree{n: len(owned)}
+	owned := make([]buildPoint, st.Len())
+	for i := range owned {
+		owned[i] = buildPoint{p: st.At(i), id: st.ID(i)}
+	}
+	t := &Tree{n: len(owned), store: geom.NewPointStore(len(owned))}
 
 	leaves := t.packLeaves(owned, opt.LeafCapacity)
 	level := leaves
@@ -78,17 +100,18 @@ func New(pts []geom.Point, opt Options) (*Tree, error) {
 }
 
 // packLeaves applies one round of STR tiling to the points and creates the
-// leaf nodes/blocks.
-func (t *Tree) packLeaves(pts []geom.Point, cap int) []*node {
+// leaf nodes/blocks, appending each leaf's points to the store as the next
+// contiguous span.
+func (t *Tree) packLeaves(pts []buildPoint, cap int) []*node {
 	nLeaves := (len(pts) + cap - 1) / cap
 	slabs := int(math.Ceil(math.Sqrt(float64(nLeaves))))
 	perSlab := slabs * cap
 
 	sort.Slice(pts, func(i, j int) bool {
-		if pts[i].X != pts[j].X {
-			return pts[i].X < pts[j].X
+		if pts[i].p.X != pts[j].p.X {
+			return pts[i].p.X < pts[j].p.X
 		}
-		return pts[i].Y < pts[j].Y
+		return pts[i].p.Y < pts[j].p.Y
 	})
 
 	var leaves []*node
@@ -99,22 +122,21 @@ func (t *Tree) packLeaves(pts []geom.Point, cap int) []*node {
 		}
 		slab := pts[start:end]
 		sort.Slice(slab, func(i, j int) bool {
-			if slab[i].Y != slab[j].Y {
-				return slab[i].Y < slab[j].Y
+			if slab[i].p.Y != slab[j].p.Y {
+				return slab[i].p.Y < slab[j].p.Y
 			}
-			return slab[i].X < slab[j].X
+			return slab[i].p.X < slab[j].p.X
 		})
 		for ls := 0; ls < len(slab); ls += cap {
 			le := ls + cap
 			if le > len(slab) {
 				le = len(slab)
 			}
-			leafPts := slab[ls:le]
-			b := &index.Block{
-				ID:     len(t.blocks),
-				Bounds: geom.RectFromPoints(leafPts),
-				Points: leafPts,
+			off := t.store.Len()
+			for _, bp := range slab[ls:le] {
+				t.store.AppendWithID(bp.p, bp.id)
 			}
+			b := index.NewBlock(len(t.blocks), t.store.MBR(off, le-ls), t.store, off, le-ls)
 			t.blocks = append(t.blocks, b)
 			leaves = append(leaves, &node{bounds: b.Bounds, block: b})
 		}
@@ -186,6 +208,10 @@ func (t *Tree) Len() int { return t.n }
 // Bounds implements index.Index.
 func (t *Tree) Bounds() geom.Rect { return t.bounds }
 
+// Store implements index.Storer: the relation-wide store holding the leaves
+// as contiguous spans in STR packing (block-ID) order.
+func (t *Tree) Store() *geom.PointStore { return t.store }
+
 // Height returns the number of levels in the tree (a lone leaf is height 1).
 func (t *Tree) Height() int { return t.height }
 
@@ -209,8 +235,9 @@ func (t *Tree) Locate(p geom.Point) *index.Block {
 			if fallback == nil {
 				fallback = nd.block
 			}
-			for _, q := range nd.block.Points {
-				if q == p {
+			xs, ys := nd.block.XYs()
+			for i := range xs {
+				if xs[i] == p.X && ys[i] == p.Y {
 					return nd.block
 				}
 			}

@@ -37,7 +37,7 @@ func TestLeafPackingAndCounts(t *testing.T) {
 			t.Fatalf("leaf holds %d points, want 1..20", b.Count())
 		}
 		// Leaf bounds are MBRs: every point inside, and tight.
-		mbr := geom.RectFromPoints(b.Points)
+		mbr := geom.RectFromPoints(b.AppendPoints(nil))
 		if b.Bounds != mbr {
 			t.Fatalf("leaf bounds %v are not the MBR %v", b.Bounds, mbr)
 		}

@@ -66,6 +66,40 @@ func TestNeighborhoodWithinZeroAllocsSteadyState(t *testing.T) {
 	}
 }
 
+// TestSpanScanZeroAllocs covers the span primitives underneath the
+// searcher's hot loop: obtaining a block's flat X/Y columns and scanning
+// them (the radius-filter kernel) must not allocate on any index family —
+// the columnar refactor's whole point is that the inner loop touches only
+// pre-laid-out arrays.
+func TestSpanScanZeroAllocs(t *testing.T) {
+	for _, kind := range testutil.AllIndexKinds {
+		t.Run(string(kind), func(t *testing.T) {
+			bounds := geom.NewRect(0, 0, 1000, 1000)
+			pts := testutil.UniformPoints(4000, bounds, 41)
+			ix := testutil.BuildIndex(t, kind, pts)
+			blocks := ix.Blocks()
+			q := geom.Point{X: 500, Y: 500}
+			sink := 0
+			avg := testing.AllocsPerRun(100, func() {
+				for _, b := range blocks {
+					xs, ys := b.XYs()
+					for i := range xs {
+						dx, dy := xs[i]-q.X, ys[i]-q.Y
+						if dx*dx+dy*dy <= 100*100 {
+							sink++
+						}
+					}
+					sink += b.CountWithinSq(q, 50*50)
+				}
+			})
+			if avg != 0 {
+				t.Errorf("%s: span scan allocates %v per full pass, want 0", kind, avg)
+			}
+			_ = sink
+		})
+	}
+}
+
 func TestCountStrictlyCloserZeroAllocs(t *testing.T) {
 	for _, kind := range testutil.AllIndexKinds {
 		t.Run(string(kind), func(t *testing.T) {

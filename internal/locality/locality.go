@@ -234,14 +234,31 @@ func (s *Searcher) NeighborhoodWithin(p geom.Point, k int, threshold float64, c 
 			break
 		}
 		scanned++
-		examined += len(b.Points)
-		for _, q := range b.Points {
-			s.heap.offer(q, q.DistSq(p))
-		}
+		examined += s.scanSpan(b, p)
 	}
 	c.AddBlocksScanned(scanned)
 	c.AddNeighborhood(examined)
 	return s.heap.extractInto(&s.result, p)
+}
+
+// scanSpan feeds every point of b into the selection heap as a flat,
+// branch-light scan over the block's X/Y columns: distances come straight
+// from the coordinate arrays (no Point struct loads), and once the heap is
+// full a single compare against the running k-th distance rejects the
+// common case before any heap work. Returns the number of points examined.
+func (s *Searcher) scanSpan(b *index.Block, p geom.Point) int {
+	xs, ys := b.XYs()
+	h := &s.heap
+	for i, x := range xs {
+		dx := x - p.X
+		dy := ys[i] - p.Y
+		dSq := dx*dx + dy*dy
+		if len(h.items) >= h.k && dSq > h.items[0].dSq {
+			continue
+		}
+		h.offer(geom.Point{X: x, Y: ys[i]}, dSq)
+	}
+	return len(xs)
 }
 
 // CountStrictlyCloser counts indexed points in blocks whose MAXDIST from p
@@ -305,10 +322,7 @@ func (s *Searcher) neighborhood(p geom.Point, k int, thresholdSq float64, c *sta
 			s.inLoc[b.ID] = true
 			s.touched = append(s.touched, b.ID)
 			if !s.heap.full() || minSq <= s.heap.boundSq() {
-				examined += len(b.Points)
-				for _, q := range b.Points {
-					s.heap.offer(q, q.DistSq(p))
-				}
+				examined += s.scanSpan(b, p)
 			}
 		}
 	}
@@ -336,10 +350,7 @@ func (s *Searcher) neighborhood(p geom.Point, k int, thresholdSq float64, c *sta
 				continue
 			}
 			if minSq <= thresholdSq {
-				examined += len(b.Points)
-				for _, q := range b.Points {
-					s.heap.offer(q, q.DistSq(p))
-				}
+				examined += s.scanSpan(b, p)
 			}
 		}
 	}

@@ -2,10 +2,18 @@
 // an optional header). It is the interchange format between the cmd/datagen
 // generator and the cmd/knnquery runner, and a convenient way to feed real
 // datasets into the library.
+//
+// The native in-memory form is the columnar geom.PointStore: ReadStore /
+// ReadFileStore parse straight into a store (ReadFileStore pre-sized from a
+// line count, so filling it never regrows), assigning stable IDs in file
+// order, and WriteStore streams a store back out in storage order — a
+// lossless round-trip of coordinates, order and IDs for unpermuted stores.
+// The []geom.Point functions remain as thin wrappers.
 package pointio
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"os"
@@ -32,6 +40,26 @@ func Write(w io.Writer, pts []geom.Point) error {
 	return nil
 }
 
+// WriteStore streams a point store as CSV in storage order, row i holding
+// point i of the store. Reading the output back yields a store with the
+// same coordinates in the same order (and, for a store whose IDs are the
+// identity permutation, the same IDs).
+func WriteStore(w io.Writer, st *geom.PointStore) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("x,y\n"); err != nil {
+		return fmt.Errorf("pointio: writing header: %w", err)
+	}
+	for i := 0; i < st.Len(); i++ {
+		if _, err := fmt.Fprintf(bw, "%g,%g\n", st.Xs[i], st.Ys[i]); err != nil {
+			return fmt.Errorf("pointio: writing point: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("pointio: flushing: %w", err)
+	}
+	return nil
+}
+
 // WriteFile writes points to a CSV file, creating or truncating it.
 func WriteFile(path string, pts []geom.Point) error {
 	f, err := os.Create(path)
@@ -45,13 +73,44 @@ func WriteFile(path string, pts []geom.Point) error {
 	return f.Close()
 }
 
+// WriteFileStore writes a point store to a CSV file, creating or truncating
+// it.
+func WriteFileStore(path string, st *geom.PointStore) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("pointio: %w", err)
+	}
+	defer f.Close()
+	if err := WriteStore(f, st); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
 // Read parses CSV points. A first line that does not parse as two floats is
 // treated as a header and skipped; blank lines are ignored. Errors identify
 // the offending line number.
 func Read(r io.Reader) ([]geom.Point, error) {
+	st, err := ReadStore(r)
+	if err != nil {
+		return nil, err
+	}
+	return st.Points(), nil
+}
+
+// ReadStore parses CSV points directly into a columnar store, preserving
+// file order and assigning stable IDs 0..n-1 by row. Header and blank-line
+// handling match Read.
+func ReadStore(r io.Reader) (*geom.PointStore, error) {
+	return readStore(r, 0)
+}
+
+// readStore parses into a store pre-sized for sizeHint points (0 for
+// unknown).
+func readStore(r io.Reader, sizeHint int) (*geom.PointStore, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 1024*1024)
-	var pts []geom.Point
+	st := geom.NewPointStore(sizeHint)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -66,22 +125,43 @@ func Read(r io.Reader) ([]geom.Point, error) {
 			}
 			return nil, fmt.Errorf("pointio: line %d: %w", lineNo, err)
 		}
-		pts = append(pts, p)
+		st.Append(p)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("pointio: reading: %w", err)
 	}
-	return pts, nil
+	return st, nil
 }
 
 // ReadFile reads a CSV point file.
 func ReadFile(path string) ([]geom.Point, error) {
-	f, err := os.Open(path)
+	st, err := ReadFileStore(path)
+	if err != nil {
+		return nil, err
+	}
+	return st.Points(), nil
+}
+
+// ReadFileStore reads a CSV point file into a columnar store. The whole
+// file is loaded and its lines counted first, so the store is pre-sized
+// exactly and filling it never regrows the coordinate arrays.
+func ReadFileStore(path string) (*geom.PointStore, error) {
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("pointio: %w", err)
 	}
-	defer f.Close()
-	return Read(f)
+	return readStore(bytes.NewReader(data), countLines(data))
+}
+
+// countLines counts newline-terminated rows (plus a trailing unterminated
+// one) — an upper bound on the point count that makes the store pre-size
+// exact up to header and blank lines.
+func countLines(data []byte) int {
+	n := bytes.Count(data, []byte{'\n'})
+	if len(data) > 0 && data[len(data)-1] != '\n' {
+		n++
+	}
+	return n
 }
 
 func parseLine(line string) (geom.Point, error) {

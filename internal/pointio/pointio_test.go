@@ -86,3 +86,67 @@ func TestFileRoundTrip(t *testing.T) {
 		t.Errorf("missing file must error")
 	}
 }
+
+// TestStoreRoundTrip checks the columnar path: WriteStore → ReadStore must
+// reproduce coordinates, order and (for identity-ID stores) IDs exactly.
+func TestStoreRoundTrip(t *testing.T) {
+	st := geom.StoreFromPoints([]geom.Point{{X: 1.5, Y: -2.25}, {X: 0, Y: 0}, {X: 1e6, Y: 1e-6}})
+	var sb strings.Builder
+	if err := WriteStore(&sb, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadStore(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, st) {
+		t.Fatalf("store round trip: got %+v, want %+v", got, st)
+	}
+}
+
+// TestFileStoreRoundTripPreSized checks that ReadFileStore pre-sizes the
+// store exactly from the file's line count: no append-regrow, capacities
+// equal to the final length.
+func TestFileStoreRoundTripPreSized(t *testing.T) {
+	st := geom.StoreFromPoints([]geom.Point{{X: 3, Y: 4}, {X: -1, Y: 2}, {X: 0.5, Y: 0.25}, {X: 7, Y: 7}})
+	path := filepath.Join(t.TempDir(), "pts.csv")
+	if err := WriteFileStore(path, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, st) {
+		t.Fatalf("file store round trip: got %+v, want %+v", got, st)
+	}
+	// The pre-size comes from the file's line count, which includes the
+	// header row: capacity is the point count plus at most one, and append
+	// never regrew past it.
+	if cap(got.Xs) < got.Len() || cap(got.Xs) > got.Len()+1 ||
+		cap(got.Ys) != cap(got.Xs) || cap(got.IDs) != cap(got.Xs) {
+		t.Fatalf("store not pre-sized from the line count: len %d, caps %d/%d/%d",
+			got.Len(), cap(got.Xs), cap(got.Ys), cap(got.IDs))
+	}
+}
+
+// TestStoreMatchesPointAPI pins the wrappers: Read and ReadStore must agree.
+func TestStoreMatchesPointAPI(t *testing.T) {
+	in := "x,y\n1,2\n3,4\n"
+	pts, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ReadStore(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st.Points(), pts) {
+		t.Fatalf("ReadStore points %v != Read %v", st.Points(), pts)
+	}
+	for i := 0; i < st.Len(); i++ {
+		if st.ID(i) != int32(i) {
+			t.Fatalf("ID(%d) = %d, want file order", i, st.ID(i))
+		}
+	}
+}

@@ -3,6 +3,7 @@ package twoknn
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/geom"
@@ -75,10 +76,24 @@ func (k IndexKind) String() string {
 var ErrEmptyRelation = errors.New("twoknn: relation has no points and no explicit bounds")
 
 // Relation is an immutable, indexed snapshot of points, ready for querying.
+//
+// Storage is columnar: the relation owns one flat structure-of-arrays
+// PointStore (separate X and Y columns) that the index permuted into
+// block-contiguous order at build time. Every point keeps a stable ID — its
+// position in the slice passed to NewRelation — across that permutation;
+// PointID, PointAt and PointByID expose the mapping. Stable IDs are the
+// identity primitive for layers above snapshots (result streaming, sharded
+// scatter/gather, change feeds): they name a point independently of where
+// any particular index placed it.
 type Relation struct {
 	name string
 	kind IndexKind
 	rel  *core.Relation
+
+	// byID lazily maps a stable point ID to its position in the permuted
+	// store (built on first PointByID).
+	byIDOnce sync.Once
+	byID     []int32
 }
 
 // RelationOption configures NewRelation.
@@ -135,25 +150,29 @@ func NewRelation(name string, pts []Point, opts ...RelationOption) (*Relation, e
 		return nil, fmt.Errorf("%w (name %q)", ErrEmptyRelation, name)
 	}
 
+	// One pass into columnar form; the index constructor permutes this
+	// store into block-contiguous order, carrying the stable IDs (input
+	// positions) along.
+	st := geom.StoreFromPoints(pts)
 	var (
 		ix  index.Index
 		err error
 	)
 	switch cfg.kind {
 	case QuadtreeIndex:
-		ix, err = quadtree.New(pts, quadtree.Options{LeafCapacity: cfg.capacity, Bounds: cfg.bounds})
+		ix, err = quadtree.NewFromStore(st, quadtree.Options{LeafCapacity: cfg.capacity, Bounds: cfg.bounds})
 	case KDTreeIndex:
-		ix, err = kdtree.New(pts, kdtree.Options{LeafCapacity: cfg.capacity, Bounds: cfg.bounds})
+		ix, err = kdtree.NewFromStore(st, kdtree.Options{LeafCapacity: cfg.capacity, Bounds: cfg.bounds})
 	case RTreeIndex:
 		if len(pts) == 0 {
 			// An R-tree over nothing has no region; fall back to a
 			// single-cell grid so empty relations behave uniformly.
 			ix, err = grid.New(nil, grid.Options{Bounds: cfg.bounds, Cols: 1, Rows: 1})
 		} else {
-			ix, err = rtree.New(pts, rtree.Options{LeafCapacity: cfg.capacity})
+			ix, err = rtree.NewFromStore(st, rtree.Options{LeafCapacity: cfg.capacity})
 		}
 	default:
-		ix, err = grid.New(pts, grid.Options{TargetPerCell: cfg.capacity, Bounds: cfg.bounds})
+		ix, err = grid.NewFromStore(st, grid.Options{TargetPerCell: cfg.capacity, Bounds: cfg.bounds})
 	}
 	if err != nil {
 		return nil, fmt.Errorf("twoknn: building %s index for %q: %w", cfg.kind, name, err)
@@ -181,6 +200,45 @@ func (r *Relation) IndexKind() IndexKind { return r.kind }
 
 // Points returns a copy of the relation's points in index scan order.
 func (r *Relation) Points() []Point { return r.rel.Points() }
+
+// PointAt returns the i-th point in index scan order, 0 ≤ i < Len().
+func (r *Relation) PointAt(i int) Point { return r.rel.Store().At(i) }
+
+// PointID returns the stable ID of the i-th point in index scan order: its
+// position in the point slice the relation was built from. The mapping is
+// fixed at construction and survives the index's block permutation.
+func (r *Relation) PointID(i int) int32 { return r.rel.Store().ID(i) }
+
+// PointIDs returns the stable IDs of all points, parallel to Points().
+func (r *Relation) PointIDs() []int32 {
+	st := r.rel.Store()
+	out := make([]int32, st.Len())
+	copy(out, st.IDs)
+	return out
+}
+
+// PointByID returns the point with the given stable ID, or ok == false when
+// no such ID exists. The first call builds an O(n)-space inverse index;
+// later calls are O(1) and safe for concurrent use.
+func (r *Relation) PointByID(id int32) (p Point, ok bool) {
+	st := r.rel.Store()
+	r.byIDOnce.Do(func() {
+		inv := make([]int32, st.Len())
+		for i := range inv {
+			inv[i] = -1
+		}
+		for pos, pid := range st.IDs {
+			if pid >= 0 && int(pid) < len(inv) {
+				inv[pid] = int32(pos)
+			}
+		}
+		r.byID = inv
+	})
+	if id < 0 || int(id) >= len(r.byID) || r.byID[id] < 0 {
+		return Point{}, false
+	}
+	return st.At(int(r.byID[id])), true
+}
 
 // Clone returns an independent handle over the same immutable index and
 // searcher pool. Every query entry point is goroutine-safe against a

@@ -444,3 +444,58 @@ func TestKNNJoinWithParallelism(t *testing.T) {
 		}
 	}
 }
+
+// TestStablePointIDs checks the PR 3 identity surface: a point's ID is its
+// position in the input slice, identical across index kinds, and PointByID
+// inverts the index permutation.
+func TestStablePointIDs(t *testing.T) {
+	var pts []twoknn.Point // 225 distinct points on a lattice
+	for gx := 0; gx < 15; gx++ {
+		for gy := 0; gy < 15; gy++ {
+			pts = append(pts, twoknn.Point{X: float64(gx) * 7, Y: float64(gy) * 5})
+		}
+	}
+	kinds := []twoknn.IndexKind{
+		twoknn.GridIndex, twoknn.QuadtreeIndex, twoknn.RTreeIndex, twoknn.KDTreeIndex,
+	}
+	for _, kind := range kinds {
+		rel, err := twoknn.NewRelation("ids", pts,
+			twoknn.WithIndexKind(kind), twoknn.WithBlockCapacity(16))
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if rel.Len() != len(pts) {
+			t.Fatalf("%v: Len = %d, want %d", kind, rel.Len(), len(pts))
+		}
+		ids := rel.PointIDs()
+		seen := make([]bool, len(pts))
+		for i, id := range ids {
+			if id < 0 || int(id) >= len(pts) {
+				t.Fatalf("%v: ID %d out of range", kind, id)
+			}
+			if seen[id] {
+				t.Fatalf("%v: ID %d duplicated", kind, id)
+			}
+			seen[id] = true
+			// The i-th scan-order point carries the ID of its input position.
+			if rel.PointAt(i) != pts[id] {
+				t.Fatalf("%v: PointAt(%d) = %v, want input[%d] = %v", kind, i, rel.PointAt(i), id, pts[id])
+			}
+			if rel.PointID(i) != id {
+				t.Fatalf("%v: PointID(%d) = %d, want %d", kind, i, rel.PointID(i), id)
+			}
+		}
+		for id := range pts {
+			p, ok := rel.PointByID(int32(id))
+			if !ok || p != pts[id] {
+				t.Fatalf("%v: PointByID(%d) = %v, %v; want %v", kind, id, p, ok, pts[id])
+			}
+		}
+		if _, ok := rel.PointByID(int32(len(pts))); ok {
+			t.Fatalf("%v: PointByID out of range must report !ok", kind)
+		}
+		if _, ok := rel.PointByID(-1); ok {
+			t.Fatalf("%v: PointByID(-1) must report !ok", kind)
+		}
+	}
+}
