@@ -19,12 +19,16 @@
 //	                            # contention sweep (pooled searcher handles
 //	                            # vs a mutex-guarded searcher at 1/4/16
 //	                            # goroutines), recorded in BENCH_PR2.json
+//	knnbench -fig abl-shards    # the sharded scatter/gather ablation
+//	   -shards 1,2,4,8          # (shard-count sweep override), recorded in
+//	                            # BENCH_PR4.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/bench"
@@ -38,13 +42,43 @@ func main() {
 		scaleFlag    = flag.String("scale", "ci", "workload scale: \"ci\" (reduced, minutes) or \"paper\" (full cardinalities)")
 		statsFlag    = flag.Bool("stats", false, "print machine-independent operation counters per plan")
 		jsonFlag     = flag.String("json", "", "path to write the results as machine-readable JSON")
+		shardsFlag   = flag.String("shards", "", "comma-separated shard counts for the abl-shards sweep (e.g. \"1,2,4\"; default 1,2,4,8)")
 	)
 	flag.Parse()
+
+	if *shardsFlag != "" {
+		counts, err := parseShardCounts(*shardsFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "knnbench:", err)
+			os.Exit(1)
+		}
+		bench.ShardCounts = counts
+	}
 
 	if err := run(*figFlag, *ablFlag, *parallelFlag, *scaleFlag, *statsFlag, *jsonFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "knnbench:", err)
 		os.Exit(1)
 	}
+}
+
+// parseShardCounts parses the -shards list.
+func parseShardCounts(s string) ([]int, error) {
+	var out []int
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		n, err := strconv.Atoi(tok)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-shards: %q is not a positive shard count", tok)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-shards: no shard counts given")
+	}
+	return out, nil
 }
 
 func run(figs string, ablations, parallel bool, scaleName string, withStats bool, jsonPath string) error {

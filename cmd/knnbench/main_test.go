@@ -20,8 +20,20 @@ func TestSelectExperimentsAblations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(exps) != 5 {
-		t.Fatalf("ablation selection has %d experiments, want 5", len(exps))
+	if len(exps) != 6 {
+		t.Fatalf("ablation selection has %d experiments, want 6", len(exps))
+	}
+}
+
+func TestParseShardCounts(t *testing.T) {
+	got, err := parseShardCounts("1, 2,8")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 8 {
+		t.Fatalf("parseShardCounts = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", ",,", "0", "-2", "x"} {
+		if _, err := parseShardCounts(bad); err == nil {
+			t.Errorf("parseShardCounts(%q) must error", bad)
+		}
 	}
 }
 

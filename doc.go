@@ -81,6 +81,35 @@
 // concurrent queries. Clone remains available to give a long-lived
 // component a dedicated handle, but is no longer required for correctness.
 //
+// # Sharding
+//
+// NewShardedRelation partitions one logical point set across S shards,
+// each an independently indexed sub-relation with its own columnar store,
+// spatial index and searcher pool. Every query function accepts any mix of
+// *Relation and *ShardedRelation operands (the Source interface); sharded
+// operands execute by scatter/gather — per-shard candidate generation
+// fanned out with WithConcurrency-style bounded parallelism, then an exact
+// merge that re-selects the global k by the repository-wide
+// (distance, X, Y) tie order. The guarantee is exactness, not
+// approximation: the global k nearest neighbors of any point are a subset
+// of the union of the per-shard k nearest, so the merged answer — and
+// every query shape built on it — is byte-identical to the single-relation
+// evaluation (join shapes are returned in canonical SortPairs/SortTriples
+// order; KNNSelect and TwoSelects keep the single-relation order). A
+// differential oracle suite enforces this across shard counts, both
+// partitioning policies, all four index kinds and uniform/clustered data.
+//
+// Two partitioning policies are available through WithShardPolicy:
+// HashSharding (default) scatters points by a hash of their stable ID for
+// tight size balance, and SpatialSharding tiles space STR-style so each
+// shard owns a compact tile — probes then skip shards whose bounds lie
+// strictly farther than k already-gathered candidates, keeping distant
+// tiles free. Stable point IDs are global: a point keeps its input
+// position as identity no matter which shard indexes it. Per-shard
+// lifetime operation counters and their aggregate are available through
+// ShardedRelation.Snapshot; WithMaxSearchers bounds each shard's pool
+// individually.
+//
 // Internally (relevant only to code using the internal packages): a
 // locality.Neighborhood returned by a Searcher is owned by that searcher
 // and valid only until its next query — retain it across queries with

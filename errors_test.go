@@ -1,0 +1,198 @@
+package twoknn_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	twoknn "repro"
+	"repro/internal/datagen"
+)
+
+// TestArgumentValidation locks the argument-validation contract of all eight
+// public query entry points (KNNSelect on both backings, KNNJoin,
+// SelectInnerJoin, SelectOuterJoin, TwoSelects, UnchainedJoins,
+// ChainedJoins, RangeInnerJoin):
+//
+//   - any nil relation argument (nil interface or typed nil pointer) returns
+//     an error wrapping ErrNilRelation;
+//   - any non-positive k parameter returns an error wrapping
+//     ErrNonPositiveK;
+//   - empty relations (zero points, built with WithBounds) are NOT an
+//     error: queries succeed and return empty results.
+func TestArgumentValidation(t *testing.T) {
+	bounds := twoknn.NewRect(0, 0, 100, 100)
+	f := twoknn.Point{X: 50, Y: 50}
+	rng := twoknn.NewRect(10, 10, 60, 60)
+	pts := datagen.Uniform(40, bounds, 1)
+
+	rel, err := twoknn.NewRelation("r", pts, twoknn.WithBounds(bounds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srel, err := twoknn.NewShardedRelation("s", pts, 3, twoknn.WithBounds(bounds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty, err := twoknn.NewRelation("empty", nil, twoknn.WithBounds(bounds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sempty, err := twoknn.NewShardedRelation("sempty", nil, 2, twoknn.WithBounds(bounds))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Each entry invokes one public function with three relation slots (the
+	// unused ones are ignored) and its k parameters taken from ks.
+	type entry struct {
+		name    string
+		numRels int
+		numKs   int
+		// size reports the result cardinality (for the empty-relation
+		// checks) alongside the error.
+		invoke func(a, b, c twoknn.Source, ks []int) (int, error)
+	}
+	entries := []entry{
+		{"KNNSelect", 1, 1, func(a, _, _ twoknn.Source, ks []int) (int, error) {
+			switch r := a.(type) {
+			case *twoknn.Relation:
+				out, err := r.KNNSelect(f, ks[0])
+				return len(out), err
+			case *twoknn.ShardedRelation:
+				out, err := r.KNNSelect(f, ks[0])
+				return len(out), err
+			default:
+				// nil interface: exercise the method on a typed nil receiver.
+				var r2 *twoknn.Relation
+				out, err := r2.KNNSelect(f, ks[0])
+				return len(out), err
+			}
+		}},
+		{"KNNJoin", 2, 1, func(a, b, _ twoknn.Source, ks []int) (int, error) {
+			out, err := twoknn.KNNJoin(a, b, ks[0])
+			return len(out), err
+		}},
+		{"SelectInnerJoin", 2, 2, func(a, b, _ twoknn.Source, ks []int) (int, error) {
+			out, err := twoknn.SelectInnerJoin(a, b, f, ks[0], ks[1])
+			return len(out), err
+		}},
+		{"SelectOuterJoin", 2, 2, func(a, b, _ twoknn.Source, ks []int) (int, error) {
+			out, err := twoknn.SelectOuterJoin(a, b, f, ks[0], ks[1])
+			return len(out), err
+		}},
+		{"TwoSelects", 1, 2, func(a, _, _ twoknn.Source, ks []int) (int, error) {
+			out, err := twoknn.TwoSelects(a, f, ks[0], twoknn.Point{X: 60, Y: 40}, ks[1])
+			return len(out), err
+		}},
+		{"UnchainedJoins", 3, 2, func(a, b, c twoknn.Source, ks []int) (int, error) {
+			out, err := twoknn.UnchainedJoins(a, b, c, ks[0], ks[1])
+			return len(out), err
+		}},
+		{"ChainedJoins", 3, 2, func(a, b, c twoknn.Source, ks []int) (int, error) {
+			out, err := twoknn.ChainedJoins(a, b, c, ks[0], ks[1])
+			return len(out), err
+		}},
+		{"RangeInnerJoin", 2, 1, func(a, b, _ twoknn.Source, ks []int) (int, error) {
+			out, err := twoknn.RangeInnerJoin(a, b, rng, ks[0])
+			return len(out), err
+		}},
+	}
+
+	validKs := func(n int) []int {
+		ks := make([]int, n)
+		for i := range ks {
+			ks[i] = 2
+		}
+		return ks
+	}
+	nils := map[string]twoknn.Source{
+		"nil-interface":   nil,
+		"typed-nil":       (*twoknn.Relation)(nil),
+		"typed-nil-shard": (*twoknn.ShardedRelation)(nil),
+	}
+
+	for _, e := range entries {
+		for _, backing := range []struct {
+			name      string
+			full, nul twoknn.Source
+		}{
+			{"single", rel, empty},
+			{"sharded", srel, sempty},
+		} {
+			t.Run(fmt.Sprintf("%s/%s", e.name, backing.name), func(t *testing.T) {
+				args := func(slot int, v twoknn.Source) (a, b, c twoknn.Source) {
+					a, b, c = backing.full, backing.full, backing.full
+					switch slot {
+					case 0:
+						a = v
+					case 1:
+						b = v
+					case 2:
+						c = v
+					}
+					return
+				}
+
+				// Valid arguments succeed.
+				if _, err := e.invoke(backing.full, backing.full, backing.full, validKs(e.numKs)); err != nil {
+					t.Fatalf("valid call errored: %v", err)
+				}
+
+				// Every relation slot, every flavor of nil.
+				for slot := 0; slot < e.numRels; slot++ {
+					for nilName, v := range nils {
+						a, b, c := args(slot, v)
+						_, err := e.invoke(a, b, c, validKs(e.numKs))
+						if !errors.Is(err, twoknn.ErrNilRelation) {
+							t.Errorf("slot %d %s: got %v, want ErrNilRelation", slot, nilName, err)
+						}
+					}
+				}
+
+				// Every k slot, zero and negative.
+				for kSlot := 0; kSlot < e.numKs; kSlot++ {
+					for _, bad := range []int{0, -3} {
+						ks := validKs(e.numKs)
+						ks[kSlot] = bad
+						_, err := e.invoke(backing.full, backing.full, backing.full, ks)
+						if !errors.Is(err, twoknn.ErrNonPositiveK) {
+							t.Errorf("k slot %d = %d: got %v, want ErrNonPositiveK", kSlot, bad, err)
+						}
+					}
+				}
+
+				// Empty relations: no error, empty result, in every slot and
+				// in all slots at once.
+				for slot := 0; slot < e.numRels; slot++ {
+					a, b, c := args(slot, backing.nul)
+					if _, err := e.invoke(a, b, c, validKs(e.numKs)); err != nil {
+						t.Errorf("empty relation in slot %d errored: %v", slot, err)
+					}
+				}
+				n, err := e.invoke(backing.nul, backing.nul, backing.nul, validKs(e.numKs))
+				if err != nil {
+					t.Errorf("all-empty call errored: %v", err)
+				}
+				if n != 0 {
+					t.Errorf("all-empty call returned %d results", n)
+				}
+			})
+		}
+	}
+}
+
+// TestShardCountValidation locks NewShardedRelation's construction errors.
+func TestShardCountValidation(t *testing.T) {
+	pts := datagen.Uniform(10, twoknn.NewRect(0, 0, 10, 10), 1)
+	for _, s := range []int{0, -1} {
+		_, err := twoknn.NewShardedRelation("bad", pts, s)
+		if !errors.Is(err, twoknn.ErrInvalidShardCount) {
+			t.Errorf("shards=%d: got %v, want ErrInvalidShardCount", s, err)
+		}
+	}
+	_, err := twoknn.NewShardedRelation("empty", nil, 2)
+	if !errors.Is(err, twoknn.ErrEmptyRelation) {
+		t.Errorf("empty without bounds: got %v, want ErrEmptyRelation", err)
+	}
+}

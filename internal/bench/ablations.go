@@ -8,9 +8,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/index"
+	"repro/internal/index/grid"
 	"repro/internal/index/kdtree"
 	"repro/internal/index/quadtree"
 	"repro/internal/index/rtree"
+	"repro/internal/shard"
 	"repro/internal/stats"
 )
 
@@ -21,7 +23,7 @@ import (
 // parallel join, the concurrent-serving contention sweep, and the
 // columnar-layout scan comparison. They run through the same harness as
 // the figures.
-var Ablations = []Experiment{ablPreprocess, ablIndexKinds, ablParallel, ablContention, ablLayout}
+var Ablations = []Experiment{ablPreprocess, ablIndexKinds, ablParallel, ablContention, ablLayout, ablShards}
 
 // ParallelExperiments are the concurrency-focused subset run by
 // `knnbench -parallel` (the BENCH_PR2.json trajectory).
@@ -275,6 +277,79 @@ var ablLayout = Experiment{
 							}
 						}
 						return total
+					}},
+				},
+			})
+		}
+		return cases
+	},
+}
+
+// --- Ablation: sharded scatter/gather vs the single-relation baseline ---
+
+// ShardCounts is the shard-count sweep of the abl-shards experiment;
+// `knnbench -shards 1,2,4` overrides it.
+var ShardCounts = []int{1, 2, 4, 8}
+
+// ablShards isolates the PR 4 sharding subsystem: the same kNN-join runs
+// over one un-sharded relation pair ("single", the baseline) and over
+// hash- and spatially-partitioned ShardedRelation pairs at each shard
+// count. The harness's per-row cardinality agreement doubles as an
+// exactness check at benchmark scale; the timing series is the
+// scatter/gather overhead curve (each probe fans out to S per-shard
+// candidate generations, so single-threaded cost grows with S — the payoff
+// is per-shard parallelism and the horizontal-scaling story, not
+// single-core speed).
+var ablShards = Experiment{
+	ID:     "abl-shards",
+	Title:  "sharded scatter/gather: kNN-join over S hash/spatial shards vs the single-relation baseline (k=10, BerlinMOD)",
+	XLabel: "shards",
+	Expect: "identical result cardinality at every shard count and policy; per-probe cost grows with the per-shard fan-out, spatial partitioning keeps distant shards cheap",
+	Cases: func(scale Scale) []Case {
+		n := 20000
+		if scale == ScalePaper {
+			n = 100000
+		}
+		outerPts := BerlinMODPoints("fig19-outer", n)
+		innerPts := BerlinMODPoints("fig19-inner", n)
+		outerSingle := BerlinMODRelation("fig19-outer", n)
+		innerSingle := BerlinMODRelation("fig19-inner", n)
+
+		build := func(st *geom.PointStore) (index.Index, error) {
+			// Fit each shard's grid to its own extent (as the public
+			// NewShardedRelation does): a spatial shard's cells then tile its
+			// tile, not the whole region.
+			if st.Len() == 0 {
+				return grid.NewFromStore(st, grid.Options{TargetPerCell: DefaultPerCell, Bounds: Bounds})
+			}
+			return grid.NewFromStore(st, grid.Options{TargetPerCell: DefaultPerCell})
+		}
+		sharded := func(pts []geom.Point, s int, p shard.Policy) shard.Group {
+			rel, err := shard.New(pts, s, p, 0, build)
+			if err != nil {
+				panic(fmt.Sprintf("bench: building sharded relation: %v", err)) // fixed config; cannot fail
+			}
+			return rel.Group()
+		}
+
+		var cases []Case
+		for _, s := range ShardCounts {
+			s := s
+			outerHash, innerHash := sharded(outerPts, s, shard.PolicyHash), sharded(innerPts, s, shard.PolicyHash)
+			outerSp, innerSp := sharded(outerPts, s, shard.PolicySpatial), sharded(innerPts, s, shard.PolicySpatial)
+			cases = append(cases, Case{
+				X: fmt.Sprintf("%d", s),
+				Plans: []Plan{
+					{Name: "single", Run: func(c *stats.Counters) int {
+						h := innerSingle.Acquire()
+						defer h.Release()
+						return len(core.KNNJoin(outerSingle, h, kDefault, c))
+					}},
+					{Name: "hash", Run: func(c *stats.Counters) int {
+						return len(shard.Join(outerHash, innerHash, kDefault, 1, c))
+					}},
+					{Name: "spatial", Run: func(c *stats.Counters) int {
+						return len(shard.Join(outerSp, innerSp, kDefault, 1, c))
 					}},
 				},
 			})

@@ -62,8 +62,11 @@ func sortedPointSet(nbr *locality.Neighborhood) []geom.Point {
 	return out
 }
 
-// containsPoint reports whether p is in the canonically sorted set.
-func containsPoint(set []geom.Point, p geom.Point) bool {
+// ContainsPoint reports whether p is in the canonically sorted (SortPoints
+// order) set. It is the one membership test every intersection step — core
+// and the sharded gather alike — goes through, so canonical-order changes
+// cannot diverge between them.
+func ContainsPoint(set []geom.Point, p geom.Point) bool {
 	lo, hi := 0, len(set)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
@@ -81,7 +84,7 @@ func containsPoint(set []geom.Point, p geom.Point) bool {
 func intersectPairs(pairs []Pair, sel []geom.Point) []Pair {
 	out := pairs[:0:0] // fresh slice, same capacity hint not needed
 	for _, pr := range pairs {
-		if containsPoint(sel, pr.Right) {
+		if ContainsPoint(sel, pr.Right) {
 			out = append(out, pr)
 		}
 	}
@@ -92,7 +95,7 @@ func intersectPairs(pairs []Pair, sel []geom.Point) []Pair {
 // the neighborhood and the sorted set, preserving nbrE1's order.
 func emitIntersection(dst []Pair, e1 geom.Point, nbrE1 *locality.Neighborhood, sel []geom.Point) []Pair {
 	for _, i := range nbrE1.Points {
-		if containsPoint(sel, i) {
+		if ContainsPoint(sel, i) {
 			dst = append(dst, Pair{Left: e1, Right: i})
 		}
 	}

@@ -89,8 +89,9 @@ func SelectInnerJoinCounting(outer, inner *Relation, f geom.Point, kJoin, kSel i
 
 	var out []Pair
 	outer.ForEachPoint(func(e1 geom.Point) {
-		thr := nbrF.NearestDistTo(e1)
-		count := inner.S.CountStrictlyCloser(e1, kJoin, thr*thr, c)
+		// The threshold is compared squared against block MAXDIST² values;
+		// deriving it squared (not sqrt-then-square) keeps exact ties exact.
+		count := inner.S.CountStrictlyCloser(e1, kJoin, nbrF.NearestDistSqTo(e1), c)
 
 		if count >= kJoin {
 			// ≥ k⋈ inner points strictly closer to e1 than any point of
@@ -149,8 +150,7 @@ func SelectInnerJoinCountingParallel(outer, inner *Relation, f geom.Point, kJoin
 
 	return parallelEmit(&pairArenas, blockGroups(outer), inner, workers, c, nil,
 		func(h *Relation, e1 geom.Point, dst []Pair, ctr *stats.Counters) []Pair {
-			thr := nbrF.NearestDistTo(e1)
-			if h.S.CountStrictlyCloser(e1, kJoin, thr*thr, ctr) >= kJoin {
+			if h.S.CountStrictlyCloser(e1, kJoin, nbrF.NearestDistSqTo(e1), ctr) >= kJoin {
 				ctr.AddOuterSkipped(1)
 				return dst
 			}

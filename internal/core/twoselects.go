@@ -93,11 +93,14 @@ func TwoSelects(rel *Relation, f1 geom.Point, k1 int, f2 geom.Point, k2 int, c *
 	if nbr1.Len() == 0 {
 		return nil
 	}
-	threshold := nbr1.FarthestDistTo(f2)
-	// NeighborhoodWithin sharpens Procedure 5's clipped locality: only
+	// The threshold travels in squared form end-to-end: sqrt-then-square
+	// rounding can land below the exact boundary distance and clip out an
+	// exactly-at-threshold block of a tight-MBR index (fuzz-found).
+	thresholdSq := nbr1.FarthestDistSqTo(f2)
+	// NeighborhoodWithinSq sharpens Procedure 5's clipped locality: only
 	// blocks within the search threshold are visited at all, so the cost of
 	// the second predicate depends on the threshold area, not on k2.
-	nbr2 := rel.S.NeighborhoodWithin(f2, k2, threshold, c)
+	nbr2 := rel.S.NeighborhoodWithinSq(f2, k2, thresholdSq, c)
 	return nbr1.Intersect(nbr2)
 }
 
@@ -117,7 +120,6 @@ func TwoSelectsProcedure5(rel *Relation, f1 geom.Point, k1 int, f2 geom.Point, k
 	if nbr1.Len() == 0 {
 		return nil
 	}
-	threshold := nbr1.FarthestDistTo(f2)
-	nbr2 := rel.S.NeighborhoodClipped(f2, k2, threshold, c)
+	nbr2 := rel.S.NeighborhoodClippedSq(f2, k2, nbr1.FarthestDistSqTo(f2), c)
 	return nbr1.Intersect(nbr2)
 }

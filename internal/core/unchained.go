@@ -50,11 +50,15 @@ func (o JoinOrder) String() string {
 func UnchainedConceptual(a, b, cRel *Relation, kAB, kCB int, c *stats.Counters) []Triple {
 	abPairs := KNNJoin(a, b, kAB, c)
 	cbPairs := KNNJoin(cRel, b, kCB, c)
-	return intersectOnB(abPairs, cbPairs)
+	return IntersectOnB(abPairs, cbPairs)
 }
 
-// intersectOnB matches (a, b) pairs with (c, b) pairs sharing the same b.
-func intersectOnB(abPairs, cbPairs []Pair) []Triple {
+// IntersectOnB matches (a, b) pairs with (c, b) pairs sharing the same b —
+// the gather step of every unchained-joins plan, including the sharded
+// scatter/gather driver (one implementation so tie/multiplicity semantics
+// cannot diverge). Pair order within the inputs does not affect the result
+// multiset.
+func IntersectOnB(abPairs, cbPairs []Pair) []Triple {
 	cByB := make(map[geom.Point][]geom.Point)
 	for _, pr := range cbPairs {
 		cByB[pr.Right] = append(cByB[pr.Right], pr.Left)
@@ -82,7 +86,7 @@ func SequentialUnchained(a, b, cRel *Relation, kAB, kCB int, abFirst bool,
 			return nil, err
 		}
 		cbPairs := KNNJoin(cRel, reduced, kCB, c)
-		return intersectOnB(abPairs, cbPairs), nil
+		return IntersectOnB(abPairs, cbPairs), nil
 	}
 	cbPairs := KNNJoin(cRel, b, kCB, c)
 	reduced, err := build(projectB(cbPairs))
@@ -90,7 +94,7 @@ func SequentialUnchained(a, b, cRel *Relation, kAB, kCB int, abFirst bool,
 		return nil, err
 	}
 	abPairs := KNNJoin(a, reduced, kAB, c)
-	return intersectOnB(abPairs, cbPairs), nil
+	return IntersectOnB(abPairs, cbPairs), nil
 }
 
 // projectB returns the distinct Right (B) components of pairs, in canonical
@@ -130,11 +134,11 @@ func UnchainedBlockMarking(a, b, cRel *Relation, kAB, kCB int, order JoinOrder, 
 	if order == OrderABFirst {
 		abPairs := KNNJoin(a, b, kAB, c)
 		cbPairs := prunedSecondJoin(cRel, b, kCB, abPairs, c)
-		return intersectOnB(abPairs, cbPairs)
+		return IntersectOnB(abPairs, cbPairs)
 	}
 	cbPairs := KNNJoin(cRel, b, kCB, c)
 	abPairs := prunedSecondJoin(a, b, kAB, cbPairs, c)
-	return intersectOnB(abPairs, cbPairs)
+	return IntersectOnB(abPairs, cbPairs)
 }
 
 // resolveJoinOrder applies the Section 4.1.2 heuristic when the caller
@@ -156,7 +160,7 @@ func resolveJoinOrder(order JoinOrder, a, cRel *Relation) JoinOrder {
 func UnchainedConceptualParallel(a, b, cRel *Relation, kAB, kCB, workers int, c *stats.Counters) []Triple {
 	abPairs := KNNJoinParallel(a, b, kAB, workers, c)
 	cbPairs := KNNJoinParallel(cRel, b, kCB, workers, c)
-	return intersectOnB(abPairs, cbPairs)
+	return IntersectOnB(abPairs, cbPairs)
 }
 
 // UnchainedBlockMarkingParallel is the Procedure 4 plan with both the first
@@ -168,11 +172,11 @@ func UnchainedBlockMarkingParallel(a, b, cRel *Relation, kAB, kCB int, order Joi
 	if order == OrderABFirst {
 		abPairs := KNNJoinParallel(a, b, kAB, workers, c)
 		cbPairs := prunedSecondJoinParallel(cRel, b, kCB, abPairs, workers, c)
-		return intersectOnB(abPairs, cbPairs)
+		return IntersectOnB(abPairs, cbPairs)
 	}
 	cbPairs := KNNJoinParallel(cRel, b, kCB, workers, c)
 	abPairs := prunedSecondJoinParallel(a, b, kAB, cbPairs, workers, c)
-	return intersectOnB(abPairs, cbPairs)
+	return IntersectOnB(abPairs, cbPairs)
 }
 
 // prunedSecondJoinParallel fans the pruned second join out across workers:

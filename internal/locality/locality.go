@@ -74,12 +74,20 @@ func (n *Neighborhood) FarthestDist() float64 {
 }
 
 // NearestDistTo returns the minimum distance from q to any neighbor, or
-// +Inf for an empty neighborhood. The Counting algorithm derives its search
-// threshold from this quantity.
+// +Inf for an empty neighborhood.
 func (n *Neighborhood) NearestDistTo(q geom.Point) float64 {
+	return math.Sqrt(n.NearestDistSqTo(q))
+}
+
+// NearestDistSqTo is NearestDistTo in squared form. The Counting algorithm
+// derives its search threshold from this quantity — squared, so the
+// threshold compares exactly against block MAXDIST² values without a
+// sqrt-then-square round trip (whose rounding can shift the threshold past
+// an exactly-tied block boundary).
+func (n *Neighborhood) NearestDistSqTo(q geom.Point) float64 {
 	best := math.Inf(1)
 	for _, p := range n.Points {
-		if d := p.Dist(q); d < best {
+		if d := p.DistSq(q); d < best {
 			best = d
 		}
 	}
@@ -87,12 +95,22 @@ func (n *Neighborhood) NearestDistTo(q geom.Point) float64 {
 }
 
 // FarthestDistTo returns the maximum distance from q to any neighbor, or 0
-// for an empty neighborhood. The 2-kNN-select algorithm derives its search
-// threshold from this quantity.
+// for an empty neighborhood.
 func (n *Neighborhood) FarthestDistTo(q geom.Point) float64 {
+	return math.Sqrt(n.FarthestDistSqTo(q))
+}
+
+// FarthestDistSqTo is FarthestDistTo in squared form. The 2-kNN-select
+// algorithm derives its search threshold from this quantity — squared, for
+// the same exactness reason as NearestDistSqTo: sqrt(d²)² can round below
+// d², and a tight-MBR index (k-d tree, R-tree) whose block boundary sits
+// exactly at the threshold distance would then be clipped out of the
+// locality, dropping an answer point. The native fuzz harness found exactly
+// that divergence.
+func (n *Neighborhood) FarthestDistSqTo(q geom.Point) float64 {
 	best := 0.0
 	for _, p := range n.Points {
-		if d := p.Dist(q); d > best {
+		if d := p.DistSq(q); d > best {
 			best = d
 		}
 	}
@@ -124,11 +142,37 @@ func (n *Neighborhood) Clone() *Neighborhood {
 	}
 }
 
-// Intersect returns the points present in both neighborhoods, in n's order.
+// Intersect returns the multiset intersection of the two neighborhoods, in
+// n's order: a point value appearing a times in n and b times in m appears
+// min(a, b) times in the result (n's first min(a, b) occurrences are kept).
+//
+// The multiplicity rule matters for co-located duplicate points at a k
+// boundary: a neighborhood of size k may hold fewer copies of a value than
+// exist in the data. Counting each of n's copies once m merely contains the
+// value — the previous behavior — made the intersection asymmetric, so the
+// conceptual and optimized two-select plans (which evaluate the predicates
+// in different orders) disagreed on duplicates; the native fuzz harness
+// found the divergence on three co-located points. min-multiplicity is
+// symmetric, and all plans agree again.
 func (n *Neighborhood) Intersect(m *Neighborhood) []geom.Point {
 	var out []geom.Point
-	for _, p := range n.Points {
-		if m.Contains(p) {
+	for i, p := range n.Points {
+		inM := 0
+		for _, q := range m.Points {
+			if q == p {
+				inM++
+			}
+		}
+		if inM == 0 {
+			continue
+		}
+		soFar := 0
+		for _, q := range n.Points[:i+1] {
+			if q == p {
+				soFar++
+			}
+		}
+		if soFar <= inM {
 			out = append(out, p)
 		}
 	}
@@ -207,6 +251,20 @@ func (s *Searcher) NeighborhoodClipped(p geom.Point, k int, threshold float64, c
 	return s.neighborhood(p, k, threshold*threshold, c)
 }
 
+// NeighborhoodClippedSq is NeighborhoodClipped taking the threshold in
+// squared form. Callers whose threshold originates from a squared distance
+// must use it: squaring a sqrt-derived threshold can round below the exact
+// value and clip out an exactly-at-threshold block.
+func (s *Searcher) NeighborhoodClippedSq(p geom.Point, k int, thresholdSq float64, c *stats.Counters) *Neighborhood {
+	return s.neighborhood(p, k, thresholdSq, c)
+}
+
+// NeighborhoodWithinSq is NeighborhoodWithin taking the threshold in squared
+// form; see NeighborhoodClippedSq for why exact callers need it.
+func (s *Searcher) NeighborhoodWithinSq(p geom.Point, k int, thresholdSq float64, c *stats.Counters) *Neighborhood {
+	return s.neighborhoodWithinSq(p, k, thresholdSq, c)
+}
+
 // NeighborhoodWithin strengthens NeighborhoodClipped: it admits exactly the
 // blocks with MINDIST(p) ≤ threshold, skipping Procedure 5's count-to-k
 // phase entirely, so its cost depends only on the threshold area — not on
@@ -216,10 +274,13 @@ func (s *Searcher) NeighborhoodClipped(p geom.Point, k int, threshold float64, c
 // 2-kNN-select intersection needs. This is the repository's implementation
 // refinement over Procedure 5; see DESIGN.md §3.6.
 func (s *Searcher) NeighborhoodWithin(p geom.Point, k int, threshold float64, c *stats.Counters) *Neighborhood {
+	return s.neighborhoodWithinSq(p, k, threshold*threshold, c)
+}
+
+func (s *Searcher) neighborhoodWithinSq(p geom.Point, k int, thresholdSq float64, c *stats.Counters) *Neighborhood {
 	if k <= 0 {
 		return s.emptyResult(p)
 	}
-	thresholdSq := threshold * threshold
 	s.heap.reset(k)
 	it := s.iters.MinDist(p)
 	scanned, examined := 0, 0

@@ -1,0 +1,232 @@
+package shard
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/locality"
+	"repro/internal/stats"
+)
+
+// probe is one worker's gather view over a group: a borrowed searcher handle
+// per shard plus the scratch to merge per-shard neighborhoods into exact
+// global ones. Like a locality.Searcher, a probe is single-threaded and its
+// merged result is valid only until the probe's next query; the scatter
+// driver gives every worker its own probe.
+//
+// Per-shard operation counts accumulate in the probe's delta counters and
+// are folded into the group's lifetime per-shard counters (and the query's
+// WithStats target) exactly once, at release — so the hot probe loop touches
+// no shared cache lines.
+type probe struct {
+	g       Group
+	handles []*core.Relation
+	deltas  []*stats.Counters
+	nbrs    []*locality.Neighborhood
+	cursors []int
+	merged  locality.Neighborhood
+
+	// shard-skip scratch: per-shard MINDIST² of the shard's index bounds
+	// from the current query point, the probe order (ascending MINDIST²),
+	// and a shared empty result for skipped shards.
+	minSqs   []float64
+	order    []int
+	emptyNbr locality.Neighborhood
+}
+
+// acquire borrows one handle per shard, blocking on bounded pools. Handles
+// are acquired in shard order, which is a fixed total order per group, so
+// concurrent probes over one group cannot deadlock against each other.
+func acquire(g Group) *probe {
+	pr := newProbe(g)
+	for i, s := range g.shards {
+		pr.handles[i] = s.Acquire()
+	}
+	return pr
+}
+
+// tryAcquire is acquire without blocking: if any shard's bounded pool is
+// exhausted, every handle obtained so far is returned and ok is false (the
+// extra scatter worker stands down, mirroring the core parallel driver's
+// graceful degradation).
+func tryAcquire(g Group) (pr *probe, ok bool) {
+	pr = newProbe(g)
+	for i, s := range g.shards {
+		h, err := s.TryAcquire()
+		if err != nil {
+			for _, held := range pr.handles[:i] {
+				held.Release()
+			}
+			return nil, false
+		}
+		pr.handles[i] = h
+	}
+	return pr, true
+}
+
+func newProbe(g Group) *probe {
+	n := len(g.shards)
+	pr := &probe{
+		g:       g,
+		handles: make([]*core.Relation, n),
+		deltas:  make([]*stats.Counters, n),
+		nbrs:    make([]*locality.Neighborhood, n),
+		cursors: make([]int, n),
+		minSqs:  make([]float64, n),
+		order:   make([]int, n),
+	}
+	for i := range pr.deltas {
+		pr.deltas[i] = new(stats.Counters)
+	}
+	return pr
+}
+
+// release returns every handle to its pool and folds the per-shard deltas
+// into the group's lifetime counters and into ctr (the query's counter
+// shard; nil is valid and records nothing).
+func (pr *probe) release(ctr *stats.Counters) {
+	for i, h := range pr.handles {
+		if pr.g.counters != nil {
+			pr.g.counters[i].Add(pr.deltas[i])
+		}
+		ctr.Add(pr.deltas[i])
+		h.Release()
+	}
+}
+
+// neighborhood returns the exact global k nearest neighbors of p across all
+// shards: each shard contributes its local top-k (same locality algorithm,
+// same (distance, X, Y) tie order as the single-relation path), and the
+// merge re-selects the global k from the ≤ S·k candidates. The result is
+// reused across calls; callers retain it only via Clone.
+//
+// Shards are probed in ascending MINDIST² of their index bounds, and a
+// shard is skipped outright once an earlier shard has already produced k
+// candidates whose k-th squared distance is below the shard's MINDIST²:
+// every point of the skipped shard is then strictly farther than k known
+// candidates, so it cannot enter the global top-k regardless of
+// tie-breaking. Under spatial partitioning this is what keeps distant tiles
+// cheap — most probes touch one or two shards; under hash partitioning
+// shard bounds all cover the data extent and every shard is probed.
+func (pr *probe) neighborhood(p geom.Point, k int) *locality.Neighborhood {
+	if len(pr.handles) == 1 {
+		return pr.handles[0].S.Neighborhood(p, k, pr.deltas[0])
+	}
+	limit := pr.probeOrder(p)
+	for _, s := range pr.order {
+		if pr.minSqs[s] > limit {
+			pr.nbrs[s] = &pr.emptyNbr
+			continue
+		}
+		nbr := pr.handles[s].S.Neighborhood(p, k, pr.deltas[s])
+		pr.nbrs[s] = nbr
+		if len(nbr.Points) == k {
+			if b := nbr.Points[k-1].DistSq(p); b < limit {
+				limit = b
+			}
+		}
+	}
+	return pr.merge(p, k)
+}
+
+// probeOrder fills pr.order with shard indices in ascending MINDIST² of
+// their index bounds from p (insertion sort; S is small) and returns +Inf as
+// the initial skip limit.
+func (pr *probe) probeOrder(p geom.Point) float64 {
+	for s, h := range pr.handles {
+		pr.minSqs[s] = h.Ix.Bounds().MinDistSq(p)
+		pr.order[s] = s
+	}
+	for i := 1; i < len(pr.order); i++ {
+		for j := i; j > 0 && pr.minSqs[pr.order[j]] < pr.minSqs[pr.order[j-1]]; j-- {
+			pr.order[j], pr.order[j-1] = pr.order[j-1], pr.order[j]
+		}
+	}
+	return math.Inf(1)
+}
+
+// neighborhoodWithinSq is the sharded form of Searcher.NeighborhoodWithinSq:
+// each shard admits exactly its blocks with MINDIST²(p) ≤ thresholdSq and
+// the merge re-selects k. It carries the same guarantee as the
+// single-relation version — intersecting the result with any point set whose
+// members all lie within the threshold of p equals intersecting with the
+// true neighborhood — because every point closer to p than a
+// within-threshold candidate is itself within threshold, hence admitted by
+// its own shard and ranked ahead in the merge.
+func (pr *probe) neighborhoodWithinSq(p geom.Point, k int, thresholdSq float64) *locality.Neighborhood {
+	if len(pr.handles) == 1 {
+		return pr.handles[0].S.NeighborhoodWithinSq(p, k, thresholdSq, pr.deltas[0])
+	}
+	pr.probeOrder(p)
+	limit := thresholdSq // blocks past the threshold are never admitted
+	for _, s := range pr.order {
+		if pr.minSqs[s] > limit {
+			pr.nbrs[s] = &pr.emptyNbr
+			continue
+		}
+		nbr := pr.handles[s].S.NeighborhoodWithinSq(p, k, thresholdSq, pr.deltas[s])
+		pr.nbrs[s] = nbr
+		if len(nbr.Points) == k {
+			if b := nbr.Points[k-1].DistSq(p); b < limit {
+				limit = b
+			}
+		}
+	}
+	return pr.merge(p, k)
+}
+
+// merge k-selects from the per-shard sorted candidate lists in pr.nbrs into
+// the reusable merged result. Comparison is on squared distance recomputed
+// from the coordinates — the same quantity the per-shard selection heaps
+// ordered by — with exact ties broken by canonical (X, Y) order; identical
+// co-located points are kept (never deduped), preserving the single-relation
+// multiset semantics. Steady state allocates nothing: the merged buffers and
+// cursors are reused across calls.
+func (pr *probe) merge(p geom.Point, k int) *locality.Neighborhood {
+	m := &pr.merged
+	m.Center = p
+	m.Points = m.Points[:0]
+	m.Dists = m.Dists[:0]
+	for s := range pr.cursors {
+		pr.cursors[s] = 0
+	}
+	for len(m.Points) < k {
+		best := -1
+		var bestSq, bestDist float64
+		var bestPt geom.Point
+		for s, nbr := range pr.nbrs {
+			cur := pr.cursors[s]
+			if cur >= len(nbr.Points) {
+				continue
+			}
+			q := nbr.Points[cur]
+			dSq := q.DistSq(p)
+			if best < 0 || dSq < bestSq || (dSq == bestSq && q.Less(bestPt)) {
+				best, bestSq, bestPt, bestDist = s, dSq, q, nbr.Dists[cur]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		pr.cursors[best]++
+		m.Points = append(m.Points, bestPt)
+		m.Dists = append(m.Dists, bestDist)
+	}
+	return m
+}
+
+// countStrictlyCloser sums the shards' conservative counts of points
+// strictly closer to p than the (squared) threshold, stopping once the sum
+// reaches k. Shards partition the point set, so the sum counts distinct real
+// points and the Counting algorithm's skip proof applies globally.
+func (pr *probe) countStrictlyCloser(p geom.Point, k int, thresholdSq float64) int {
+	total := 0
+	for s, h := range pr.handles {
+		total += h.S.CountStrictlyCloser(p, k, thresholdSq, pr.deltas[s])
+		if total >= k {
+			break
+		}
+	}
+	return total
+}

@@ -6,7 +6,54 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/plan"
+	"repro/internal/shard"
 )
+
+// shardStrategy maps a resolved planner algorithm onto the scatter/gather
+// drivers' candidate-generation strategy.
+func shardStrategy(alg plan.Algorithm) shard.Strategy {
+	switch alg {
+	case plan.Conceptual:
+		return shard.StrategyConceptual
+	case plan.Counting:
+		return shard.StrategyCounting
+	default:
+		return shard.StrategyBlockMarking
+	}
+}
+
+// shardedExplain renders the EXPLAIN header for a scatter/gather execution.
+func shardedExplain(op string, detail string, srcs ...Source) string {
+	s := fmt.Sprintf("execution: sharded scatter/gather %s", op)
+	if detail != "" {
+		s += " (" + detail + ")"
+	}
+	s += "\n"
+	for _, src := range srcs {
+		n := 1
+		if sh, ok := src.(*ShardedRelation); ok {
+			n = sh.NumShards()
+			s += fmt.Sprintf("  %s: %d points, %d %s shard(s)\n", src.Name(), src.Len(), n, sh.Policy())
+		} else {
+			s += fmt.Sprintf("  %s: %d points, un-sharded\n", src.Name(), src.Len())
+		}
+	}
+	return s
+}
+
+// allSingle reports whether every source is a single un-sharded relation,
+// returning the backing relations when so.
+func allSingle(srcs ...Source) ([]*Relation, bool) {
+	rels := make([]*Relation, len(srcs))
+	for i, s := range srcs {
+		r := s.singleRelation()
+		if r == nil {
+			return nil, false
+		}
+		rels[i] = r
+	}
+	return rels, true
+}
 
 // Algorithm selects the evaluation strategy for queries with a selection on
 // the inner relation of a kNN-join.
@@ -188,8 +235,8 @@ func WithExplain(target *string) QueryOption {
 // select below the inner relation would be invalid (the optimizer refuses
 // it; see plan.ValidateSelectPushdown); the Counting and Block-Marking
 // strategies deliver the pruning instead.
-func SelectInnerJoin(outer, inner *Relation, f Point, kJoin, kSel int, opts ...QueryOption) ([]Pair, error) {
-	if err := checkRelations(outer, inner); err != nil {
+func SelectInnerJoin(outer, inner Source, f Point, kJoin, kSel int, opts ...QueryOption) ([]Pair, error) {
+	if err := checkSources(outer, inner); err != nil {
 		return nil, err
 	}
 	if err := checkK("kJoin", kJoin); err != nil {
@@ -201,11 +248,22 @@ func SelectInnerJoin(outer, inner *Relation, f Point, kJoin, kSel int, opts ...Q
 	cfg := applyOptions(opts)
 	alg, reason := plan.ChooseSelectJoinAlgorithm(cfg.algorithm.planAlgorithm(), outer.Len(), cfg.countingThreshold)
 
+	rels, single := allSingle(outer, inner)
+	if !single {
+		pairs := shard.SelectInnerJoin(outer.execGroup(), inner.execGroup(), f, kJoin, kSel,
+			shardStrategy(alg), cfg.concurrency, cfg.stats)
+		if cfg.explain != nil {
+			*cfg.explain = shardedExplain("select-inner-join",
+				fmt.Sprintf("strategy %s: %s", alg, reason), outer, inner)
+		}
+		return pairs, nil
+	}
+
 	// Every strategy probes only the inner relation's searcher; the outer
 	// side is scanned through its immutable index and needs no handle.
-	hi := inner.rel.Acquire()
+	hi := rels[1].rel.Acquire()
 	defer hi.Release()
-	ho := outer.rel
+	ho := rels[0].rel
 
 	var pairs []Pair
 	switch {
@@ -226,7 +284,7 @@ func SelectInnerJoin(outer, inner *Relation, f Point, kJoin, kSel int, opts ...Q
 	}
 
 	if cfg.explain != nil {
-		node := plan.SelectInnerJoinPlan(alg, outer.name, inner.name, outer.Len(), inner.Len(), kJoin, kSel)
+		node := plan.SelectInnerJoinPlan(alg, outer.Name(), inner.Name(), outer.Len(), inner.Len(), kJoin, kSel)
 		*cfg.explain = fmt.Sprintf("strategy: %s (%s)\n%s", alg, reason, node.Explain())
 	}
 	return pairs, nil
@@ -235,8 +293,8 @@ func SelectInnerJoin(outer, inner *Relation, f Point, kJoin, kSel int, opts ...Q
 // SelectOuterJoin evaluates a kNN-select on the outer relation of a
 // kNN-join: (σ_{kSel,f}(outer)) ⋈kNN inner. The pushdown is valid (paper,
 // Figure 3), so the select runs first and only selected points join.
-func SelectOuterJoin(outer, inner *Relation, f Point, kSel, kJoin int, opts ...QueryOption) ([]Pair, error) {
-	if err := checkRelations(outer, inner); err != nil {
+func SelectOuterJoin(outer, inner Source, f Point, kSel, kJoin int, opts ...QueryOption) ([]Pair, error) {
+	if err := checkSources(outer, inner); err != nil {
 		return nil, err
 	}
 	if err := checkK("kSel", kSel); err != nil {
@@ -246,7 +304,16 @@ func SelectOuterJoin(outer, inner *Relation, f Point, kSel, kJoin int, opts ...Q
 		return nil, err
 	}
 	cfg := applyOptions(opts)
-	ho, hi := core.AcquirePair(outer.rel, inner.rel)
+	rels, single := allSingle(outer, inner)
+	if !single {
+		pairs := shard.SelectOuterJoin(outer.execGroup(), inner.execGroup(), f, kSel, kJoin,
+			cfg.concurrency, cfg.stats)
+		if cfg.explain != nil {
+			*cfg.explain = shardedExplain("select-outer-join", "valid pushdown: select gathers first", outer, inner)
+		}
+		return pairs, nil
+	}
+	ho, hi := core.AcquirePair(rels[0].rel, rels[1].rel)
 	defer core.ReleasePair(ho, hi)
 	var pairs []Pair
 	if cfg.concurrency > 1 {
@@ -255,7 +322,7 @@ func SelectOuterJoin(outer, inner *Relation, f Point, kSel, kJoin int, opts ...Q
 		pairs = core.SelectOuterJoin(ho, hi, f, kSel, kJoin, cfg.stats)
 	}
 	if cfg.explain != nil {
-		node := plan.SelectOuterJoinPlan(outer.name, inner.name, outer.Len(), inner.Len(), kSel, kJoin)
+		node := plan.SelectOuterJoinPlan(outer.Name(), inner.Name(), outer.Len(), inner.Len(), kSel, kJoin)
 		*cfg.explain = node.Explain()
 	}
 	return pairs, nil
@@ -272,8 +339,8 @@ func SelectOuterJoin(outer, inner *Relation, f Point, kSel, kJoin int, opts ...Q
 // relation, and OrderAuto starts with the more clustered outer relation.
 // When both outer relations look uniform the optimizer skips the
 // preprocessing entirely (it would cost without payoff, Section 4.1.2).
-func UnchainedJoins(a, b, c *Relation, kAB, kCB int, opts ...QueryOption) ([]Triple, error) {
-	if err := checkRelations(a, b, c); err != nil {
+func UnchainedJoins(a, b, c Source, kAB, kCB int, opts ...QueryOption) ([]Triple, error) {
+	if err := checkSources(a, b, c); err != nil {
 		return nil, err
 	}
 	if err := checkK("kAB", kAB); err != nil {
@@ -283,29 +350,41 @@ func UnchainedJoins(a, b, c *Relation, kAB, kCB int, opts ...QueryOption) ([]Tri
 		return nil, err
 	}
 	cfg := applyOptions(opts)
-	covA := core.EstimateClusterCoverage(a.rel)
-	covC := core.EstimateClusterCoverage(c.rel)
+	rels, single := allSingle(a, b, c)
+	if !single {
+		// Scatter/gather evaluates both joins independently (the
+		// conceptually correct plan); WithJoinOrder only reorders work, so
+		// the sharded path ignores it without changing the answer.
+		triples := shard.Unchained(a.execGroup(), b.execGroup(), c.execGroup(), kAB, kCB,
+			cfg.concurrency, cfg.stats)
+		if cfg.explain != nil {
+			*cfg.explain = shardedExplain("unchained-joins", "both joins evaluated independently, intersected on B", a, b, c)
+		}
+		return triples, nil
+	}
+	covA := core.EstimateClusterCoverage(rels[0].rel)
+	covC := core.EstimateClusterCoverage(rels[2].rel)
 	order, prune, reason := plan.ChooseJoinOrder(cfg.order, covA, covC)
 
 	// Both unchained joins probe only B's searcher; A and C are scanned
 	// through their immutable indexes and need no handles.
-	hb := b.rel.Acquire()
+	hb := rels[1].rel.Acquire()
 	defer hb.Release()
 
 	var triples []Triple
 	switch {
 	case prune && cfg.concurrency > 1:
-		triples = core.UnchainedBlockMarkingParallel(a.rel, hb, c.rel, kAB, kCB, order, cfg.concurrency, cfg.stats)
+		triples = core.UnchainedBlockMarkingParallel(rels[0].rel, hb, rels[2].rel, kAB, kCB, order, cfg.concurrency, cfg.stats)
 	case prune:
-		triples = core.UnchainedBlockMarking(a.rel, hb, c.rel, kAB, kCB, order, cfg.stats)
+		triples = core.UnchainedBlockMarking(rels[0].rel, hb, rels[2].rel, kAB, kCB, order, cfg.stats)
 	case cfg.concurrency > 1:
-		triples = core.UnchainedConceptualParallel(a.rel, hb, c.rel, kAB, kCB, cfg.concurrency, cfg.stats)
+		triples = core.UnchainedConceptualParallel(rels[0].rel, hb, rels[2].rel, kAB, kCB, cfg.concurrency, cfg.stats)
 	default:
-		triples = core.UnchainedConceptual(a.rel, hb, c.rel, kAB, kCB, cfg.stats)
+		triples = core.UnchainedConceptual(rels[0].rel, hb, rels[2].rel, kAB, kCB, cfg.stats)
 	}
 
 	if cfg.explain != nil {
-		node := plan.UnchainedPlan(order, prune, a.name, b.name, c.name, a.Len(), b.Len(), c.Len(), kAB, kCB)
+		node := plan.UnchainedPlan(order, prune, a.Name(), b.Name(), c.Name(), a.Len(), b.Len(), c.Len(), kAB, kCB)
 		*cfg.explain = fmt.Sprintf("order: %s (%s)\n%s", order, reason, node.Explain())
 	}
 	return triples, nil
@@ -319,8 +398,8 @@ func UnchainedJoins(a, b, c *Relation, kAB, kCB int, opts ...QueryOption) ([]Tri
 // x and z is among the kBC nearest neighbors of y. All plans of the paper's
 // Figure 13 are available and produce identical results; ChainedAuto uses
 // the nested join with a neighborhood cache, the paper's winner.
-func ChainedJoins(a, b, c *Relation, kAB, kBC int, opts ...QueryOption) ([]Triple, error) {
-	if err := checkRelations(a, b, c); err != nil {
+func ChainedJoins(a, b, c Source, kAB, kBC int, opts ...QueryOption) ([]Triple, error) {
+	if err := checkSources(a, b, c); err != nil {
 		return nil, err
 	}
 	if err := checkK("kAB", kAB); err != nil {
@@ -330,20 +409,32 @@ func ChainedJoins(a, b, c *Relation, kAB, kBC int, opts ...QueryOption) ([]Tripl
 		return nil, err
 	}
 	cfg := applyOptions(opts)
+	rels, single := allSingle(a, b, c)
+	if !single {
+		// All Figure 13 QEPs produce identical triples; the scatter/gather
+		// path always runs the nested join with per-worker caches (the
+		// paper's winner), so WithChainedQEP does not change the answer.
+		triples := shard.Chained(a.execGroup(), b.execGroup(), c.execGroup(), kAB, kBC,
+			cfg.concurrency, cfg.stats)
+		if cfg.explain != nil {
+			*cfg.explain = shardedExplain("chained-joins", "nested join with per-worker neighborhood caches", a, b, c)
+		}
+		return triples, nil
+	}
 	qep, reason := plan.ChooseChainedQEP(cfg.chained)
 	// The chain probes B's and C's searchers (A is only scanned), so two
 	// handles suffice; AcquirePair dedups b == c and orders the blocking
 	// acquisitions deadlock-free.
-	hb, hc := core.AcquirePair(b.rel, c.rel)
+	hb, hc := core.AcquirePair(rels[1].rel, rels[2].rel)
 	defer core.ReleasePair(hb, hc)
 	var triples []Triple
 	if cfg.concurrency > 1 {
-		triples = core.ChainedJoinsParallel(a.rel, hb, hc, kAB, kBC, qep, cfg.concurrency, cfg.stats)
+		triples = core.ChainedJoinsParallel(rels[0].rel, hb, hc, kAB, kBC, qep, cfg.concurrency, cfg.stats)
 	} else {
-		triples = core.ChainedJoins(a.rel, hb, hc, kAB, kBC, qep, cfg.stats)
+		triples = core.ChainedJoins(rels[0].rel, hb, hc, kAB, kBC, qep, cfg.stats)
 	}
 	if cfg.explain != nil {
-		node := plan.ChainedPlan(qep, a.name, b.name, c.name, a.Len(), b.Len(), c.Len(), kAB, kBC)
+		node := plan.ChainedPlan(qep, a.Name(), b.Name(), c.Name(), a.Len(), b.Len(), c.Len(), kAB, kBC)
 		*cfg.explain = fmt.Sprintf("plan: %s (%s)\n%s", qep, reason, node.Explain())
 	}
 	return triples, nil
@@ -358,8 +449,8 @@ func ChainedJoins(a, b, c *Relation, kAB, kBC int, opts ...QueryOption) ([]Tripl
 // would be invalid; the 2-kNN-select algorithm evaluates the smaller-k
 // predicate first and clips the larger predicate's locality to the answer's
 // possible extent, making cost nearly independent of the larger k.
-func TwoSelects(rel *Relation, f1 Point, k1 int, f2 Point, k2 int, opts ...QueryOption) ([]Point, error) {
-	if err := checkRelations(rel); err != nil {
+func TwoSelects(rel Source, f1 Point, k1 int, f2 Point, k2 int, opts ...QueryOption) ([]Point, error) {
+	if err := checkSources(rel); err != nil {
 		return nil, err
 	}
 	if err := checkK("k1", k1); err != nil {
@@ -369,7 +460,16 @@ func TwoSelects(rel *Relation, f1 Point, k1 int, f2 Point, k2 int, opts ...Query
 		return nil, err
 	}
 	cfg := applyOptions(opts)
-	h := rel.rel.Acquire()
+	r := rel.singleRelation()
+	if r == nil {
+		pts := shard.TwoSelects(rel.execGroup(), f1, k1, f2, k2,
+			cfg.algorithm == AlgorithmConceptual, cfg.stats)
+		if cfg.explain != nil {
+			*cfg.explain = shardedExplain("two-selects", "smaller-k predicate first, per-shard clipped locality", rel)
+		}
+		return pts, nil
+	}
+	h := r.rel.Acquire()
 	defer h.Release()
 	var pts []Point
 	if cfg.algorithm == AlgorithmConceptual {
@@ -378,7 +478,7 @@ func TwoSelects(rel *Relation, f1 Point, k1 int, f2 Point, k2 int, opts ...Query
 		pts = core.TwoSelects(h, f1, k1, f2, k2, cfg.stats)
 	}
 	if cfg.explain != nil {
-		node := plan.TwoSelectsPlan(cfg.algorithm != AlgorithmConceptual, rel.name, rel.Len(), k1, k2)
+		node := plan.TwoSelectsPlan(cfg.algorithm != AlgorithmConceptual, rel.Name(), rel.Len(), k1, k2)
 		*cfg.explain = node.Explain()
 	}
 	return pts, nil
@@ -389,8 +489,8 @@ func TwoSelects(rel *Relation, f1 Point, k1 int, f2 Point, k2 int, opts ...Query
 // the query rectangle. Like the kNN-select case, pushing the range filter
 // below the inner relation would be invalid; Counting and Block-Marking
 // adaptations deliver the pruning.
-func RangeInnerJoin(outer, inner *Relation, rng Rect, kJoin int, opts ...QueryOption) ([]Pair, error) {
-	if err := checkRelations(outer, inner); err != nil {
+func RangeInnerJoin(outer, inner Source, rng Rect, kJoin int, opts ...QueryOption) ([]Pair, error) {
+	if err := checkSources(outer, inner); err != nil {
 		return nil, err
 	}
 	if err := checkK("kJoin", kJoin); err != nil {
@@ -399,11 +499,22 @@ func RangeInnerJoin(outer, inner *Relation, rng Rect, kJoin int, opts ...QueryOp
 	cfg := applyOptions(opts)
 	alg, reason := plan.ChooseSelectJoinAlgorithm(cfg.algorithm.planAlgorithm(), outer.Len(), cfg.countingThreshold)
 
+	rels, single := allSingle(outer, inner)
+	if !single {
+		pairs := shard.RangeJoin(outer.execGroup(), inner.execGroup(), rng, kJoin,
+			shardStrategy(alg), cfg.concurrency, cfg.stats)
+		if cfg.explain != nil {
+			*cfg.explain = shardedExplain("range-inner-join",
+				fmt.Sprintf("strategy %s: %s", alg, reason), outer, inner)
+		}
+		return pairs, nil
+	}
+
 	// Every strategy probes only the inner relation's searcher; the outer
 	// side is scanned through its immutable index and needs no handle.
-	hi := inner.rel.Acquire()
+	hi := rels[1].rel.Acquire()
 	defer hi.Release()
-	ho := outer.rel
+	ho := rels[0].rel
 
 	var pairs []Pair
 	switch {
@@ -423,7 +534,7 @@ func RangeInnerJoin(outer, inner *Relation, rng Rect, kJoin int, opts ...QueryOp
 			core.BlockMarkingOptions{Exhaustive: cfg.exhaustive}, cfg.stats)
 	}
 	if cfg.explain != nil {
-		node := plan.RangeInnerJoinPlan(alg, outer.name, inner.name, outer.Len(), inner.Len(), kJoin, rng.String())
+		node := plan.RangeInnerJoinPlan(alg, outer.Name(), inner.Name(), outer.Len(), inner.Len(), kJoin, rng.String())
 		*cfg.explain = fmt.Sprintf("strategy: %s (%s)\n%s", alg, reason, node.Explain())
 	}
 	return pairs, nil

@@ -12,6 +12,7 @@ import (
 	"repro/internal/index/kdtree"
 	"repro/internal/index/quadtree"
 	"repro/internal/index/rtree"
+	"repro/internal/shard"
 	"repro/internal/stats"
 )
 
@@ -75,6 +76,45 @@ func (k IndexKind) String() string {
 // without explicit bounds.
 var ErrEmptyRelation = errors.New("twoknn: relation has no points and no explicit bounds")
 
+// ErrNonPositiveK is the typed error every query entry point returns when a
+// k parameter (k, kJoin, kSel, kAB, kCB, kBC, k1, k2) is zero or negative.
+// Returned errors wrap it: test with errors.Is.
+var ErrNonPositiveK = errors.New("twoknn: k must be positive")
+
+// ErrNilRelation is the typed error every query entry point returns when a
+// relation argument is nil (either a nil interface or a typed nil *Relation
+// / *ShardedRelation). Returned errors wrap it: test with errors.Is.
+//
+// Empty relations are NOT an error at query time: every entry point accepts
+// a relation with zero points (built with WithBounds) and returns an empty
+// result.
+var ErrNilRelation = errors.New("twoknn: nil relation")
+
+// Source is the backing a query reads from: a single *Relation or a
+// *ShardedRelation. Every package-level query function accepts any mix of
+// the two — all-single arguments run the single-relation algorithms
+// unchanged, and any sharded argument routes the query through the
+// scatter/gather drivers (which also accept single relations as one-shard
+// groups). The interface is sealed; implementations live in this package.
+type Source interface {
+	// Name returns the relation's name.
+	Name() string
+	// Len returns the relation's cardinality.
+	Len() int
+	// Bounds returns the indexed region.
+	Bounds() Rect
+	// IndexKind returns the index implementation the relation was built on.
+	IndexKind() IndexKind
+
+	// execGroup returns the scatter/gather view (seals the interface).
+	execGroup() shard.Group
+	// singleRelation returns the backing *Relation when the source is a
+	// single un-sharded relation, nil otherwise.
+	singleRelation() *Relation
+	// srcNil reports whether the receiver is a typed nil pointer.
+	srcNil() bool
+}
+
 // Relation is an immutable, indexed snapshot of points, ready for querying.
 //
 // Storage is columnar: the relation owns one flat structure-of-arrays
@@ -104,6 +144,7 @@ type relationConfig struct {
 	capacity     int
 	bounds       Rect
 	maxSearchers int
+	shardPolicy  ShardPolicy
 }
 
 // WithIndexKind selects the spatial index implementation (default
@@ -251,8 +292,12 @@ func (r *Relation) Clone() *Relation {
 }
 
 // KNNSelect returns the k points of the relation closest to the focal point
-// f (σ_{k,f}). It errors on non-positive k.
+// f (σ_{k,f}), in ascending (distance, X, Y) order. It errors on a nil
+// receiver (ErrNilRelation) and non-positive k (ErrNonPositiveK).
 func (r *Relation) KNNSelect(f Point, k int, opts ...QueryOption) ([]Point, error) {
+	if err := checkSources(r); err != nil {
+		return nil, err
+	}
 	if err := checkK("k", k); err != nil {
 		return nil, err
 	}
@@ -262,39 +307,57 @@ func (r *Relation) KNNSelect(f Point, k int, opts ...QueryOption) ([]Point, erro
 	return core.KNNSelect(h, f, k, cfg.stats), nil
 }
 
+// execGroup implements Source.
+func (r *Relation) execGroup() shard.Group { return shard.SingleGroup(r.rel) }
+
+// singleRelation implements Source.
+func (r *Relation) singleRelation() *Relation { return r }
+
+// srcNil implements Source.
+func (r *Relation) srcNil() bool { return r == nil }
+
 // KNNJoin evaluates outer ⋈kNN inner: all pairs (e1, e2) with e2 among the
-// k nearest neighbors of e1. It errors on non-positive k.
-func KNNJoin(outer, inner *Relation, k int, opts ...QueryOption) ([]Pair, error) {
-	if err := checkRelations(outer, inner); err != nil {
+// k nearest neighbors of e1. Either side may be sharded; results are
+// identical (the sharded path returns them in canonical SortPairs order).
+// It errors on nil relations (ErrNilRelation) and non-positive k
+// (ErrNonPositiveK).
+func KNNJoin(outer, inner Source, k int, opts ...QueryOption) ([]Pair, error) {
+	if err := checkSources(outer, inner); err != nil {
 		return nil, err
 	}
 	if err := checkK("k", k); err != nil {
 		return nil, err
 	}
 	cfg := applyOptions(opts)
+	so, si := outer.singleRelation(), inner.singleRelation()
+	if so == nil || si == nil {
+		return shard.Join(outer.execGroup(), inner.execGroup(), k, cfg.concurrency, cfg.stats), nil
+	}
 	// The join only probes the inner relation's searcher; the outer side is
 	// scanned through its immutable index and needs no handle.
-	hi := inner.rel.Acquire()
+	hi := si.rel.Acquire()
 	defer hi.Release()
 	if cfg.concurrency > 1 {
-		return core.KNNJoinParallel(outer.rel, hi, k, cfg.concurrency, cfg.stats), nil
+		return core.KNNJoinParallel(so.rel, hi, k, cfg.concurrency, cfg.stats), nil
 	}
-	return core.KNNJoin(outer.rel, hi, k, cfg.stats), nil
+	return core.KNNJoin(so.rel, hi, k, cfg.stats), nil
 }
 
-// checkK validates a k parameter.
+// checkK validates a k parameter; the returned error wraps ErrNonPositiveK.
 func checkK(name string, k int) error {
 	if k <= 0 {
-		return fmt.Errorf("twoknn: %s must be positive, got %d", name, k)
+		return fmt.Errorf("%w: %s = %d", ErrNonPositiveK, name, k)
 	}
 	return nil
 }
 
-// checkRelations validates relation arguments.
-func checkRelations(rels ...*Relation) error {
-	for i, r := range rels {
-		if r == nil {
-			return fmt.Errorf("twoknn: relation argument %d is nil", i+1)
+// checkSources validates relation arguments; the returned error wraps
+// ErrNilRelation. It runs before any other method touches the arguments, so
+// typed nil pointers are caught via srcNil (safe on nil receivers).
+func checkSources(srcs ...Source) error {
+	for i, s := range srcs {
+		if s == nil || s.srcNil() {
+			return fmt.Errorf("%w (argument %d)", ErrNilRelation, i+1)
 		}
 	}
 	return nil

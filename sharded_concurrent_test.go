@@ -1,0 +1,202 @@
+package twoknn_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	twoknn "repro"
+	"repro/internal/datagen"
+)
+
+// TestShardedConcurrentMixedShapes is the satellite-4 race test: 16
+// goroutines issue a mix of all query shapes against one shared
+// ShardedRelation whose per-shard searcher pools are bounded (so handle
+// acquisition actually contends and the ordered-acquisition discipline is
+// exercised), with intra-query fan-out on top. It asserts no deadlock (the
+// test completes), every concurrent result identical to the precomputed
+// sequential answer, and a stable aggregate Snapshot (per-shard counters sum
+// to the aggregate, and all probe work is accounted).
+func TestShardedConcurrentMixedShapes(t *testing.T) {
+	bounds := twoknn.NewRect(0, 0, 1000, 1000)
+	ptsA := datagen.Uniform(260, bounds, 41)
+	ptsB := datagen.Uniform(220, bounds, 42)
+	ptsC := datagen.Uniform(180, bounds, 43)
+	f1 := twoknn.Point{X: 400, Y: 450}
+	f2 := twoknn.Point{X: 700, Y: 200}
+	rng := twoknn.NewRect(250, 250, 650, 750)
+
+	// Bounded pools: 2 handles per shard — far fewer than 16 goroutines.
+	sharded := func(name string, pts []twoknn.Point, s int, p twoknn.ShardPolicy) *twoknn.ShardedRelation {
+		rel, err := twoknn.NewShardedRelation(name, pts, s,
+			twoknn.WithBounds(bounds), twoknn.WithBlockCapacity(16),
+			twoknn.WithShardPolicy(p), twoknn.WithMaxSearchers(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rel
+	}
+	sa := sharded("A", ptsA, 3, twoknn.HashSharding)
+	sb := sharded("B", ptsB, 2, twoknn.SpatialSharding)
+	sc := sharded("C", ptsC, 4, twoknn.HashSharding)
+
+	// Precompute the expected answer of every shape sequentially.
+	type results struct {
+		sel       []twoknn.Point
+		join      []twoknn.Pair
+		selInner  []twoknn.Pair
+		selOuter  []twoknn.Pair
+		twoSel    []twoknn.Point
+		unchained []twoknn.Triple
+		chained   []twoknn.Triple
+		rangeJ    []twoknn.Pair
+	}
+	var want results
+	var err error
+	if want.sel, err = sa.KNNSelect(f1, 8); err != nil {
+		t.Fatal(err)
+	}
+	if want.join, err = twoknn.KNNJoin(sa, sb, 3); err != nil {
+		t.Fatal(err)
+	}
+	if want.selInner, err = twoknn.SelectInnerJoin(sa, sb, f1, 3, 9); err != nil {
+		t.Fatal(err)
+	}
+	if want.selOuter, err = twoknn.SelectOuterJoin(sa, sb, f1, 9, 3); err != nil {
+		t.Fatal(err)
+	}
+	if want.twoSel, err = twoknn.TwoSelects(sb, f1, 5, f2, 30); err != nil {
+		t.Fatal(err)
+	}
+	if want.unchained, err = twoknn.UnchainedJoins(sa, sb, sc, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if want.chained, err = twoknn.ChainedJoins(sa, sb, sc, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if want.rangeJ, err = twoknn.RangeInnerJoin(sa, sb, rng, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	_, before := sa.Snapshot()
+
+	var shared twoknn.Stats // one server-wide counter shared by all queries
+	const goroutines = 16
+	const iters = 4
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			opts := []twoknn.QueryOption{twoknn.WithStats(&shared)}
+			if g%3 == 0 {
+				// A third of the load also fans out inside each query, so
+				// bounded pools see try-acquire pressure on top of the
+				// blocking acquires.
+				opts = append(opts, twoknn.WithConcurrency(2))
+			}
+			for it := 0; it < iters; it++ {
+				switch (g + it) % 8 {
+				case 0:
+					got, err := sa.KNNSelect(f1, 8, opts...)
+					if err != nil || !reflect.DeepEqual(got, want.sel) {
+						errCh <- errf("KNNSelect", err)
+						return
+					}
+				case 1:
+					got, err := twoknn.KNNJoin(sa, sb, 3, opts...)
+					if err != nil || !reflect.DeepEqual(got, want.join) {
+						errCh <- errf("KNNJoin", err)
+						return
+					}
+				case 2:
+					got, err := twoknn.SelectInnerJoin(sa, sb, f1, 3, 9, opts...)
+					if err != nil || !reflect.DeepEqual(got, want.selInner) {
+						errCh <- errf("SelectInnerJoin", err)
+						return
+					}
+				case 3:
+					got, err := twoknn.SelectOuterJoin(sa, sb, f1, 9, 3, opts...)
+					if err != nil || !reflect.DeepEqual(got, want.selOuter) {
+						errCh <- errf("SelectOuterJoin", err)
+						return
+					}
+				case 4:
+					got, err := twoknn.TwoSelects(sb, f1, 5, f2, 30, opts...)
+					if err != nil || !reflect.DeepEqual(got, want.twoSel) {
+						errCh <- errf("TwoSelects", err)
+						return
+					}
+				case 5:
+					got, err := twoknn.UnchainedJoins(sa, sb, sc, 2, 2, opts...)
+					if err != nil || !reflect.DeepEqual(got, want.unchained) {
+						errCh <- errf("UnchainedJoins", err)
+						return
+					}
+				case 6:
+					got, err := twoknn.ChainedJoins(sa, sb, sc, 2, 2, opts...)
+					if err != nil || !reflect.DeepEqual(got, want.chained) {
+						errCh <- errf("ChainedJoins", err)
+						return
+					}
+				default:
+					got, err := twoknn.RangeInnerJoin(sa, sb, rng, 3, opts...)
+					if err != nil || !reflect.DeepEqual(got, want.rangeJ) {
+						errCh <- errf("RangeInnerJoin", err)
+						return
+					}
+				}
+			}
+			errCh <- nil
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Aggregate stability: per-shard counters sum exactly to the aggregate,
+	// and the concurrent load visibly advanced them.
+	for _, rel := range []*twoknn.ShardedRelation{sa, sb, sc} {
+		per, total := rel.Snapshot()
+		var sum twoknn.Stats
+		for _, ps := range per {
+			snap := ps.Ops
+			sum.Add(&snap)
+		}
+		if sum != total {
+			t.Fatalf("%s: aggregate %+v != per-shard sum %+v", rel.Name(), total, sum)
+		}
+	}
+	_, after := sa.Snapshot()
+	if after.Neighborhoods <= before.Neighborhoods {
+		t.Fatalf("concurrent load did not advance A's lifetime counters (%d -> %d)",
+			before.Neighborhoods, after.Neighborhoods)
+	}
+	if shared.Snapshot().Neighborhoods == 0 {
+		t.Fatalf("shared WithStats counter recorded nothing")
+	}
+}
+
+func errf(shape string, err error) error {
+	if err != nil {
+		return &shapeErr{shape: shape, err: err}
+	}
+	return &shapeErr{shape: shape}
+}
+
+type shapeErr struct {
+	shape string
+	err   error
+}
+
+func (e *shapeErr) Error() string {
+	if e.err != nil {
+		return "concurrent " + e.shape + " failed: " + e.err.Error()
+	}
+	return "concurrent " + e.shape + " returned a result different from the sequential answer"
+}
