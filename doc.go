@@ -159,4 +159,43 @@
 // primitive layers above snapshots build on — streaming results by ID,
 // sharding relations and gathering per-shard answers, or diffing
 // consecutive snapshots — without pinning any particular index layout.
+//
+// # Vectorized kernels
+//
+// The distance-scan primitive the columnar layout was built for — squared
+// distance of a query point to every point of a block span, compared
+// against a bound — runs through one batched kernel layer
+// (internal/kernel) instead of per-call-site loops. The layer provides
+// DistSq (span → scratch distances), CountWithin (fused bounded count),
+// MinDistSq/ArgMinDistSq (fused nearest-candidate reductions) and
+// SelectWithin (compress-store of qualifying lane indices), each with a
+// pure-Go scalar reference and a hand-written AVX2 implementation selected
+// at init by CPUID feature detection on amd64. The locality searcher's
+// selection-heap feed batches span distances into per-searcher scratch and,
+// once the heap holds k candidates, compress-selects only the lanes that
+// can displace one; the Counting algorithm's per-tuple search threshold is
+// one fused MinDistSq over the flattened σ-neighborhood; radius filters
+// and the sharded probes ride the same layer.
+//
+// Three properties make the fast paths safe to dispatch silently:
+//
+//   - Bit-exactness: the AVX2 kernels perform the scalar loop's float64
+//     operations in the same per-lane order with no FMA contraction, and
+//     bound comparisons use ordered predicates (NaN never qualifies), so
+//     every kernel returns bit-identical results and the repository-wide
+//     (distance, X, Y) tie order — hence every query answer — is unchanged.
+//     A cross-kernel equivalence matrix (all query shapes × index kinds ×
+//     single/sharded sources) and a kernel-level fuzz target enforce this.
+//   - Grain-adaptive dispatch: spans shorter than kernel.BatchGrain
+//     (32 lanes on AVX2) keep fused scalar loops — the assembly call's
+//     fixed cost exceeds the vector win on tiny blocks — so block-capacity
+//     tuning, not correctness, decides how much SIMD a workload sees.
+//   - An always-available escape hatch: building with `-tags purego`
+//     removes the assembly entirely and runs the scalar reference, which CI
+//     exercises as a first-class configuration; on AVX2 hosts CI asserts
+//     the fast path actually dispatched (kernel.Active() == "avx2").
+//
+// The abl-kernel experiment of cmd/knnbench records scalar-vs-AVX2 numbers
+// per scan grain and query shape (BENCH_PR5.json), alongside per-kernel
+// micro-benchmarks in internal/kernel.
 package twoknn

@@ -95,6 +95,12 @@ func FuzzTwoSelects(f *testing.F) {
 	f.Add([]byte("spatial queries with two knn predicates"), uint8(3), uint8(9), 100.0, 200.0, 700.0, 650.0)
 	f.Add([]byte{10, 10, 10, 10, 10, 10, 200, 200}, uint8(2), uint8(2), 40.0, 40.0, 40.0, 40.0)
 	f.Add([]byte{0, 0, 255, 255, 0, 255, 255, 0, 128, 128}, uint8(1), uint8(40), 512.0, 512.0, 0.0, 0.0)
+	// Tie-on-bound: (512, 508) and (516, 512) are exactly equidistant from
+	// f2 = (512, 512), and that distance is exactly the clip threshold the
+	// 2-kNN-select derives from k1 = 1 — the regime where a kernel whose
+	// bound compare differed from the scalar path by one ulp (or used < for
+	// <=) would drop an answer point.
+	f.Add([]byte{128, 127, 129, 128, 128, 128, 64, 64}, uint8(1), uint8(3), 512.0, 512.0, 512.0, 512.0)
 
 	f.Fuzz(func(t *testing.T, data []byte, k1b, k2b uint8, x1, y1, x2, y2 float64) {
 		pts := fuzzPoints(data, 160)
@@ -135,6 +141,11 @@ func FuzzSelectInnerJoin(f *testing.F) {
 	f.Add([]byte("two knn predicates over one inner relation!"), uint8(2), uint8(5), 300.0, 400.0)
 	f.Add([]byte{50, 50, 51, 51, 52, 52, 200, 10, 10, 200, 128, 128}, uint8(1), uint8(1), 210.0, 210.0)
 	f.Add([]byte{0, 0, 0, 0, 255, 255, 255, 255, 7, 7, 9, 9}, uint8(4), uint8(3), 28.0, 36.0)
+	// Tie-on-bound: inner points (512, 508) and (516, 512) exactly
+	// equidistant from the focal point (512, 512); the Counting algorithm's
+	// per-tuple threshold then lands exactly on block boundaries, where a
+	// kernel comparing one ulp off the scalar path would change the prune.
+	f.Add([]byte{128, 127, 129, 128, 128, 128, 64, 64, 192, 192}, uint8(2), uint8(2), 512.0, 512.0)
 
 	f.Fuzz(func(t *testing.T, data []byte, kjb, ksb uint8, fx, fy float64) {
 		if len(data) < 4 {

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 
+	"repro/internal/kernel"
 	"repro/internal/stats"
 )
 
@@ -16,12 +18,24 @@ import (
 type JSONReport struct {
 	Schema      string           `json:"schema"`
 	Scale       string           `json:"scale"`
+	Host        JSONHost         `json:"host"`
 	Experiments []JSONExperiment `json:"experiments"`
 	Micro       json.RawMessage  `json:"micro,omitempty"`
 }
 
 // JSONReportSchema identifies the current report layout.
 const JSONReportSchema = "knnbench/v1"
+
+// JSONHost records the hardware/dispatch context the numbers were measured
+// under: vectorized-kernel results are only comparable across hosts with
+// the same dispatched kernel and CPU feature set.
+type JSONHost struct {
+	GOOS         string `json:"goos"`
+	GOARCH       string `json:"goarch"`
+	NumCPU       int    `json:"num_cpu"`
+	CPUFeatures  string `json:"cpu_features,omitempty"`
+	ActiveKernel string `json:"active_kernel"`
+}
 
 // JSONExperiment is one figure or ablation sweep.
 type JSONExperiment struct {
@@ -48,7 +62,17 @@ type JSONPlan struct {
 
 // NewJSONReport converts measured results into the machine-readable report.
 func NewJSONReport(scale Scale, results []*Result) *JSONReport {
-	rep := &JSONReport{Schema: JSONReportSchema, Scale: string(scale)}
+	rep := &JSONReport{
+		Schema: JSONReportSchema,
+		Scale:  string(scale),
+		Host: JSONHost{
+			GOOS:         runtime.GOOS,
+			GOARCH:       runtime.GOARCH,
+			NumCPU:       runtime.NumCPU(),
+			CPUFeatures:  kernel.CPUFeatures(),
+			ActiveKernel: kernel.Active(),
+		},
+	}
 	for _, res := range results {
 		je := JSONExperiment{
 			ID:     res.Experiment.ID,

@@ -3,8 +3,29 @@ package core
 import (
 	"repro/internal/geom"
 	"repro/internal/index"
+	"repro/internal/kernel"
 	"repro/internal/stats"
 )
+
+// flatPoints is a structure-of-arrays copy of a retained point set. The
+// Counting algorithm derives a search threshold per outer tuple as the
+// nearest distance from the tuple to f's neighborhood — a scan of kσ
+// points per tuple — so the neighborhood is flattened once and the scan
+// runs through the batched MinDistSq kernel (bit-identical to
+// Neighborhood.NearestDistSqTo: same operations, NaN lanes skipped, and
+// min is order-insensitive over non-negative squared distances).
+type flatPoints struct{ xs, ys []float64 }
+
+func flattenPoints(pts []geom.Point) flatPoints {
+	xs, ys := geom.FlatXYs(pts)
+	return flatPoints{xs: xs, ys: ys}
+}
+
+// minDistSqTo returns the minimum squared distance from p to the set, or
+// +Inf for an empty set.
+func (f flatPoints) minDistSqTo(p geom.Point) float64 {
+	return kernel.MinDistSq(f.xs, f.ys, p.X, p.Y)
+}
 
 // This file implements Section 3 of the paper: queries that combine a
 // kNN-join with a kNN-select,
@@ -82,16 +103,18 @@ func SelectInnerJoinCounting(outer, inner *Relation, f geom.Point, kJoin, kSel i
 	if nbrF.Len() == 0 {
 		return nil
 	}
-	// nbrF is consulted per outer tuple while the same searcher keeps
-	// running queries, so it must be cloned out of the reusable result.
-	nbrF = nbrF.Clone()
+	// The f-neighborhood is consulted per outer tuple while the same
+	// searcher keeps running queries, so its points are copied out of the
+	// reusable result: once as the sorted intersection set, once flattened
+	// to X/Y columns for the batched per-tuple threshold scans.
 	sel := sortedPointSet(nbrF)
+	flat := flattenPoints(nbrF.Points)
 
 	var out []Pair
 	outer.ForEachPoint(func(e1 geom.Point) {
 		// The threshold is compared squared against block MAXDIST² values;
 		// deriving it squared (not sqrt-then-square) keeps exact ties exact.
-		count := inner.S.CountStrictlyCloser(e1, kJoin, nbrF.NearestDistSqTo(e1), c)
+		count := inner.S.CountStrictlyCloser(e1, kJoin, flat.minDistSqTo(e1), c)
 
 		if count >= kJoin {
 			// ≥ k⋈ inner points strictly closer to e1 than any point of
@@ -143,14 +166,16 @@ func SelectInnerJoinCountingParallel(outer, inner *Relation, f geom.Point, kJoin
 	if nbrF.Len() == 0 {
 		return nil
 	}
-	// The workers consult nbrF concurrently while their handles keep
-	// running queries, so it must be cloned out of the reusable result.
-	nbrF = nbrF.Clone()
+	// The workers consult the f-neighborhood concurrently while their
+	// handles keep running queries, so its points are copied out of the
+	// reusable result (sorted set + flat columns, both read-only to the
+	// workers).
 	sel := sortedPointSet(nbrF)
+	flat := flattenPoints(nbrF.Points)
 
 	return parallelEmit(&pairArenas, blockGroups(outer), inner, workers, c, nil,
 		func(h *Relation, e1 geom.Point, dst []Pair, ctr *stats.Counters) []Pair {
-			if h.S.CountStrictlyCloser(e1, kJoin, nbrF.NearestDistSqTo(e1), ctr) >= kJoin {
+			if h.S.CountStrictlyCloser(e1, kJoin, flat.minDistSqTo(e1), ctr) >= kJoin {
 				ctr.AddOuterSkipped(1)
 				return dst
 			}

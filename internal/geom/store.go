@@ -1,5 +1,7 @@
 package geom
 
+import "repro/internal/kernel"
+
 // PointStore is relation-wide columnar point storage: one structure-of-arrays
 // (SoA) triple of flat slices, where point i is (Xs[i], Ys[i]) and IDs[i] is
 // its stable identity. The distance-scan inner loops underneath every query
@@ -117,19 +119,25 @@ func (st *PointStore) MBR(off, n int) Rect {
 }
 
 // CountWithinSq counts span points whose squared distance to p is at most
-// dSq — the branch-light span kernel behind radius filters and the layout
-// ablation.
+// dSq — the radius-filter primitive behind range filters and the layout and
+// kernel ablations. It delegates to the batched distance-kernel layer
+// (AVX2 on capable amd64 hosts, the scalar reference elsewhere); both
+// implementations are bit-identical, see package kernel.
 func (st *PointStore) CountWithinSq(off, n int, p Point, dSq float64) int {
-	xs, ys := st.Xs[off:off+n], st.Ys[off:off+n]
-	count := 0
-	for i := range xs {
-		dx := xs[i] - p.X
-		dy := ys[i] - p.Y
-		if dx*dx+dy*dy <= dSq {
-			count++
-		}
+	return kernel.CountWithinSpan(st.Xs, st.Ys, off, n, p.X, p.Y, dSq)
+}
+
+// FlatXYs copies pts into parallel X/Y columns — the structure-of-arrays
+// form the batched distance kernels scan. Query algorithms flatten a
+// retained point set (e.g. a select's σ-neighborhood) once and run their
+// per-tuple scans through the kernel layer against the columns.
+func FlatXYs(pts []Point) (xs, ys []float64) {
+	xs = make([]float64, len(pts))
+	ys = make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i], ys[i] = p.X, p.Y
 	}
-	return count
+	return xs, ys
 }
 
 // SwapRemove removes point i by swapping the last point into its place and

@@ -21,6 +21,7 @@ import (
 	"iter"
 
 	"repro/internal/geom"
+	"repro/internal/kernel"
 )
 
 // Block is a leaf region of a spatial index: a rectangle of space together
@@ -116,10 +117,32 @@ func (b *Block) Points() iter.Seq[geom.Point] {
 	}
 }
 
+// The three span-kernel accessors below call package kernel directly with
+// the block's raw columns rather than hopping through the PointStore
+// methods: the flattened call sites stay under the compiler's inlining
+// budget, so per-block dispatch is a single call frame — measurable on
+// 16-point grid cells.
+
 // CountWithinSq counts the block's points within squared distance dSq of p
-// as a flat span scan — the radius-filter kernel.
+// — the radius-filter primitive, served by the batched kernel layer.
 func (b *Block) CountWithinSq(p geom.Point, dSq float64) int {
-	return b.store.CountWithinSq(b.off, b.n, p, dSq)
+	return kernel.CountWithinSpan(b.store.Xs, b.store.Ys, b.off, b.n, p.X, p.Y, dSq)
+}
+
+// DistSqInto writes the squared distance from p to every point of the block
+// into out[:Count()] through the batched kernel layer — the span → scratch
+// feed of the locality searcher's selection heap. out must hold at least
+// Count() elements.
+func (b *Block) DistSqInto(p geom.Point, out []float64) {
+	kernel.DistSqSpan(b.store.Xs, b.store.Ys, b.off, b.n, p.X, p.Y, out)
+}
+
+// SelectWithinSq writes the block-relative indices of points within squared
+// distance dSq of p into idx (ascending) and returns how many qualified —
+// the compress-store kernel bounded scans use once a running bound is
+// known. idx must hold at least Count() elements.
+func (b *Block) SelectWithinSq(p geom.Point, dSq float64, idx []int32) int {
+	return kernel.SelectWithinSpan(b.store.Xs, b.store.Ys, b.off, b.n, p.X, p.Y, dSq, idx)
 }
 
 // Push appends p with the given stable ID to a mutable block (one created

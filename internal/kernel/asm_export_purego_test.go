@@ -1,0 +1,7 @@
+//go:build !amd64 || purego
+
+package kernel
+
+// No assembly in this build; the equivalence matrix covers the exported
+// wrappers only (which all route to the scalar reference).
+var asmForTest *spanKernels

@@ -1,0 +1,16 @@
+//go:build amd64 && !purego
+
+package kernel
+
+// Direct handles on the assembly-backed span helpers so the equivalence
+// matrix can exercise the AVX2 code at every span length — including the
+// 1..31-lane remainder shapes the dispatchers would route to the scalar
+// leaf because of minAVX2Lanes. nil on builds without the assembly.
+var asmForTest = &spanKernels{
+	name:         "avx2-asm",
+	distSq:       distSqSpanAsm,
+	countWithin:  countWithinSpanAsm,
+	minDistSq:    minDistSqSpanAsm,
+	argMinDistSq: argMinDistSqSpanAsm,
+	selectWithin: selectWithinSpanAsm,
+}

@@ -1,0 +1,105 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Kernel micro-benchmarks: per-implementation cost of the block-scan
+// primitive at the span grains that matter — 16 (the benchmark harness's
+// paper-faithful grid cells, below the AVX2 dispatch cutoff), 64/256
+// (production-grain leaves) and 1024 (streaming spans). The recorded
+// perf-trajectory numbers (BENCH_PR5.json micro section) come from these.
+
+func benchData(n int) (xs, ys []float64) {
+	rng := rand.New(rand.NewSource(7))
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64() * 1000
+		ys[i] = rng.Float64() * 1000
+	}
+	return
+}
+
+func benchCountWithin(b *testing.B, name string, n int) {
+	restore, err := Use(name)
+	if err != nil {
+		b.Skip(err)
+	}
+	defer restore()
+	xs, ys := benchData(n)
+	sink := 0
+	b.SetBytes(int64(n * 16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += CountWithin(xs, ys, 500, 500, 250*250)
+	}
+	_ = sink
+}
+
+func BenchmarkCountWithin16Scalar(b *testing.B)   { benchCountWithin(b, "scalar", 16) }
+func BenchmarkCountWithin16AVX2(b *testing.B)     { benchCountWithin(b, "avx2", 16) }
+func BenchmarkCountWithin64Scalar(b *testing.B)   { benchCountWithin(b, "scalar", 64) }
+func BenchmarkCountWithin64AVX2(b *testing.B)     { benchCountWithin(b, "avx2", 64) }
+func BenchmarkCountWithin256Scalar(b *testing.B)  { benchCountWithin(b, "scalar", 256) }
+func BenchmarkCountWithin256AVX2(b *testing.B)    { benchCountWithin(b, "avx2", 256) }
+func BenchmarkCountWithin1024Scalar(b *testing.B) { benchCountWithin(b, "scalar", 1024) }
+func BenchmarkCountWithin1024AVX2(b *testing.B)   { benchCountWithin(b, "avx2", 1024) }
+
+func benchDistSq(b *testing.B, name string, n int) {
+	restore, err := Use(name)
+	if err != nil {
+		b.Skip(err)
+	}
+	defer restore()
+	xs, ys := benchData(n)
+	out := make([]float64, n)
+	b.SetBytes(int64(n * 24))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DistSq(xs, ys, 500, 500, out)
+	}
+}
+
+func BenchmarkDistSq256Scalar(b *testing.B) { benchDistSq(b, "scalar", 256) }
+func BenchmarkDistSq256AVX2(b *testing.B)   { benchDistSq(b, "avx2", 256) }
+
+func benchMinDistSq(b *testing.B, name string, n int) {
+	restore, err := Use(name)
+	if err != nil {
+		b.Skip(err)
+	}
+	defer restore()
+	xs, ys := benchData(n)
+	sink := 0.0
+	b.SetBytes(int64(n * 16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += MinDistSq(xs, ys, 500, 500)
+	}
+	_ = sink
+}
+
+func BenchmarkMinDistSq64Scalar(b *testing.B) { benchMinDistSq(b, "scalar", 64) }
+func BenchmarkMinDistSq64AVX2(b *testing.B)   { benchMinDistSq(b, "avx2", 64) }
+
+func benchSelectWithin(b *testing.B, name string, n int) {
+	restore, err := Use(name)
+	if err != nil {
+		b.Skip(err)
+	}
+	defer restore()
+	xs, ys := benchData(n)
+	idx := make([]int32, n)
+	sink := 0
+	b.SetBytes(int64(n * 16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += SelectWithin(xs, ys, 500, 500, 250*250, idx)
+	}
+	_ = sink
+}
+
+func BenchmarkSelectWithin256Scalar(b *testing.B) { benchSelectWithin(b, "scalar", 256) }
+func BenchmarkSelectWithin256AVX2(b *testing.B)   { benchSelectWithin(b, "avx2", 256) }

@@ -1,0 +1,63 @@
+//go:build amd64 && !purego
+
+package kernel
+
+import "strings"
+
+// Assembly routines (kernel_amd64.s). Pointer-and-length form keeps the
+// assembly free of slice-header plumbing; the exported wrappers peel the
+// headers and guarantee non-empty spans.
+
+//go:noescape
+func distSqAVX2(xs, ys *float64, n int, qx, qy float64, out *float64)
+
+//go:noescape
+func countWithinAVX2(xs, ys *float64, n int, qx, qy, boundSq float64) int
+
+//go:noescape
+func minDistSqAVX2(xs, ys *float64, n int, qx, qy float64) float64
+
+//go:noescape
+func argMinEqScanAVX2(xs, ys *float64, n int, qx, qy, m float64) int
+
+//go:noescape
+func selectWithinAVX2(xs, ys *float64, n int, qx, qy, boundSq float64, idx *int32) int
+
+func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+func xgetbv0() (eax, edx uint32)
+
+// cpuFeatures lists what CPUID reported, for the benchmark trajectory's
+// host notes.
+var cpuFeatures string
+
+func init() {
+	var feats []string
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	_, _, ecx1, _ := cpuidex(1, 0)
+	const (
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	osAVX, osAVX512 := false, false
+	if ecx1&osxsaveBit != 0 {
+		eax, _ := xgetbv0()
+		osAVX = eax&0x6 == 0x6      // XMM and YMM state OS-enabled
+		osAVX512 = eax&0xE6 == 0xE6 // + opmask and ZMM state (XCR0 bits 5-7)
+	}
+	if osAVX && ecx1&avxBit != 0 {
+		feats = append(feats, "avx")
+	}
+	if maxLeaf >= 7 {
+		_, ebx7, _, _ := cpuidex(7, 0)
+		if osAVX && ebx7&(1<<5) != 0 {
+			feats = append(feats, "avx2")
+			available = append(available, "avx2")
+			setImpl("avx2")
+		}
+		if osAVX512 && ebx7&(1<<16) != 0 {
+			feats = append(feats, "avx512f")
+		}
+	}
+	cpuFeatures = strings.Join(feats, ",")
+}

@@ -1,0 +1,9 @@
+//go:build !amd64 || purego
+
+package kernel
+
+// Builds without the amd64 assembly (the `purego` tag, or any other
+// architecture) run everything on the scalar reference; no fast path
+// registers and dispatch resolves to "scalar".
+
+var cpuFeatures string

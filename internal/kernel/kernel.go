@@ -1,0 +1,145 @@
+// Package kernel is the batched distance-kernel layer underneath every hot
+// scan of the repository: the "squared distance of a query point to every
+// point of a flat coordinate span, compared against a bound" primitive that
+// the Counting and Block-Marking algorithms — and the locality searcher's
+// selection-heap feed — spend their time in. The PR 3 columnar PointStore
+// reduced those scans to flat X/Y array loops precisely so they could be
+// vectorized; this package finishes the move in the MonetDB/X100 style:
+// one kernel API, a pure-Go reference implementation that every build can
+// fall back to, and hand-written AVX2 fast paths on amd64 selected by
+// runtime CPU-feature dispatch.
+//
+// # Kernels
+//
+//   - DistSq: span → scratch squared distances (the selection-heap feed).
+//   - CountWithin: fused count of lanes with dSq ≤ bound, no scratch
+//     (radius filters, the layout/kernel ablations).
+//   - MinDistSq / ArgMinDistSq: fused reductions for nearest-candidate
+//     scans (the Counting algorithm's per-tuple search threshold).
+//   - SelectWithin: compress-store of qualifying lane indices (the
+//     selection-heap feed once the heap is full, emit loops with a bound).
+//
+// # Exactness
+//
+// Every fast path performs the exact float64 operations of the scalar
+// reference, in the same per-lane order: dx = x−qx, dy = y−qy, then
+// dx·dx + dy·dy with each operation individually rounded (no FMA
+// contraction), and bound comparisons are ordered (NaN never qualifies,
+// exactly as a scalar `<=` behaves). Lane order never affects a kernel's
+// result: DistSq/CountWithin/SelectWithin are per-lane independent, and the
+// min reductions are order-insensitive because squared distances are never
+// negative zero and NaN lanes are skipped by reference and fast path alike.
+// Results are therefore bit-identical across implementations, which is what
+// keeps the repository-wide (distance, X, Y) tie order — and with it every
+// query answer — unchanged no matter which kernel dispatched.
+//
+// # Dispatch
+//
+// The best available implementation is chosen once at init: the AVX2 path
+// when the build is amd64 without the purego tag and CPUID reports
+// OS-enabled AVX2, the scalar reference otherwise. The exported kernels are
+// per-build wrappers that branch on one plain boolean, so spans of a dozen
+// points pay no indirect-call or atomic-load tax. Active names the choice;
+// Use switches it at runtime for benchmarks and equivalence tests that
+// compare implementations in one process — it is NOT safe to call
+// concurrently with in-flight queries (serving code lets init's dispatch
+// stand). Building with `-tags purego` removes the assembly entirely — the
+// escape hatch for exotic targets and a second CI leg that keeps the
+// reference implementation load-bearing.
+package kernel
+
+import (
+	"fmt"
+	"math"
+)
+
+// available lists the implementation names usable in this binary on this
+// host, reference first; a dispatch init appends fast paths.
+var available = []string{"scalar"}
+
+// activeName tracks the implementation the wrappers currently route to.
+var activeName = "scalar"
+
+// Active returns the name of the dispatched implementation ("avx2",
+// "scalar").
+func Active() string { return activeName }
+
+// CPUFeatures returns the comma-separated vector features CPUID reported as
+// OS-enabled on this host ("" on builds without feature detection). The
+// benchmark trajectory records it next to measured numbers.
+func CPUFeatures() string { return cpuFeatures }
+
+// Available returns the implementation names compiled into this binary and
+// usable on this host, in reference-first order.
+func Available() []string { return append([]string(nil), available...) }
+
+// batchGrain is the span length from which batching through the kernel
+// layer beats a caller's fused scalar loop; math.MaxInt when no fast path
+// is active (batching then only adds call overhead). Set by setImpl.
+var batchGrain = math.MaxInt
+
+// BatchGrain returns the span length from which routing a scan through the
+// batched kernels is profitable. Adaptive hot loops (the locality
+// searcher's selection-heap feed) keep their fused scalar form for shorter
+// spans — results are bit-identical either way, so the grain is pure
+// tuning.
+func BatchGrain() int { return batchGrain }
+
+// Use switches the active implementation by name and returns a restore
+// function. It is meant for benchmarks and equivalence tests on otherwise
+// idle processes; it must not race with in-flight queries.
+func Use(name string) (restore func(), err error) {
+	for _, have := range available {
+		if have == name {
+			prev := activeName
+			setImpl(name)
+			return func() { setImpl(prev) }, nil
+		}
+	}
+	return nil, fmt.Errorf("kernel: no implementation %q (available: %v)", name, Available())
+}
+
+func panicSpan(kernel string, xs, ys, aux int) {
+	panic(fmt.Sprintf("kernel: %s span mismatch (xs=%d ys=%d aux=%d)", kernel, xs, ys, aux))
+}
+
+// The unsuffixed kernels are inlinable shims over the *Span forms for
+// callers that already hold sliced, parallel coordinate spans (the locality
+// searcher scanning one block's XYs). ys must be at least as long as xs;
+// extra elements are ignored.
+
+// DistSq writes the squared distance from (qx, qy) to every (xs[i], ys[i])
+// into out[i]. out may be longer than xs (a reused scratch buffer); its
+// tail is left untouched.
+func DistSq(xs, ys []float64, qx, qy float64, out []float64) {
+	DistSqSpan(xs, ys, 0, len(xs), qx, qy, out)
+}
+
+// CountWithin returns the number of span points whose squared distance to
+// (qx, qy) is at most boundSq. NaN distances (and a NaN bound) never
+// qualify, matching the scalar comparison.
+func CountWithin(xs, ys []float64, qx, qy, boundSq float64) int {
+	return CountWithinSpan(xs, ys, 0, len(xs), qx, qy, boundSq)
+}
+
+// MinDistSq returns the minimum squared distance from (qx, qy) to the span,
+// or +Inf for an empty span. NaN distances are skipped, exactly as the
+// scalar `d < best` comparison skips them.
+func MinDistSq(xs, ys []float64, qx, qy float64) float64 {
+	return MinDistSqSpan(xs, ys, 0, len(xs), qx, qy)
+}
+
+// ArgMinDistSq returns the index of the first span point achieving the
+// minimum squared distance to (qx, qy), or -1 when the span is empty or no
+// lane compares below +Inf (all distances NaN or +Inf).
+func ArgMinDistSq(xs, ys []float64, qx, qy float64) int {
+	return ArgMinDistSqSpan(xs, ys, 0, len(xs), qx, qy)
+}
+
+// SelectWithin writes the indices of span points whose squared distance to
+// (qx, qy) is at most boundSq into idx, in ascending order, and returns how
+// many qualified. idx must be at least len(xs) long; entries past the
+// returned count are unspecified scratch.
+func SelectWithin(xs, ys []float64, qx, qy, boundSq float64, idx []int32) int {
+	return SelectWithinSpan(xs, ys, 0, len(xs), qx, qy, boundSq, idx)
+}

@@ -1,0 +1,296 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// AVX2 distance kernels. Every routine performs, per lane, the exact
+// float64 operation sequence of the scalar reference in ref.go —
+// dx = x-qx, dy = y-qy, dx*dx, dy*dy, sum — with each operation
+// individually rounded (VSUBPD/VMULPD/VADDPD; deliberately no FMA, whose
+// single rounding would diverge from the scalar path), so results are
+// bit-identical and the repository-wide (distance, X, Y) tie order is
+// preserved. Bound comparisons use the ordered-quiet predicates
+// (LE_OQ/EQ_OQ), under which NaN never qualifies — the same outcome as the
+// scalar `<=` / `<` comparisons. Main loops process 4 lanes per iteration;
+// remainders fall through to scalar SSE tails using the identical ops.
+
+#define LE_OQ $0x12
+#define EQ_OQ $0x00
+
+// dSq4 computes Y2 = (xs[i:i+4]-qx)^2 + (ys[i:i+4]-qy)^2 with qx in Y0,
+// qy in Y1, base registers SI/DX and lane index AX. Clobbers Y2, Y3.
+#define dSq4 \
+	VMOVUPD (SI)(AX*8), Y2 \
+	VMOVUPD (DX)(AX*8), Y3 \
+	VSUBPD  Y0, Y2, Y2     \
+	VSUBPD  Y1, Y3, Y3     \
+	VMULPD  Y2, Y2, Y2     \
+	VMULPD  Y3, Y3, Y3     \
+	VADDPD  Y3, Y2, Y2
+
+// dSq1 is the scalar-lane form of dSq4: X2 = (xs[i]-qx)^2 + (ys[i]-qy)^2.
+#define dSq1 \
+	VMOVSD (SI)(AX*8), X2 \
+	VMOVSD (DX)(AX*8), X3 \
+	VSUBSD X0, X2, X2     \
+	VSUBSD X1, X3, X3     \
+	VMULSD X2, X2, X2     \
+	VMULSD X3, X3, X3     \
+	VADDSD X3, X2, X2
+
+// func distSqAVX2(xs, ys *float64, n int, qx, qy float64, out *float64)
+TEXT ·distSqAVX2(SB), NOSPLIT, $0-48
+	MOVQ         xs+0(FP), SI
+	MOVQ         ys+8(FP), DX
+	MOVQ         n+16(FP), CX
+	VBROADCASTSD qx+24(FP), Y0
+	VBROADCASTSD qy+32(FP), Y1
+	MOVQ         out+40(FP), DI
+	XORQ         AX, AX
+
+loop4:
+	LEAQ 4(AX), BX
+	CMPQ BX, CX
+	JGT  tail
+	dSq4
+	VMOVUPD Y2, (DI)(AX*8)
+	MOVQ    BX, AX
+	JMP     loop4
+
+tail:
+	CMPQ AX, CX
+	JGE  done
+	dSq1
+	VMOVSD X2, (DI)(AX*8)
+	INCQ   AX
+	JMP    tail
+
+done:
+	VZEROUPPER
+	RET
+
+// func countWithinAVX2(xs, ys *float64, n int, qx, qy, boundSq float64) int
+TEXT ·countWithinAVX2(SB), NOSPLIT, $0-56
+	MOVQ         xs+0(FP), SI
+	MOVQ         ys+8(FP), DX
+	MOVQ         n+16(FP), CX
+	VBROADCASTSD qx+24(FP), Y0
+	VBROADCASTSD qy+32(FP), Y1
+	VBROADCASTSD boundSq+40(FP), Y4
+	XORQ         AX, AX
+	XORQ         R8, R8
+
+loop4:
+	LEAQ 4(AX), BX
+	CMPQ BX, CX
+	JGT  tail
+	dSq4
+	VCMPPD     LE_OQ, Y4, Y2, Y3 // lane qualifies iff dSq <= bound, NaN never
+	VMOVMSKPD  Y3, R9
+	POPCNTQ    R9, R9
+	ADDQ       R9, R8
+	MOVQ       BX, AX
+	JMP        loop4
+
+tail:
+	CMPQ AX, CX
+	JGE  done
+	dSq1
+	VUCOMISD X2, X4 // flags of bound vs dSq; AE iff bound >= dSq, ordered
+	JB       skip
+	JP       skip
+	INCQ     R8
+
+skip:
+	INCQ AX
+	JMP  tail
+
+done:
+	MOVQ       R8, ret+48(FP)
+	VZEROUPPER
+	RET
+
+// func minDistSqAVX2(xs, ys *float64, n int, qx, qy float64) float64
+TEXT ·minDistSqAVX2(SB), NOSPLIT, $0-48
+	MOVQ         xs+0(FP), SI
+	MOVQ         ys+8(FP), DX
+	MOVQ         n+16(FP), CX
+	VBROADCASTSD qx+24(FP), Y0
+	VBROADCASTSD qy+32(FP), Y1
+	MOVQ         $0x7FF0000000000000, R9 // +Inf
+	VMOVQ        R9, X5
+	VBROADCASTSD X5, Y5                  // vector running min
+	VMOVQ        R9, X6                  // scalar-tail running min
+	XORQ         AX, AX
+
+loop4:
+	LEAQ 4(AX), BX
+	CMPQ BX, CX
+	JGT  tail
+	dSq4
+	VMINPD Y5, Y2, Y5 // min(dSq, acc); NaN lanes keep acc, like scalar d < best
+	MOVQ   BX, AX
+	JMP    loop4
+
+tail:
+	CMPQ AX, CX
+	JGE  reduce
+	dSq1
+	VMINSD X6, X2, X6 // min(dSq, acc); NaN keeps acc
+	INCQ   AX
+	JMP    tail
+
+reduce:
+	// Fold the 4 vector lanes and the scalar tail into one minimum. The
+	// accumulators are NaN-free (they start at +Inf and VMINPD never admits
+	// NaN), so fold order is irrelevant.
+	VEXTRACTF128 $1, Y5, X7
+	VMINPD       X7, X5, X5
+	VPERMILPD    $1, X5, X7
+	VMINSD       X7, X5, X5
+	VMINSD       X6, X5, X5
+	VMOVSD       X5, ret+40(FP)
+	VZEROUPPER
+	RET
+
+// func argMinEqScanAVX2(xs, ys *float64, n int, qx, qy, m float64) int
+//
+// Returns the first lane index whose squared distance equals m (the
+// precomputed minimum), or -1. EQ_OQ never matches NaN lanes.
+TEXT ·argMinEqScanAVX2(SB), NOSPLIT, $0-56
+	MOVQ         xs+0(FP), SI
+	MOVQ         ys+8(FP), DX
+	MOVQ         n+16(FP), CX
+	VBROADCASTSD qx+24(FP), Y0
+	VBROADCASTSD qy+32(FP), Y1
+	VBROADCASTSD m+40(FP), Y4
+	XORQ         AX, AX
+
+loop4:
+	LEAQ 4(AX), BX
+	CMPQ BX, CX
+	JGT  tail
+	dSq4
+	VCMPPD    EQ_OQ, Y4, Y2, Y3
+	VMOVMSKPD Y3, R9
+	TESTQ     R9, R9
+	JNZ       found
+	MOVQ      BX, AX
+	JMP       loop4
+
+found:
+	BSFQ R9, R9    // first qualifying lane within the group
+	ADDQ R9, AX
+	MOVQ AX, ret+48(FP)
+	VZEROUPPER
+	RET
+
+tail:
+	CMPQ AX, CX
+	JGE  miss
+	dSq1
+	VUCOMISD X4, X2 // flags of dSq vs m; E iff equal and ordered
+	JNE      skip
+	JP       skip
+	MOVQ     AX, ret+48(FP)
+	VZEROUPPER
+	RET
+
+skip:
+	INCQ AX
+	JMP  tail
+
+miss:
+	MOVQ       $-1, ret+48(FP)
+	VZEROUPPER
+	RET
+
+// func selectWithinAVX2(xs, ys *float64, n int, qx, qy, boundSq float64, idx *int32) int
+TEXT ·selectWithinAVX2(SB), NOSPLIT, $0-64
+	MOVQ         xs+0(FP), SI
+	MOVQ         ys+8(FP), DX
+	MOVQ         n+16(FP), CX
+	VBROADCASTSD qx+24(FP), Y0
+	VBROADCASTSD qy+32(FP), Y1
+	VBROADCASTSD boundSq+40(FP), Y4
+	MOVQ         idx+48(FP), DI
+	XORQ         AX, AX
+	XORQ         R8, R8 // m: qualifying lanes emitted so far
+
+loop4:
+	LEAQ 4(AX), BX
+	CMPQ BX, CX
+	JGT  tail
+	dSq4
+	VCMPPD    LE_OQ, Y4, Y2, Y3
+	VMOVMSKPD Y3, R9
+
+	// Branchless compress of the 4-bit mask: unconditionally store the lane
+	// index at idx[m], then advance m by the lane's mask bit. m never
+	// exceeds the current lane index, so the store stays in bounds for an
+	// idx of length n; slots past the final count are scratch.
+	MOVL R9, R10
+	ANDL $1, R10
+	MOVL AX, (DI)(R8*4)
+	ADDQ R10, R8
+
+	LEAQ 1(AX), R11
+	MOVL R9, R10
+	SHRL $1, R10
+	ANDL $1, R10
+	MOVL R11, (DI)(R8*4)
+	ADDQ R10, R8
+
+	LEAQ 2(AX), R11
+	MOVL R9, R10
+	SHRL $2, R10
+	ANDL $1, R10
+	MOVL R11, (DI)(R8*4)
+	ADDQ R10, R8
+
+	LEAQ 3(AX), R11
+	MOVL R9, R10
+	SHRL $3, R10
+	ANDL $1, R10
+	MOVL R11, (DI)(R8*4)
+	ADDQ R10, R8
+
+	MOVQ BX, AX
+	JMP  loop4
+
+tail:
+	CMPQ AX, CX
+	JGE  done
+	dSq1
+	VUCOMISD X2, X4
+	JB       skip
+	JP       skip
+	MOVL     AX, (DI)(R8*4)
+	INCQ     R8
+
+skip:
+	INCQ AX
+	JMP  tail
+
+done:
+	MOVQ       R8, ret+56(FP)
+	VZEROUPPER
+	RET
+
+// func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,104 @@
+package kernel
+
+import "math"
+
+// This file is the scalar reference implementation: the semantic ground
+// truth every fast path must match bit-for-bit (see the package comment's
+// exactness contract, enforced by the equivalence and fuzz tests). It is
+// also the only implementation of `-tags purego` builds and non-amd64
+// targets, so it stays load-bearing — CI runs the full suite on it.
+
+var inf = math.Inf(1)
+
+// The *SpanRef helpers slice inside the callee and stay LEAF functions:
+// the per-lane loop inlines into them and nothing else is called. That
+// matters more than it looks — the same loop inlined into a function that
+// can also call the assembly (a non-leaf) pays the stack-growth check,
+// argument spills and GC-liveness stores on every call, which measured
+// ~2.4x slower on 16-point spans. The per-build wrappers therefore route
+// the scalar fallback here instead of inlining it next to the asm call,
+// and go:noinline keeps the compiler from hoisting these bodies back into
+// their non-leaf dispatchers.
+
+//go:noinline
+func distSqSpanRef(xs, ys []float64, off, n int, qx, qy float64, out []float64) {
+	distSqRef(xs[off:off+n], ys[off:off+n], qx, qy, out)
+}
+
+//go:noinline
+func countWithinSpanRef(xs, ys []float64, off, n int, qx, qy, boundSq float64) int {
+	return countWithinRef(xs[off:off+n], ys[off:off+n], qx, qy, boundSq)
+}
+
+//go:noinline
+func minDistSqSpanRef(xs, ys []float64, off, n int, qx, qy float64) float64 {
+	return minDistSqRef(xs[off:off+n], ys[off:off+n], qx, qy)
+}
+
+//go:noinline
+func argMinDistSqSpanRef(xs, ys []float64, off, n int, qx, qy float64) int {
+	return argMinDistSqRef(xs[off:off+n], ys[off:off+n], qx, qy)
+}
+
+//go:noinline
+func selectWithinSpanRef(xs, ys []float64, off, n int, qx, qy, boundSq float64, idx []int32) int {
+	return selectWithinRef(xs[off:off+n], ys[off:off+n], qx, qy, boundSq, idx)
+}
+
+func distSqRef(xs, ys []float64, qx, qy float64, out []float64) {
+	out = out[:len(xs)] // bounds-check elimination for the stores below
+	for i, x := range xs {
+		dx := x - qx
+		dy := ys[i] - qy
+		out[i] = dx*dx + dy*dy
+	}
+}
+
+func countWithinRef(xs, ys []float64, qx, qy, boundSq float64) int {
+	count := 0
+	for i, x := range xs {
+		dx := x - qx
+		dy := ys[i] - qy
+		if dx*dx+dy*dy <= boundSq {
+			count++
+		}
+	}
+	return count
+}
+
+func minDistSqRef(xs, ys []float64, qx, qy float64) float64 {
+	best := inf
+	for i, x := range xs {
+		dx := x - qx
+		dy := ys[i] - qy
+		if d := dx*dx + dy*dy; d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func argMinDistSqRef(xs, ys []float64, qx, qy float64) int {
+	best, arg := inf, -1
+	for i, x := range xs {
+		dx := x - qx
+		dy := ys[i] - qy
+		if d := dx*dx + dy*dy; d < best {
+			best, arg = d, i
+		}
+	}
+	return arg
+}
+
+func selectWithinRef(xs, ys []float64, qx, qy, boundSq float64, idx []int32) int {
+	m := 0
+	for i, x := range xs {
+		dx := x - qx
+		dy := ys[i] - qy
+		if dx*dx+dy*dy <= boundSq {
+			idx[m] = int32(i)
+			m++
+		}
+	}
+	return m
+}

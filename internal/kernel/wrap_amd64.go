@@ -1,0 +1,133 @@
+//go:build amd64 && !purego
+
+package kernel
+
+import "math"
+
+// Exported kernel wrappers for builds carrying the AVX2 assembly. Each
+// *Span form is a thin dispatcher: one predictable branch on a plain
+// boolean and the span length, then a tail call to either the leaf scalar
+// helper (ref.go — the loop must NOT be inlined next to the asm call, see
+// the comment there) or the asm-calling helper below. useAVX2 is written
+// only by init and Use (documented as unsafe to race with queries), never
+// on the hot path.
+//
+// The *Span forms take the unsliced columns plus (off, n) so the slicing —
+// the most node-expensive part of a call site — happens inside the
+// non-inlinable wrapper; that keeps the span accessors in geom and index
+// under the compiler's inlining budget (one call frame per block instead of
+// two, measurable on 16-point grid cells).
+
+var useAVX2 bool
+
+// minAVX2Lanes is the span length below which the dispatchers keep the
+// scalar leaf path: the fixed cost of the assembly call — argument spill,
+// prologue, VZEROUPPER — exceeds the vector win on tiny spans (measured
+// crossover ~24 lanes on both L1-resident and streaming scans). Both paths
+// are bit-identical, so the cutoff is pure tuning, invisible to results.
+const minAVX2Lanes = 32
+
+func setImpl(name string) {
+	activeName = name
+	useAVX2 = name == "avx2"
+	if useAVX2 {
+		batchGrain = minAVX2Lanes
+	} else {
+		batchGrain = math.MaxInt
+	}
+}
+
+// DistSqSpan writes the squared distance from (qx, qy) to every point of
+// the span [off, off+n) of the xs/ys columns into out[:n]. out may be
+// longer (a reused scratch buffer); its tail is left untouched.
+func DistSqSpan(xs, ys []float64, off, n int, qx, qy float64, out []float64) {
+	if len(out) < n {
+		panicSpan("DistSq", n, n, len(out))
+	}
+	if useAVX2 && n >= minAVX2Lanes {
+		distSqSpanAsm(xs, ys, off, n, qx, qy, out)
+		return
+	}
+	distSqSpanRef(xs, ys, off, n, qx, qy, out)
+}
+
+// CountWithinSpan returns the number of span points whose squared distance
+// to (qx, qy) is at most boundSq. NaN distances (and a NaN bound) never
+// qualify, matching the scalar comparison.
+func CountWithinSpan(xs, ys []float64, off, n int, qx, qy, boundSq float64) int {
+	if useAVX2 && n >= minAVX2Lanes {
+		return countWithinSpanAsm(xs, ys, off, n, qx, qy, boundSq)
+	}
+	return countWithinSpanRef(xs, ys, off, n, qx, qy, boundSq)
+}
+
+// MinDistSqSpan returns the minimum squared distance from (qx, qy) to the
+// span, or +Inf for an empty span. NaN distances are skipped, exactly as
+// the scalar `d < best` comparison skips them.
+func MinDistSqSpan(xs, ys []float64, off, n int, qx, qy float64) float64 {
+	if useAVX2 && n >= minAVX2Lanes {
+		return minDistSqSpanAsm(xs, ys, off, n, qx, qy)
+	}
+	return minDistSqSpanRef(xs, ys, off, n, qx, qy)
+}
+
+// ArgMinDistSqSpan returns the span-relative index of the first span point
+// achieving the minimum squared distance to (qx, qy), or -1 when the span
+// is empty or no lane compares below +Inf (all distances NaN or +Inf).
+func ArgMinDistSqSpan(xs, ys []float64, off, n int, qx, qy float64) int {
+	if useAVX2 && n >= minAVX2Lanes {
+		return argMinDistSqSpanAsm(xs, ys, off, n, qx, qy)
+	}
+	return argMinDistSqSpanRef(xs, ys, off, n, qx, qy)
+}
+
+// SelectWithinSpan writes the span-relative indices of points whose squared
+// distance to (qx, qy) is at most boundSq into idx, in ascending order, and
+// returns how many qualified. idx must be at least n long; entries past the
+// returned count are unspecified scratch.
+func SelectWithinSpan(xs, ys []float64, off, n int, qx, qy, boundSq float64, idx []int32) int {
+	if len(idx) < n {
+		panicSpan("SelectWithin", n, n, len(idx))
+	}
+	if useAVX2 && n >= minAVX2Lanes {
+		return selectWithinSpanAsm(xs, ys, off, n, qx, qy, boundSq, idx)
+	}
+	return selectWithinSpanRef(xs, ys, off, n, qx, qy, boundSq, idx)
+}
+
+// The *SpanAsm helpers isolate the assembly calls (and the slicing feeding
+// them) from the scalar path. n >= minAVX2Lanes > 0 is guaranteed by the
+// dispatchers above.
+
+func distSqSpanAsm(xs, ys []float64, off, n int, qx, qy float64, out []float64) {
+	xs, ys = xs[off:off+n], ys[off:off+n]
+	distSqAVX2(&xs[0], &ys[0], n, qx, qy, &out[0])
+}
+
+func countWithinSpanAsm(xs, ys []float64, off, n int, qx, qy, boundSq float64) int {
+	xs, ys = xs[off:off+n], ys[off:off+n]
+	return countWithinAVX2(&xs[0], &ys[0], n, qx, qy, boundSq)
+}
+
+func minDistSqSpanAsm(xs, ys []float64, off, n int, qx, qy float64) float64 {
+	xs, ys = xs[off:off+n], ys[off:off+n]
+	return minDistSqAVX2(&xs[0], &ys[0], n, qx, qy)
+}
+
+// argMinDistSqSpanAsm is two vector passes: the minimum, then the first
+// lane equal to it. The scalar reference only selects a lane when d < best
+// strictly improves on +Inf, so a +Inf minimum (empty effective span: every
+// lane NaN or +Inf) must yield -1 rather than matching a +Inf lane.
+func argMinDistSqSpanAsm(xs, ys []float64, off, n int, qx, qy float64) int {
+	xs, ys = xs[off:off+n], ys[off:off+n]
+	m := minDistSqAVX2(&xs[0], &ys[0], n, qx, qy)
+	if m == inf {
+		return -1
+	}
+	return argMinEqScanAVX2(&xs[0], &ys[0], n, qx, qy, m)
+}
+
+func selectWithinSpanAsm(xs, ys []float64, off, n int, qx, qy, boundSq float64, idx []int32) int {
+	xs, ys = xs[off:off+n], ys[off:off+n]
+	return selectWithinAVX2(&xs[0], &ys[0], n, qx, qy, boundSq, &idx[0])
+}

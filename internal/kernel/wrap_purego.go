@@ -1,0 +1,55 @@
+//go:build !amd64 || purego
+
+package kernel
+
+// Exported kernel wrappers for builds without the amd64 assembly (the
+// `purego` tag, or any other architecture): everything routes straight to
+// the leaf scalar helpers with no dispatch at all — the thin forms here
+// inline into callers, so a span scan costs exactly one call frame, the
+// same as a hand-written loop behind a method. BatchGrain stays at its
+// "never profitable" default, steering adaptive callers (the locality
+// searcher) onto their fused scalar loops.
+
+func setImpl(name string) { activeName = name }
+
+// DistSqSpan writes the squared distance from (qx, qy) to every point of
+// the span [off, off+n) of the xs/ys columns into out[:n]. out may be
+// longer (a reused scratch buffer); its tail is left untouched.
+func DistSqSpan(xs, ys []float64, off, n int, qx, qy float64, out []float64) {
+	if len(out) < n {
+		panicSpan("DistSq", n, n, len(out))
+	}
+	distSqSpanRef(xs, ys, off, n, qx, qy, out)
+}
+
+// CountWithinSpan returns the number of span points whose squared distance
+// to (qx, qy) is at most boundSq. NaN distances (and a NaN bound) never
+// qualify, matching the scalar comparison.
+func CountWithinSpan(xs, ys []float64, off, n int, qx, qy, boundSq float64) int {
+	return countWithinSpanRef(xs, ys, off, n, qx, qy, boundSq)
+}
+
+// MinDistSqSpan returns the minimum squared distance from (qx, qy) to the
+// span, or +Inf for an empty span. NaN distances are skipped, exactly as
+// the scalar `d < best` comparison skips them.
+func MinDistSqSpan(xs, ys []float64, off, n int, qx, qy float64) float64 {
+	return minDistSqSpanRef(xs, ys, off, n, qx, qy)
+}
+
+// ArgMinDistSqSpan returns the span-relative index of the first span point
+// achieving the minimum squared distance to (qx, qy), or -1 when the span
+// is empty or no lane compares below +Inf (all distances NaN or +Inf).
+func ArgMinDistSqSpan(xs, ys []float64, off, n int, qx, qy float64) int {
+	return argMinDistSqSpanRef(xs, ys, off, n, qx, qy)
+}
+
+// SelectWithinSpan writes the span-relative indices of points whose squared
+// distance to (qx, qy) is at most boundSq into idx, in ascending order, and
+// returns how many qualified. idx must be at least n long; entries past the
+// returned count are unspecified scratch.
+func SelectWithinSpan(xs, ys []float64, off, n int, qx, qy, boundSq float64, idx []int32) int {
+	if len(idx) < n {
+		panicSpan("SelectWithin", n, n, len(idx))
+	}
+	return selectWithinSpanRef(xs, ys, off, n, qx, qy, boundSq, idx)
+}

@@ -100,6 +100,41 @@ func TestSpanScanZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestNeighborhoodBatchedScanZeroAllocs is the steady-state allocation
+// regression for the batched kernel scan paths: with blocks larger than
+// kernel.BatchGrain the searcher routes spans through DistSqInto /
+// SelectWithinSq and per-Searcher scratch buffers (dists, selIdx) — after
+// warm-up those must be as allocation-free as the fused scalar path.
+func TestNeighborhoodBatchedScanZeroAllocs(t *testing.T) {
+	const k = 16
+	bounds := geom.NewRect(0, 0, 1000, 1000)
+	pts := testutil.UniformPoints(8000, bounds, 43)
+	queries := testutil.UniformPoints(128, bounds, 44)
+	for _, kind := range testutil.AllIndexKinds {
+		t.Run(string(kind), func(t *testing.T) {
+			ix, err := testutil.NewIndexCapacity(kind, pts, 128)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := locality.NewSearcher(ix)
+			for _, q := range queries {
+				s.Neighborhood(q, k, nil)
+				s.NeighborhoodWithin(q, k, 150, nil)
+			}
+			i := 0
+			avg := testing.AllocsPerRun(200, func() {
+				q := queries[i%len(queries)]
+				s.Neighborhood(q, k, nil)
+				s.NeighborhoodWithin(q, k, 150, nil)
+				i++
+			})
+			if avg != 0 {
+				t.Errorf("%s: batched-span neighborhoods allocate %v per call in steady state, want 0", kind, avg)
+			}
+		})
+	}
+}
+
 func TestCountStrictlyCloserZeroAllocs(t *testing.T) {
 	for _, kind := range testutil.AllIndexKinds {
 		t.Run(string(kind), func(t *testing.T) {

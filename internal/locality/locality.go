@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/index"
+	"repro/internal/kernel"
 	"repro/internal/stats"
 )
 
@@ -216,8 +217,10 @@ type Searcher struct {
 	// scratch buffers, reused across queries
 	heap    maxKHeap
 	result  Neighborhood
-	inLoc   []bool // per-block locality membership, cleared via touched
-	touched []int  // block IDs marked in inLoc during the current query
+	inLoc   []bool    // per-block locality membership, cleared via touched
+	touched []int     // block IDs marked in inLoc during the current query
+	dists   []float64 // batched-kernel scratch: per-lane squared distances
+	selIdx  []int32   // batched-kernel scratch: qualifying lane indices
 }
 
 // NewSearcher returns a Searcher over ix.
@@ -302,22 +305,60 @@ func (s *Searcher) neighborhoodWithinSq(p geom.Point, k int, thresholdSq float64
 	return s.heap.extractInto(&s.result, p)
 }
 
-// scanSpan feeds every point of b into the selection heap as a flat,
-// branch-light scan over the block's X/Y columns: distances come straight
-// from the coordinate arrays (no Point struct loads), and once the heap is
-// full a single compare against the running k-th distance rejects the
-// common case before any heap work. Returns the number of points examined.
+// scanSpan feeds the points of b into the selection heap. Spans at or above
+// the batched-kernel grain (kernel.BatchGrain: profitable span length for
+// the dispatched implementation, +Inf-like when only the scalar reference
+// is active) go through the batched kernel layer in two phases on the heap
+// state; shorter spans keep the original fused scalar loop, whose per-lane
+// cost nothing can beat at that size. All paths produce bit-identical heap
+// states — the kernels perform the scalar loop's exact float64 operations —
+// so query answers do not depend on the route taken. Returns the number of
+// points examined.
 func (s *Searcher) scanSpan(b *index.Block, p geom.Point) int {
 	xs, ys := b.XYs()
 	h := &s.heap
-	for i, x := range xs {
-		dx := x - p.X
-		dy := ys[i] - p.Y
-		dSq := dx*dx + dy*dy
+	if len(xs) < kernel.BatchGrain() {
+		for i, x := range xs {
+			dx := x - p.X
+			dy := ys[i] - p.Y
+			dSq := dx*dx + dy*dy
+			if len(h.items) >= h.k && dSq > h.items[0].dSq {
+				continue
+			}
+			h.offer(geom.Point{X: x, Y: ys[i]}, dSq)
+		}
+		return len(xs)
+	}
+	if len(h.items) >= h.k {
+		// Heap already full: compress-store the only lanes at or below the
+		// bound at span entry. The bound only tightens within a span, so
+		// this is a superset of the fused loop's survivors, and offer's own
+		// ordering test filters the rest — the final heap is identical.
+		if cap(s.selIdx) < len(xs) {
+			s.selIdx = make([]int32, len(xs))
+		}
+		m := b.SelectWithinSq(p, h.boundSq(), s.selIdx[:len(xs)])
+		for _, lane := range s.selIdx[:m] {
+			x, y := xs[lane], ys[lane]
+			dx := x - p.X
+			dy := y - p.Y
+			h.offer(geom.Point{X: x, Y: y}, dx*dx+dy*dy)
+		}
+		return len(xs)
+	}
+	// Heap still filling: batch the whole span's distances into scratch,
+	// then offer in order, rechecking the running k-th distance as the heap
+	// fills exactly like the fused loop.
+	if cap(s.dists) < len(xs) {
+		s.dists = make([]float64, len(xs))
+	}
+	dists := s.dists[:len(xs)]
+	b.DistSqInto(p, dists)
+	for i, dSq := range dists {
 		if len(h.items) >= h.k && dSq > h.items[0].dSq {
 			continue
 		}
-		h.offer(geom.Point{X: x, Y: ys[i]}, dSq)
+		h.offer(geom.Point{X: xs[i], Y: ys[i]}, dSq)
 	}
 	return len(xs)
 }

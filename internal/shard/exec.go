@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/index"
+	"repro/internal/kernel"
 	"repro/internal/stats"
 )
 
@@ -312,6 +313,11 @@ func SelectInnerJoin(outer, inner Group, f geom.Point, kJoin, kSel int, strat St
 		return nil
 	}
 	sorted := sortedSet(sel)
+	var selXs, selYs []float64
+	if strat == StrategyCounting {
+		// Only the Counting prune scans the flattened σ columns.
+		selXs, selYs = geom.FlatXYs(sel)
+	}
 
 	out := scatter(blockUnits(outer), inner, workers, c,
 		func(pr *probe, ctr *stats.Counters) emitFn[core.Pair] {
@@ -333,8 +339,12 @@ func SelectInnerJoin(outer, inner Group, f geom.Point, kJoin, kSel int, strat St
 				u.eachPoint(func(e1 geom.Point) {
 					if strat == StrategyCounting {
 						// Squared threshold end-to-end, as in the core
-						// Counting algorithm: exact ties stay exact.
-						if pr.countStrictlyCloser(e1, kJoin, nearestDistSqTo(sel, e1)) >= kJoin {
+						// Counting algorithm: exact ties stay exact. The
+						// batched MinDistSq kernel over the flattened σ set
+						// matches Neighborhood.NearestDistSqTo exactly
+						// (NaN skipped, +Inf on empty), keeping the sharded
+						// and single-relation Counting prunes identical.
+						if pr.countStrictlyCloser(e1, kJoin, kernel.MinDistSq(selXs, selYs, e1.X, e1.Y)) >= kJoin {
 							ctr.AddOuterSkipped(1)
 							return
 						}
@@ -479,19 +489,4 @@ func sortedSet(pts []geom.Point) []geom.Point {
 	out := append([]geom.Point(nil), pts...)
 	core.SortPoints(out)
 	return out
-}
-
-// nearestDistSqTo returns the minimum squared distance from q to any point
-// of sel.
-func nearestDistSqTo(sel []geom.Point, q geom.Point) float64 {
-	best := -1.0
-	for _, p := range sel {
-		if d := p.DistSq(q); best < 0 || d < best {
-			best = d
-		}
-	}
-	if best < 0 {
-		return 0
-	}
-	return best
 }

@@ -25,6 +25,7 @@ type probe struct {
 	deltas  []*stats.Counters
 	nbrs    []*locality.Neighborhood
 	cursors []int
+	dSqs    [][]float64 // per-shard candidate distances, precomputed once per merge
 	merged  locality.Neighborhood
 
 	// shard-skip scratch: per-shard MINDIST² of the shard's index bounds
@@ -73,6 +74,7 @@ func newProbe(g Group) *probe {
 		deltas:  make([]*stats.Counters, n),
 		nbrs:    make([]*locality.Neighborhood, n),
 		cursors: make([]int, n),
+		dSqs:    make([][]float64, n),
 		minSqs:  make([]float64, n),
 		order:   make([]int, n),
 	}
@@ -177,19 +179,27 @@ func (pr *probe) neighborhoodWithinSq(p geom.Point, k int, thresholdSq float64) 
 }
 
 // merge k-selects from the per-shard sorted candidate lists in pr.nbrs into
-// the reusable merged result. Comparison is on squared distance recomputed
+// the reusable merged result. Comparison is on squared distance computed
 // from the coordinates — the same quantity the per-shard selection heaps
 // ordered by — with exact ties broken by canonical (X, Y) order; identical
 // co-located points are kept (never deduped), preserving the single-relation
-// multiset semantics. Steady state allocates nothing: the merged buffers and
-// cursors are reused across calls.
+// multiset semantics. Each candidate's squared distance is precomputed once
+// into the probe's per-shard scratch (the k-way loop re-reads every shard's
+// head each round, so computing on demand would redo the same distance up
+// to k times). Steady state allocates nothing: the merged buffers, cursors
+// and distance scratch are reused across calls.
 func (pr *probe) merge(p geom.Point, k int) *locality.Neighborhood {
 	m := &pr.merged
 	m.Center = p
 	m.Points = m.Points[:0]
 	m.Dists = m.Dists[:0]
-	for s := range pr.cursors {
+	for s, nbr := range pr.nbrs {
 		pr.cursors[s] = 0
+		d := pr.dSqs[s][:0]
+		for _, q := range nbr.Points {
+			d = append(d, q.DistSq(p))
+		}
+		pr.dSqs[s] = d
 	}
 	for len(m.Points) < k {
 		best := -1
@@ -201,7 +211,7 @@ func (pr *probe) merge(p geom.Point, k int) *locality.Neighborhood {
 				continue
 			}
 			q := nbr.Points[cur]
-			dSq := q.DistSq(p)
+			dSq := pr.dSqs[s][cur]
 			if best < 0 || dSq < bestSq || (dSq == bestSq && q.Less(bestPt)) {
 				best, bestSq, bestPt, bestDist = s, dSq, q, nbr.Dists[cur]
 			}

@@ -90,6 +90,14 @@ func BuildIndex(t testing.TB, kind IndexKind, pts []geom.Point) index.Index {
 // NewIndex is BuildIndex without the testing.TB dependency, for use in
 // builder callbacks passed to core functions.
 func NewIndex(kind IndexKind, pts []geom.Point) (index.Index, error) {
+	return NewIndexCapacity(kind, pts, 16)
+}
+
+// NewIndexCapacity is NewIndex with an explicit leaf/cell capacity — tests
+// exercising the batched kernel scan paths need blocks larger than
+// kernel.BatchGrain, while the default small capacity keeps small inputs
+// spanning many blocks.
+func NewIndexCapacity(kind IndexKind, pts []geom.Point, capacity int) (index.Index, error) {
 	if len(pts) == 0 {
 		// Degenerate relations (e.g. the reduced inner relation of an
 		// invalid-pushdown plan over an empty selection) still need a
@@ -98,13 +106,13 @@ func NewIndex(kind IndexKind, pts []geom.Point) (index.Index, error) {
 	}
 	switch kind {
 	case Quadtree:
-		return quadtree.New(pts, quadtree.Options{LeafCapacity: 16})
+		return quadtree.New(pts, quadtree.Options{LeafCapacity: capacity})
 	case KDTree:
-		return kdtree.New(pts, kdtree.Options{LeafCapacity: 16})
+		return kdtree.New(pts, kdtree.Options{LeafCapacity: capacity})
 	case RTree:
-		return rtree.New(pts, rtree.Options{LeafCapacity: 16})
+		return rtree.New(pts, rtree.Options{LeafCapacity: capacity})
 	default:
-		return grid.New(pts, grid.Options{TargetPerCell: 16})
+		return grid.New(pts, grid.Options{TargetPerCell: capacity})
 	}
 }
 
