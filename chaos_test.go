@@ -1,0 +1,254 @@
+package twoknn_test
+
+// Chaos tests: the fault-injection harness places panics, slow shard
+// probes and pool exhaustion at exact execution points, and every scenario
+// asserts the three invariants of the robustness layer — the typed error
+// surfaces (the process never crashes), zero searcher handles leak, and
+// operation counters recorded before the fault are still folded into
+// WithStats targets. The CI race job runs this file under -race.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	twoknn "repro"
+	"repro/internal/fault"
+)
+
+func TestChaosPanicSequential(t *testing.T) {
+	pts := batteryPoints(t)
+	rel, err := twoknn.NewRelation("R", pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.PanicAtBlock(10, "chaos: poisoned block")
+	defer fault.Disarm()
+
+	pairs, qerr := twoknn.KNNJoin(rel, rel, 4)
+	if qerr == nil {
+		t.Fatalf("join completed (%d pairs); want injected panic", len(pairs))
+	}
+	if !errors.Is(qerr, twoknn.ErrQueryPanic) {
+		t.Errorf("error %v does not wrap ErrQueryPanic", qerr)
+	}
+	var pe *twoknn.QueryPanicError
+	if !errors.As(qerr, &pe) {
+		t.Fatalf("error %v is not a *QueryPanicError", qerr)
+	}
+	if pe.Value != "chaos: poisoned block" {
+		t.Errorf("panic value = %v, want the injected payload", pe.Value)
+	}
+	if !strings.Contains(string(pe.Stack), "goroutine") {
+		t.Errorf("panic stack not captured: %q", pe.Stack)
+	}
+	fault.Disarm()
+	if out := rel.OutstandingSearchers(); out != 0 {
+		t.Errorf("%d searcher handles leaked", out)
+	}
+}
+
+func TestChaosPanicParallelWorker(t *testing.T) {
+	pts := batteryPoints(t)
+	rel, err := twoknn.NewRelation("R", pts, twoknn.WithMaxSearchers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.PanicAtBlock(25, "chaos: worker crash")
+	defer fault.Disarm()
+
+	_, qerr := twoknn.KNNJoin(rel, rel, 4, twoknn.WithConcurrency(4))
+	if !errors.Is(qerr, twoknn.ErrQueryPanic) {
+		t.Fatalf("got %v, want an ErrQueryPanic chain", qerr)
+	}
+	var pe *twoknn.QueryPanicError
+	if !errors.As(qerr, &pe) || pe.Value != "chaos: worker crash" {
+		t.Fatalf("panic payload not preserved across the worker boundary: %v", qerr)
+	}
+	fault.Disarm()
+	if out := rel.OutstandingSearchers(); out != 0 {
+		t.Errorf("%d searcher handles leaked after worker panic", out)
+	}
+
+	// The relation must stay fully usable: the panicked query returned its
+	// bounded-pool handles, so a clean query still gets all of them.
+	if _, err := twoknn.KNNJoin(rel, rel, 4, twoknn.WithConcurrency(4)); err != nil {
+		t.Fatalf("relation unusable after recovered panic: %v", err)
+	}
+}
+
+func TestChaosPanicShardedScatter(t *testing.T) {
+	pts := batteryPoints(t)
+	for _, policy := range []twoknn.ShardPolicy{twoknn.HashSharding, twoknn.SpatialSharding} {
+		sr, err := twoknn.NewShardedRelation(policy.String(), pts, 4, twoknn.WithShardPolicy(policy))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fault.PanicAtBlock(25, "chaos: scatter crash")
+		_, qerr := twoknn.KNNJoin(sr, sr, 4, twoknn.WithConcurrency(4))
+		fault.Disarm()
+		if !errors.Is(qerr, twoknn.ErrQueryPanic) {
+			t.Fatalf("%v: got %v, want an ErrQueryPanic chain", policy, qerr)
+		}
+		if out := sr.OutstandingSearchers(); out != 0 {
+			t.Errorf("%v: %d searcher handles leaked after scatter panic", policy, out)
+		}
+	}
+}
+
+func TestChaosSlowShardProbeHitsDeadline(t *testing.T) {
+	pts := batteryPoints(t)
+	sr, err := twoknn.NewShardedRelation("S", pts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shard 1's probes stall past the deadline; the next checkpoint after
+	// the stall observes the expiry.
+	fault.SlowShardProbe(1, 30*time.Millisecond)
+	defer fault.Disarm()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+
+	_, qerr := twoknn.KNNJoin(sr, sr, 4, twoknn.WithContext(ctx), twoknn.WithConcurrency(4))
+	if !errors.Is(qerr, twoknn.ErrQueryCanceled) || !errors.Is(qerr, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want ErrQueryCanceled wrapping DeadlineExceeded", qerr)
+	}
+	fault.Disarm()
+	if out := sr.OutstandingSearchers(); out != 0 {
+		t.Errorf("%d searcher handles leaked", out)
+	}
+}
+
+func TestChaosExhaustedPoolShedsLoad(t *testing.T) {
+	pts := batteryPoints(t)
+	rel, err := twoknn.NewRelation("R", pts, twoknn.WithMaxSearchers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Park a query on the pool's only handle: its first checkpoint blocks on
+	// the gate until the test lets it finish.
+	gate := make(chan struct{})
+	holding := make(chan struct{})
+	var once sync.Once
+	fault.Arm(&fault.Injector{BlockScan: func(uint64) {
+		once.Do(func() {
+			close(holding)
+			<-gate
+		})
+	}})
+	defer fault.Disarm()
+	done := make(chan error, 1)
+	go func() {
+		_, err := rel.KNNSelect(batteryFocal, 10)
+		done <- err
+	}()
+	<-holding
+
+	// Deadline-bounded query against the exhausted pool: it waits only as
+	// long as its context allows, then fails with the full shed-load chain.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, qerr := rel.KNNSelect(batteryFocal, 10, twoknn.WithContext(ctx))
+	if !errors.Is(qerr, twoknn.ErrQueryCanceled) {
+		t.Errorf("error %v does not wrap ErrQueryCanceled", qerr)
+	}
+	if !errors.Is(qerr, twoknn.ErrSearchersExhausted) {
+		t.Errorf("error %v does not wrap ErrSearchersExhausted", qerr)
+	}
+	if !errors.Is(qerr, context.DeadlineExceeded) {
+		t.Errorf("error %v does not wrap context.DeadlineExceeded", qerr)
+	}
+
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatalf("parked query failed: %v", err)
+	}
+	fault.Disarm()
+	if out := rel.OutstandingSearchers(); out != 0 {
+		t.Errorf("%d searcher handles leaked", out)
+	}
+	// Capacity restored: the same bounded relation serves again.
+	if _, err := rel.KNNSelect(batteryFocal, 10); err != nil {
+		t.Fatalf("pool did not recover: %v", err)
+	}
+}
+
+// TestChaosCancelledStatsConsistent: a cancelled query folds the operation
+// counters it recorded before the abort — non-zero (work happened) and no
+// larger than an uncancelled run (no double counting).
+func TestChaosCancelledStatsConsistent(t *testing.T) {
+	pts := batteryPoints(t)
+	rel, err := twoknn.NewRelation("R", pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full twoknn.Stats
+	if _, err := twoknn.KNNJoin(rel, rel, 4, twoknn.WithStats(&full)); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	fault.CancelAfterBlocks(200, cancel)
+	defer fault.Disarm()
+	var part twoknn.Stats
+	_, qerr := twoknn.KNNJoin(rel, rel, 4, twoknn.WithContext(ctx), twoknn.WithStats(&part))
+	fault.Disarm()
+	if !errors.Is(qerr, twoknn.ErrQueryCanceled) {
+		t.Fatalf("got %v, want cancellation", qerr)
+	}
+	snap, fullSnap := part.Snapshot(), full.Snapshot()
+	if snap.Neighborhoods == 0 {
+		t.Error("cancelled query folded no counters; work before the abort was dropped")
+	}
+	if snap.Neighborhoods > fullSnap.Neighborhoods || snap.BlocksScanned > fullSnap.BlocksScanned {
+		t.Errorf("cancelled-run counters exceed the full run: %+v > %+v", snap, fullSnap)
+	}
+}
+
+// TestChaosConcurrentCancelledQueries hammers one bounded relation with
+// concurrent deadline-bounded queries while the harness cancels aggressively
+// — the -race job's main course. Afterwards the pool must be whole.
+func TestChaosConcurrentCancelledQueries(t *testing.T) {
+	pts := batteryPoints(t)
+	rel, err := twoknn.NewRelation("R", pts, twoknn.WithMaxSearchers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := twoknn.NewShardedRelation("S", pts, 4, twoknn.WithMaxSearchers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	fault.CancelAfterBlocks(500, cancel)
+	defer fault.Disarm()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var src twoknn.Source = rel
+			if i%2 == 1 {
+				src = sr
+			}
+			// Errors are expected (cancellation, shed load); crashes and
+			// leaks are not — those are what the test asserts below.
+			_, _ = twoknn.KNNJoin(src, src, 4,
+				twoknn.WithContext(ctx), twoknn.WithConcurrency(4))
+		}(i)
+	}
+	wg.Wait()
+	cancel()
+	fault.Disarm()
+	if out := rel.OutstandingSearchers(); out != 0 {
+		t.Errorf("%d single-relation handles leaked", out)
+	}
+	if out := sr.OutstandingSearchers(); out != 0 {
+		t.Errorf("%d sharded handles leaked", out)
+	}
+}

@@ -22,6 +22,13 @@
 //	knnbench -fig abl-shards    # the sharded scatter/gather ablation
 //	   -shards 1,2,4,8          # (shard-count sweep override), recorded in
 //	                            # BENCH_PR4.json
+//	knnbench -fig abl-cancel    # the cancellation-checkpoint ablation
+//	   -json BENCH_PR6.json     # (kNN-join on an unbound handle vs a live
+//	                            # bound context), recorded in BENCH_PR6.json
+//	knnbench -timeout 10m       # bound the run's wall-clock budget: once it
+//	                            # elapses, no further experiment starts, the
+//	                            # partial JSON report is still written, and
+//	                            # the command exits non-zero
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 )
@@ -43,6 +51,7 @@ func main() {
 		statsFlag    = flag.Bool("stats", false, "print machine-independent operation counters per plan")
 		jsonFlag     = flag.String("json", "", "path to write the results as machine-readable JSON")
 		shardsFlag   = flag.String("shards", "", "comma-separated shard counts for the abl-shards sweep (e.g. \"1,2,4\"; default 1,2,4,8)")
+		timeoutFlag  = flag.Duration("timeout", 0, "wall-clock budget for the whole run, checked between experiments (0 = no limit); on expiry the partial JSON report is still written and the exit code is non-zero")
 	)
 	flag.Parse()
 
@@ -55,7 +64,7 @@ func main() {
 		bench.ShardCounts = counts
 	}
 
-	if err := run(*figFlag, *ablFlag, *parallelFlag, *scaleFlag, *statsFlag, *jsonFlag); err != nil {
+	if err := run(*figFlag, *ablFlag, *parallelFlag, *scaleFlag, *statsFlag, *jsonFlag, *timeoutFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "knnbench:", err)
 		os.Exit(1)
 	}
@@ -81,7 +90,7 @@ func parseShardCounts(s string) ([]int, error) {
 	return out, nil
 }
 
-func run(figs string, ablations, parallel bool, scaleName string, withStats bool, jsonPath string) error {
+func run(figs string, ablations, parallel bool, scaleName string, withStats bool, jsonPath string, timeout time.Duration) error {
 	scale, err := bench.ParseScale(scaleName)
 	if err != nil {
 		return err
@@ -92,8 +101,25 @@ func run(figs string, ablations, parallel bool, scaleName string, withStats bool
 		return err
 	}
 
+	// The -timeout budget is cooperative at experiment granularity: a started
+	// experiment runs to completion (its plans must agree on cardinalities to
+	// be reportable), but no new experiment starts past the deadline.
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+
+	var timedOut error
 	var results []*bench.Result
 	for i, e := range selected {
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			var skipped []string
+			for _, s := range selected[i:] {
+				skipped = append(skipped, s.ID)
+			}
+			timedOut = fmt.Errorf("-timeout %v exceeded; skipped %s", timeout, strings.Join(skipped, ", "))
+			break
+		}
 		if i > 0 {
 			fmt.Println()
 		}
@@ -110,13 +136,13 @@ func run(figs string, ablations, parallel bool, scaleName string, withStats bool
 			results = append(results, res)
 		}
 	}
-	if jsonPath != "" {
+	if jsonPath != "" && len(results) > 0 {
 		if err := bench.NewJSONReport(scale, results).WriteFile(jsonPath); err != nil {
 			return err
 		}
 		fmt.Printf("\nwrote JSON report to %s\n", jsonPath)
 	}
-	return nil
+	return timedOut
 }
 
 func selectExperiments(figs string, ablations, parallel bool) ([]bench.Experiment, error) {

@@ -1,0 +1,227 @@
+package twoknn_test
+
+// The cancellation battery: every query entry point, against every backing
+// (single relation, hash-sharded, spatial-sharded), under every way a
+// context can end a query (already cancelled at entry, cancelled mid-query
+// by a deterministic fault-injection hook, deadline expiring mid-query).
+// Every case asserts the typed error chain — ErrQueryCanceled plus the
+// context's own error — that no partial result escapes, and that every
+// borrowed searcher handle is back in its pool afterwards.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	twoknn "repro"
+	"repro/internal/fault"
+)
+
+// batteryPoints is a clustered point set big enough that every entry point
+// crosses many block-scan checkpoints (≈2000 points, ≈32 blocks per backing
+// at the default block capacity).
+func batteryPoints(tb testing.TB) []twoknn.Point {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(61))
+	pts := make([]twoknn.Point, 0, 2000)
+	for i := 0; i < 2000; i++ {
+		pts = append(pts, twoknn.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000})
+	}
+	return pts
+}
+
+// cancelBacking is one backing under test: a Source factory plus its
+// outstanding-handle introspection for the leak assertion.
+type cancelBacking struct {
+	name        string
+	src         twoknn.Source
+	outstanding func() int
+}
+
+func batteryBackings(tb testing.TB, pts []twoknn.Point) []cancelBacking {
+	tb.Helper()
+	single, err := twoknn.NewRelation("single", pts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	hash, err := twoknn.NewShardedRelation("hash", pts, 4)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	spatial, err := twoknn.NewShardedRelation("spatial", pts, 4, twoknn.WithShardPolicy(twoknn.SpatialSharding))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return []cancelBacking{
+		{"single", single, single.OutstandingSearchers},
+		{"hash-sharded", hash, hash.OutstandingSearchers},
+		{"spatial-sharded", spatial, spatial.OutstandingSearchers},
+	}
+}
+
+// cancelEntry runs one public entry point over src, returning the result
+// cardinality. Queries use src for every operand, so each backing exercises
+// its own execution path end to end.
+type cancelEntry struct {
+	name string
+	run  func(src twoknn.Source, opts ...twoknn.QueryOption) (int, error)
+}
+
+var batteryFocal = twoknn.Point{X: 500, Y: 500}
+
+func batteryEntries() []cancelEntry {
+	f, f2 := batteryFocal, twoknn.Point{X: 120, Y: 840}
+	rng := twoknn.NewRect(200, 200, 800, 800)
+	return []cancelEntry{
+		{"KNNSelect", func(src twoknn.Source, opts ...twoknn.QueryOption) (int, error) {
+			switch s := src.(type) {
+			case *twoknn.Relation:
+				pts, err := s.KNNSelect(f, 10, opts...)
+				return len(pts), err
+			case *twoknn.ShardedRelation:
+				pts, err := s.KNNSelect(f, 10, opts...)
+				return len(pts), err
+			}
+			panic("unknown source type")
+		}},
+		{"KNNJoin", func(src twoknn.Source, opts ...twoknn.QueryOption) (int, error) {
+			pairs, err := twoknn.KNNJoin(src, src, 4, opts...)
+			return len(pairs), err
+		}},
+		{"KNNJoin-parallel", func(src twoknn.Source, opts ...twoknn.QueryOption) (int, error) {
+			pairs, err := twoknn.KNNJoin(src, src, 4, append(opts, twoknn.WithConcurrency(4))...)
+			return len(pairs), err
+		}},
+		{"SelectInnerJoin", func(src twoknn.Source, opts ...twoknn.QueryOption) (int, error) {
+			pairs, err := twoknn.SelectInnerJoin(src, src, f, 4, 50, opts...)
+			return len(pairs), err
+		}},
+		{"SelectInnerJoin-parallel", func(src twoknn.Source, opts ...twoknn.QueryOption) (int, error) {
+			pairs, err := twoknn.SelectInnerJoin(src, src, f, 4, 50, append(opts, twoknn.WithConcurrency(4))...)
+			return len(pairs), err
+		}},
+		{"SelectOuterJoin", func(src twoknn.Source, opts ...twoknn.QueryOption) (int, error) {
+			pairs, err := twoknn.SelectOuterJoin(src, src, f, 50, 4, opts...)
+			return len(pairs), err
+		}},
+		{"TwoSelects", func(src twoknn.Source, opts ...twoknn.QueryOption) (int, error) {
+			pts, err := twoknn.TwoSelects(src, f, 40, f2, 60, opts...)
+			return len(pts), err
+		}},
+		{"UnchainedJoins", func(src twoknn.Source, opts ...twoknn.QueryOption) (int, error) {
+			ts, err := twoknn.UnchainedJoins(src, src, src, 3, 3, opts...)
+			return len(ts), err
+		}},
+		{"ChainedJoins", func(src twoknn.Source, opts ...twoknn.QueryOption) (int, error) {
+			ts, err := twoknn.ChainedJoins(src, src, src, 3, 3, opts...)
+			return len(ts), err
+		}},
+		{"ChainedJoins-parallel", func(src twoknn.Source, opts ...twoknn.QueryOption) (int, error) {
+			ts, err := twoknn.ChainedJoins(src, src, src, 3, 3, append(opts, twoknn.WithConcurrency(4))...)
+			return len(ts), err
+		}},
+		{"RangeInnerJoin", func(src twoknn.Source, opts ...twoknn.QueryOption) (int, error) {
+			pairs, err := twoknn.RangeInnerJoin(src, src, rng, 4, opts...)
+			return len(pairs), err
+		}},
+	}
+}
+
+// cancelMode prepares a context and (optionally) arms the fault-injection
+// harness, returning the context and the context error the query must
+// surface.
+type cancelMode struct {
+	name  string
+	setup func(tb testing.TB) (context.Context, error)
+}
+
+func batteryModes() []cancelMode {
+	return []cancelMode{
+		{"already-cancelled", func(tb testing.TB) (context.Context, error) {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			return ctx, context.Canceled
+		}},
+		{"cancel-mid-query", func(tb testing.TB) (context.Context, error) {
+			// Deterministic: the injection harness cancels at the second
+			// block-scan checkpoint — strictly after the entry point's
+			// fail-fast check admitted the query.
+			ctx, cancel := context.WithCancel(context.Background())
+			tb.Cleanup(cancel)
+			fault.CancelAfterBlocks(2, cancel)
+			tb.Cleanup(fault.Disarm)
+			return ctx, context.Canceled
+		}},
+		{"deadline-mid-query", func(tb testing.TB) (context.Context, error) {
+			// The first checkpoint sleeps past the deadline, so the deadline
+			// observably expires mid-query (or, on a slow machine, at entry —
+			// the surfaced error chain is identical either way).
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+			tb.Cleanup(cancel)
+			var once sync.Once
+			fault.Arm(&fault.Injector{BlockScan: func(uint64) {
+				once.Do(func() { time.Sleep(25 * time.Millisecond) })
+			}})
+			tb.Cleanup(fault.Disarm)
+			return ctx, context.DeadlineExceeded
+		}},
+	}
+}
+
+func TestCancellationBattery(t *testing.T) {
+	pts := batteryPoints(t)
+	backings := batteryBackings(t, pts)
+	for _, entry := range batteryEntries() {
+		for _, bk := range backings {
+			for _, mode := range batteryModes() {
+				t.Run(entry.name+"/"+bk.name+"/"+mode.name, func(t *testing.T) {
+					ctx, wantCause := mode.setup(t)
+					n, err := entry.run(bk.src, twoknn.WithContext(ctx))
+					if err == nil {
+						t.Fatalf("query completed (%d results); want cancellation", n)
+					}
+					if !errors.Is(err, twoknn.ErrQueryCanceled) {
+						t.Errorf("error %v does not wrap ErrQueryCanceled", err)
+					}
+					if !errors.Is(err, wantCause) {
+						t.Errorf("error %v does not wrap %v", err, wantCause)
+					}
+					if n != 0 {
+						t.Errorf("cancelled query leaked %d partial results", n)
+					}
+					fault.Disarm() // before the leak check: hooks must not outlive the case
+					if out := bk.outstanding(); out != 0 {
+						t.Errorf("%d searcher handles leaked", out)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestContextCompletesUnderDeadline is the positive control: a generous
+// deadline changes nothing — results equal the context-free evaluation.
+func TestContextCompletesUnderDeadline(t *testing.T) {
+	pts := batteryPoints(t)
+	for _, bk := range batteryBackings(t, pts) {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		want, err := twoknn.KNNJoin(bk.src, bk.src, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := twoknn.KNNJoin(bk.src, bk.src, 3, twoknn.WithContext(ctx))
+		if err != nil {
+			t.Fatalf("%s: %v", bk.name, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: got %d pairs with context, %d without", bk.name, len(got), len(want))
+		}
+		if out := bk.outstanding(); out != 0 {
+			t.Fatalf("%s: %d searcher handles leaked", bk.name, out)
+		}
+	}
+}

@@ -81,6 +81,35 @@
 // concurrent queries. Clone remains available to give a long-lived
 // component a dedicated handle, but is no longer required for correctness.
 //
+// # Robustness
+//
+// Every query entry point is cancellable and deadline-aware through
+// WithContext(ctx): the selection scans, join loops and sharded probes
+// checkpoint the bound context once per index-block span — never per
+// point, so the batched distance kernels run uninterrupted and the hot
+// paths keep their zero-allocation property. A query whose context ends
+// mid-flight stops within a block scan and returns an error wrapping both
+// ErrQueryCanceled and the context's own error; no partial results escape,
+// every borrowed searcher handle returns to its pool, and the operation
+// counters recorded before the abort are still folded into WithStats
+// targets. The checkpoint costs one atomic flag load: a per-binding
+// watcher goroutine waits on the context's channel off the query path.
+//
+// On a WithMaxSearchers-bounded relation the context also bounds the wait
+// for a free handle — the shed-load contract documented on
+// ErrSearchersExhausted. OutstandingSearchers on both relation types
+// reports the handles currently out, for leak checks and load metrics.
+//
+// Worker panics are isolated: a panic in any parallel worker or sharded
+// probe is recovered at its goroutine boundary, the remaining workers
+// stand down, handles are released, counters are folded, and the caller
+// receives a *QueryPanicError (wrapping ErrQueryPanic) carrying the panic
+// value and the panicking goroutine's stack. The process never crashes on
+// a query-internal panic. The internal/fault package provides the
+// deterministic injection hooks (cancel-after-N-blocks, panic-at-block-M,
+// slow-shard-probe, pool-acquire) that the cancellation battery and chaos
+// suite use to verify all of the above under the race detector.
+//
 // # Sharding
 //
 // NewShardedRelation partitions one logical point set across S shards,

@@ -6,6 +6,8 @@ package twoknn_test
 // by CI.
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
@@ -125,5 +127,36 @@ func ExampleWithConcurrency() {
 	}
 	fmt.Println(len(sequential) == len(parallel))
 	// Output:
+	// true
+}
+
+// ExampleWithContext bounds a query by a context: a cancelled or expired
+// context stops the evaluation within one index-block scan and surfaces a
+// typed error chain — here the context is cancelled before the query even
+// starts, so it fails fast with no partial results.
+func ExampleWithContext() {
+	taxis, err := twoknn.NewRelation("taxis", []twoknn.Point{
+		{X: 1, Y: 1}, {X: 4, Y: 4}, {X: 9, Y: 2},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stations, err := twoknn.NewRelation("stations", []twoknn.Point{
+		{X: 1, Y: 2}, {X: 5, Y: 4}, {X: 9, Y: 9},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // deadline handling is identical: context.WithTimeout(...)
+
+	pairs, err := twoknn.KNNJoin(taxis, stations, 1, twoknn.WithContext(ctx))
+	fmt.Println(len(pairs))
+	fmt.Println(errors.Is(err, twoknn.ErrQueryCanceled))
+	fmt.Println(errors.Is(err, context.Canceled))
+	// Output:
+	// 0
+	// true
 	// true
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -24,7 +25,7 @@ import (
 // parallel join, the concurrent-serving contention sweep, and the
 // columnar-layout scan comparison. They run through the same harness as
 // the figures.
-var Ablations = []Experiment{ablPreprocess, ablIndexKinds, ablParallel, ablContention, ablLayout, ablKernel, ablShards}
+var Ablations = []Experiment{ablPreprocess, ablIndexKinds, ablParallel, ablContention, ablLayout, ablKernel, ablShards, ablCancel}
 
 // ParallelExperiments are the concurrency-focused subset run by
 // `knnbench -parallel` (the BENCH_PR2.json trajectory).
@@ -387,7 +388,7 @@ var ablKernel = Experiment{
 		cases = append(cases, Case{
 			X: fmt.Sprintf("sharded-join-s4-%d", joinN),
 			Plans: kernelPlans(func(c *stats.Counters) int {
-				return len(shard.Join(outerSh, innerSh, kDefault, 1, c))
+				return len(shard.Join(nil, outerSh, innerSh, kDefault, 1, c))
 			}),
 		})
 		return cases
@@ -455,10 +456,10 @@ var ablShards = Experiment{
 						return len(core.KNNJoin(outerSingle, h, kDefault, c))
 					}},
 					{Name: "hash", Run: func(c *stats.Counters) int {
-						return len(shard.Join(outerHash, innerHash, kDefault, 1, c))
+						return len(shard.Join(nil, outerHash, innerHash, kDefault, 1, c))
 					}},
 					{Name: "spatial", Run: func(c *stats.Counters) int {
-						return len(shard.Join(outerSp, innerSp, kDefault, 1, c))
+						return len(shard.Join(nil, outerSp, innerSp, kDefault, 1, c))
 					}},
 				},
 			})
@@ -486,4 +487,57 @@ func contentionBatch(probes []geom.Point, g int, c *stats.Counters, query func(g
 	}
 	wg.Wait()
 	return int(total.Load())
+}
+
+// --- Ablation: cancellation checkpoint overhead ---
+
+// liveCtx never expires but carries a live Done channel, so a handle bound
+// to it pays the full per-checkpoint polling cost (the non-blocking channel
+// select); an unbound handle takes the nil-channel fast path. The cancel
+// func is retained so the context stays live for the process lifetime.
+var liveCtx, liveCtxKeepAlive = context.WithCancel(context.Background())
+
+var _ = liveCtxKeepAlive
+
+// ablCancel isolates the PR 6 robustness layer: the same sequential
+// kNN-join runs on an unbound searcher handle (checkpoints take the
+// nil-binding fast path — the cost every context-free query pays) and on a
+// handle bound to a live, never-expiring context (checkpoints poll the Done
+// channel — the cost WithContext adds). Checkpoints fire once per block
+// span, never per point, so the delta bounds the whole feature's overhead.
+var ablCancel = Experiment{
+	ID:     "abl-cancel",
+	Title:  "cancellation checkpoints: kNN-join on an unbound handle vs a live bound context (k=10, BerlinMOD)",
+	XLabel: "|outer| = |inner|",
+	Expect: "polling is per block span, off the per-point path: the bound-context join stays within ~2% of the unbound baseline; identical results",
+	Cases: func(scale Scale) []Case {
+		sizes := []int{5000, 20000}
+		if scale == ScalePaper {
+			sizes = []int{20000, 100000}
+		}
+		var cases []Case
+		for _, n := range sizes {
+			outer := BerlinMODRelation("fig19-outer", n)
+			inner := BerlinMODRelation("fig19-inner", n)
+			cases = append(cases, Case{
+				X: fmt.Sprintf("%d", n),
+				Plans: []Plan{
+					{Name: "unbound", Run: func(c *stats.Counters) int {
+						h := inner.Acquire()
+						defer h.Release()
+						return len(core.KNNJoin(outer, h, kDefault, c))
+					}},
+					{Name: "bound-ctx", Run: func(c *stats.Counters) int {
+						h, err := inner.AcquireCtx(liveCtx)
+						if err != nil {
+							panic(err) // liveCtx never expires
+						}
+						defer h.Release()
+						return len(core.KNNJoin(outer, h, kDefault, c))
+					}},
+				},
+			})
+		}
+		return cases
+	},
 }

@@ -258,11 +258,13 @@ func chainedNestedJoinParallel(a, b, cRel *Relation, kAB, kBC int, useCache bool
 				hc = hb
 			case !primary:
 				// Extra workers also need a C handle; if C's bounded pool
-				// is at capacity the worker stands down.
+				// is at capacity the worker stands down. The handle inherits
+				// the crew's cancellation binding off the B handle.
 				hhc, err := cRel.TryAcquire()
 				if err != nil {
 					return worker[Triple]{}, false
 				}
+				hhc.S.Bind(hb.S.Context())
 				hc = hhc
 				done = hhc.Release
 			}

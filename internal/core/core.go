@@ -98,6 +98,14 @@ func NewRelationBounded(ix index.Index, maxSearchers int) *Relation {
 // Len returns the relation's cardinality.
 func (r *Relation) Len() int { return r.Ix.Len() }
 
+// Checkpoint polls the searcher's cancellation binding (see
+// locality.Searcher.Checkpoint): a no-op on unbound handles, a
+// fault.Cancel panic once the bound context is done. The join drivers call
+// it once per claimed tuple group, so even groups whose emission never
+// probes the searcher (pruned or gated blocks) observe cancellation at
+// block granularity.
+func (r *Relation) Checkpoint() { r.S.Checkpoint() }
+
 // ForEachPoint calls fn for every point of the relation, in block-ID then
 // storage order (a deterministic full scan). The scan walks the flat X/Y
 // columns of each block's span, so no Point structs are loaded from memory.

@@ -41,12 +41,19 @@ func KNNJoin(outer, inner *Relation, k int, c *stats.Counters) []Pair {
 		return nil
 	}
 	out := make([]Pair, 0, joinResultCap(outer.Len()*min(k, inner.Len())))
-	outer.ForEachPoint(func(e1 geom.Point) {
-		nbr := inner.S.Neighborhood(e1, k, c)
-		for _, e2 := range nbr.Points {
-			out = append(out, Pair{Left: e1, Right: e2})
+	// Same scan order as outer.ForEachPoint, unrolled one level so the join
+	// loop itself checkpoints cancellation once per outer block span.
+	for _, b := range outer.Ix.Blocks() {
+		inner.Checkpoint()
+		xs, ys := b.XYs()
+		for i := range xs {
+			e1 := geom.Point{X: xs[i], Y: ys[i]}
+			nbr := inner.S.Neighborhood(e1, k, c)
+			for _, e2 := range nbr.Points {
+				out = append(out, Pair{Left: e1, Right: e2})
+			}
 		}
-	})
+	}
 	return out
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/index"
 	"repro/internal/stats"
@@ -148,6 +149,7 @@ func parallelRun[T any](ap *arenaPool[T], groups []tupleGroup, inner *Relation, 
 		}
 		var out []T
 		for gi, g := range groups {
+			inner.Checkpoint()
 			if wk.gate != nil && !wk.gate(gi) {
 				continue
 			}
@@ -171,11 +173,26 @@ func parallelRun[T any](ap *arenaPool[T], groups []tupleGroup, inner *Relation, 
 	}
 	var cursor atomic.Int64
 
+	// Panic isolation: a worker never lets a panic — cooperative
+	// cancellation (fault.Cancel) or a genuine crash — cross its goroutine
+	// boundary. The first fault is parked in the slot, the abort flag stops
+	// the rest of the crew at their next group claim, and after the crew is
+	// joined (counters folded, handles released by the workers' own defers)
+	// the fault re-panics on the caller's goroutine for the public recover.
+	var flt fault.Slot
+	var abort atomic.Bool
+
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					flt.Store(fault.WrapPanic(r))
+					abort.Store(true)
+				}
+			}()
 			h := inner
 			if w > 0 {
 				hh, err := inner.TryAcquire()
@@ -185,6 +202,9 @@ func parallelRun[T any](ap *arenaPool[T], groups []tupleGroup, inner *Relation, 
 					return
 				}
 				defer hh.Release()
+				// Extra handles inherit the caller handle's cancellation
+				// binding, so every crew member checkpoints the same ctx.
+				hh.S.Bind(inner.S.Context())
 				h = hh
 			}
 			var ctr *stats.Counters
@@ -201,10 +221,14 @@ func parallelRun[T any](ap *arenaPool[T], groups []tupleGroup, inner *Relation, 
 			a := ap.get()
 			arenas[w] = a
 			for {
+				if abort.Load() {
+					return
+				}
 				gi := int(cursor.Add(1)) - 1
 				if gi >= len(groups) {
 					return
 				}
+				h.Checkpoint()
 				if wk.gate != nil && !wk.gate(gi) {
 					continue
 				}
@@ -218,6 +242,14 @@ func parallelRun[T any](ap *arenaPool[T], groups []tupleGroup, inner *Relation, 
 
 	for _, shard := range counters {
 		c.Add(shard)
+	}
+	if r := flt.Load(); r != nil {
+		// Faulted: arenas go back to the pool, no partial result escapes,
+		// and the fault resumes its unwind on the caller's goroutine.
+		for _, a := range arenas {
+			ap.put(a)
+		}
+		panic(r)
 	}
 	out := concatSpans(spans, arenas)
 	for _, a := range arenas {

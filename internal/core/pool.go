@@ -1,9 +1,13 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/fault"
 )
 
 // This file implements the concurrency layer that makes one Relation —
@@ -42,6 +46,11 @@ type SearcherPool struct {
 	root    *Relation
 	handles sync.Pool     // recycled *Relation views
 	tokens  chan struct{} // capacity permits; nil for unbounded pools
+
+	// outstanding counts handles currently out of the pool — the leak
+	// detector the cancellation and chaos tests assert returns to zero
+	// after every aborted query.
+	outstanding atomic.Int64
 }
 
 // newSearcherPool builds the pool for root. maxHandles <= 0 means unbounded
@@ -81,9 +90,46 @@ func (p *SearcherPool) Acquire() *Relation {
 	if p.tokens != nil {
 		<-p.tokens
 	}
-	h := p.handles.Get().(*Relation)
-	h.leased.Store(true)
-	return h
+	return p.lease()
+}
+
+// AcquireCtx is the deadline-aware bounded acquire: on a bounded pool whose
+// handles are all out it waits — parked on the token channel, not spinning —
+// until a handle frees up or ctx expires, whichever comes first. On expiry
+// the error wraps both ErrSearchersExhausted (the pool was the bottleneck)
+// and ctx's error (why waiting stopped), so callers can errors.Is either
+// cause. A nil ctx is Acquire; a ctx that is already done fails fast without
+// consuming a token.
+//
+// The returned handle is bound to ctx: every query it runs checkpoints
+// against ctx per block span. Release detaches the binding before the handle
+// is recycled. TryAcquire remains the shed-load fast path — it never waits;
+// AcquireCtx is the admission-control path that waits exactly as long as the
+// caller's deadline allows.
+func (p *SearcherPool) AcquireCtx(ctx context.Context) (*Relation, error) {
+	if ctx == nil {
+		return p.Acquire(), nil
+	}
+	if fault.Armed() {
+		fault.OnPoolAcquire()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if p.tokens != nil {
+		select {
+		case <-p.tokens:
+		default:
+			select {
+			case <-p.tokens:
+			case <-ctx.Done():
+				return nil, fmt.Errorf("%w: %w", ErrSearchersExhausted, ctx.Err())
+			}
+		}
+	}
+	h := p.lease()
+	h.S.Bind(ctx)
+	return h, nil
 }
 
 // TryAcquire is Acquire without blocking: on a bounded pool whose handles
@@ -96,15 +142,30 @@ func (p *SearcherPool) TryAcquire() (*Relation, error) {
 			return nil, ErrSearchersExhausted
 		}
 	}
+	return p.lease(), nil
+}
+
+// lease checks a recycled (or fresh) handle out of the pool; the caller has
+// already obtained a token where the pool is bounded.
+func (p *SearcherPool) lease() *Relation {
 	h := p.handles.Get().(*Relation)
 	h.leased.Store(true)
-	return h, nil
+	p.outstanding.Add(1)
+	return h
+}
+
+// Outstanding returns the number of handles currently out of the pool. It
+// is a point-in-time snapshot meant for introspection (leak assertions,
+// load metrics); a concurrent Acquire or Release may change it immediately.
+func (p *SearcherPool) Outstanding() int {
+	return int(p.outstanding.Load())
 }
 
 // release returns a handle to the pool. The handle's scratch buffers are
 // kept warm for the next Acquire; its previous query results (the reusable
 // Neighborhood) are dead the moment it is back in the pool.
 func (p *SearcherPool) release(h *Relation) {
+	p.outstanding.Add(-1)
 	p.handles.Put(h)
 	if p.tokens != nil {
 		p.tokens <- struct{}{}
@@ -124,6 +185,24 @@ func (r *Relation) Acquire() *Relation {
 		return &Relation{Ix: r.Ix, S: r.S.Clone(), store: r.store}
 	}
 	return r.pool.Acquire()
+}
+
+// AcquireCtx is Acquire with a deadline: the wait for a bounded pool's
+// handle ends when ctx expires (see SearcherPool.AcquireCtx), and the
+// returned handle checkpoints every query against ctx at block granularity.
+// A nil ctx is Acquire.
+func (r *Relation) AcquireCtx(ctx context.Context) (*Relation, error) {
+	if r.pool == nil {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		h := &Relation{Ix: r.Ix, S: r.S.Clone(), store: r.store}
+		h.S.Bind(ctx)
+		return h, nil
+	}
+	return r.pool.AcquireCtx(ctx)
 }
 
 // TryAcquire is Acquire without blocking; it fails only on an exhausted
@@ -148,6 +227,10 @@ func (h *Relation) Release() {
 	if h.pool == nil || !h.leased.CompareAndSwap(true, false) {
 		return
 	}
+	// Detach any cancellation binding while the handle is still exclusively
+	// ours (before Put makes it visible to the next borrower): a stale
+	// context must never cancel a later query.
+	h.S.Bind(nil)
 	h.pool.release(h)
 }
 
@@ -192,6 +275,37 @@ func AcquirePair(a, b *Relation) (ha, hb *Relation) {
 	}
 	hb = b.Acquire()
 	return a.Acquire(), hb
+}
+
+// AcquirePairCtx is AcquirePair with a deadline: both acquisitions go
+// through AcquireCtx in the same global pool order, and when the second one
+// times out the first handle is released before the error returns — a
+// failed pair acquisition never strands capacity. A nil ctx is AcquirePair.
+func AcquirePairCtx(ctx context.Context, a, b *Relation) (ha, hb *Relation, err error) {
+	if a == b || (a.pool != nil && a.pool == b.pool) {
+		ha, err = a.AcquireCtx(ctx)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ha, ha, nil
+	}
+	first, second := a, b
+	if a.poolID() > b.poolID() {
+		first, second = b, a
+	}
+	hFirst, err := first.AcquireCtx(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	hSecond, err := second.AcquireCtx(ctx)
+	if err != nil {
+		hFirst.Release()
+		return nil, nil, err
+	}
+	if first == a {
+		return hFirst, hSecond, nil
+	}
+	return hSecond, hFirst, nil
 }
 
 // ReleasePair releases the handles of AcquirePair, releasing a shared

@@ -1,0 +1,187 @@
+// Package fault carries the control-flow payloads of cooperative query
+// cancellation and a deterministic fault-injection harness for chaos tests.
+//
+// Cancellation in this engine unwinds by panic: block-granularity
+// checkpoints (locality block loops, the parallel tuple-group driver, the
+// sharded scatter workers) panic with a *Cancel payload the moment the bound
+// context is done, deferred releases return every pooled handle on the way
+// up, and the public entry points recover the payload into a typed error.
+// Worker goroutines never let a panic cross their goroutine boundary:
+// recovered values are wrapped into *Panic (stack captured at the fault
+// site), parked in a Slot, and re-panicked on the caller's goroutine after
+// counters are folded and handles are released.
+//
+// The injection side is intentionally global and atomic: production code
+// pays one atomic load (Armed) per checkpoint when nothing is armed, and the
+// chaos tests arm process-wide hooks that fire deterministically — the N-th
+// checkpoint, a specific shard's probe, a pool acquisition — to place a
+// cancellation or a crash at an exact point of a query's execution.
+package fault
+
+import (
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Cancel is the panic payload of a cooperative cancellation unwind. Err is
+// the cause (a context error, possibly wrapped with pool-exhaustion detail);
+// the public API layer recovers the payload and wraps Err into its typed
+// cancellation error.
+type Cancel struct{ Err error }
+
+// Panic is a worker panic captured at the fault site: the original panic
+// value plus the faulting goroutine's stack. The public API layer recovers
+// it into a typed error instead of crashing the process.
+type Panic struct {
+	Value any
+	Stack []byte
+}
+
+// WrapPanic normalizes a recovered value for cross-goroutine transport:
+// engine payloads (*Cancel, *Panic) pass through, anything else — a real
+// bug or an injected crash — is wrapped into *Panic with the current
+// goroutine's stack, so the trace points at the fault, not at the re-panic.
+func WrapPanic(r any) any {
+	switch r.(type) {
+	case *Cancel, *Panic:
+		return r
+	}
+	return &Panic{Value: r, Stack: debug.Stack()}
+}
+
+// Slot collects the first fault of a worker crew for re-panicking on the
+// caller's goroutine. *Panic outranks *Cancel: when one worker hits a real
+// crash while another merely observes the (consequent) cancellation, the
+// crash must surface rather than be masked.
+type Slot struct {
+	mu  sync.Mutex
+	val any
+}
+
+// Store records r (pass values through WrapPanic first). The first fault
+// wins, except that a *Panic replaces a previously stored *Cancel.
+func (s *Slot) Store(r any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.val == nil {
+		s.val = r
+		return
+	}
+	if _, held := s.val.(*Cancel); held {
+		if _, incoming := r.(*Cancel); !incoming {
+			s.val = r
+		}
+	}
+}
+
+// Load returns the recorded fault, or nil when the crew finished clean. It
+// is called after the crew is joined; the WaitGroup provides the
+// happens-before edge.
+func (s *Slot) Load() any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.val
+}
+
+// Injector is a set of deterministic hooks the engine invokes while armed.
+// Any hook may be nil. Hooks run on the query's goroutine at well-defined
+// points, so they can cancel a context, sleep, or panic to place a fault at
+// an exact execution step.
+type Injector struct {
+	// BlockScan fires at every cancellation checkpoint, with the 1-based
+	// count of checkpoints since Arm. Checkpoints are per block span (never
+	// per point), so n addresses "the N-th block scanned process-wide".
+	BlockScan func(n uint64)
+
+	// ShardProbe fires before a probe consults shard s's searcher.
+	ShardProbe func(s int)
+
+	// PoolAcquire fires when a context-aware pool acquisition starts.
+	PoolAcquire func()
+}
+
+var (
+	armed    atomic.Bool
+	injector atomic.Pointer[Injector]
+	scans    atomic.Uint64
+)
+
+// Armed reports whether an injector is installed. It is the one-atomic-load
+// fast path production checkpoints take; everything else in this file is
+// off that path.
+func Armed() bool { return armed.Load() }
+
+// Arm installs inj process-wide and resets the checkpoint counter. Chaos
+// tests arm, run one scenario, and Disarm (they cannot run in parallel with
+// each other — the harness is deliberately global).
+func Arm(inj *Injector) {
+	scans.Store(0)
+	injector.Store(inj)
+	armed.Store(true)
+}
+
+// Disarm removes the installed injector.
+func Disarm() {
+	armed.Store(false)
+	injector.Store(nil)
+}
+
+// OnBlockScan invokes the BlockScan hook. Call only when Armed.
+func OnBlockScan() {
+	inj := injector.Load()
+	if inj == nil || inj.BlockScan == nil {
+		return
+	}
+	inj.BlockScan(scans.Add(1))
+}
+
+// OnShardProbe invokes the ShardProbe hook. Call only when Armed.
+func OnShardProbe(s int) {
+	inj := injector.Load()
+	if inj == nil || inj.ShardProbe == nil {
+		return
+	}
+	inj.ShardProbe(s)
+}
+
+// OnPoolAcquire invokes the PoolAcquire hook. Call only when Armed.
+func OnPoolAcquire() {
+	inj := injector.Load()
+	if inj == nil || inj.PoolAcquire == nil {
+		return
+	}
+	inj.PoolAcquire()
+}
+
+// CancelAfterBlocks arms an injector that invokes cancel on the n-th
+// checkpoint (and every one after, making the scenario robust to exact
+// checkpoint counts shifting with data layout).
+func CancelAfterBlocks(n uint64, cancel func()) {
+	Arm(&Injector{BlockScan: func(c uint64) {
+		if c >= n {
+			cancel()
+		}
+	}})
+}
+
+// PanicAtBlock arms an injector that panics with value at the m-th
+// checkpoint — the deterministic "poisoned block" of the chaos tests.
+func PanicAtBlock(m uint64, value any) {
+	Arm(&Injector{BlockScan: func(c uint64) {
+		if c == m {
+			panic(value)
+		}
+	}})
+}
+
+// SlowShardProbe arms an injector that sleeps for delay before every probe
+// of shard s, widening the window for a deadline to expire mid-scatter.
+func SlowShardProbe(s int, delay time.Duration) {
+	Arm(&Injector{ShardProbe: func(probed int) {
+		if probed == s {
+			time.Sleep(delay)
+		}
+	}})
+}

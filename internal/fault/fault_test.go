@@ -1,0 +1,133 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestArmedFastPath(t *testing.T) {
+	if Armed() {
+		t.Fatal("Armed() = true before Arm")
+	}
+	Arm(&Injector{})
+	defer Disarm()
+	if !Armed() {
+		t.Fatal("Armed() = false after Arm")
+	}
+	Disarm()
+	if Armed() {
+		t.Fatal("Armed() = true after Disarm")
+	}
+}
+
+func TestBlockScanCounterIsDeterministic(t *testing.T) {
+	var got []uint64
+	Arm(&Injector{BlockScan: func(n uint64) { got = append(got, n) }})
+	defer Disarm()
+	for i := 0; i < 3; i++ {
+		OnBlockScan()
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("checkpoint counts = %v, want [1 2 3]", got)
+	}
+	// Re-arming resets the counter: scenarios are independent.
+	got = nil
+	Arm(&Injector{BlockScan: func(n uint64) { got = append(got, n) }})
+	OnBlockScan()
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("counts after re-arm = %v, want [1]", got)
+	}
+}
+
+func TestNilHooksAreNoOps(t *testing.T) {
+	Arm(&Injector{})
+	defer Disarm()
+	OnBlockScan()
+	OnShardProbe(0)
+	OnPoolAcquire()
+}
+
+func TestCancelAfterBlocksFiresAtAndAfterN(t *testing.T) {
+	fired := 0
+	CancelAfterBlocks(2, func() { fired++ })
+	defer Disarm()
+	OnBlockScan() // 1: below threshold
+	if fired != 0 {
+		t.Fatalf("cancel fired at checkpoint 1, want at 2")
+	}
+	OnBlockScan() // 2
+	OnBlockScan() // 3: keeps firing
+	if fired != 2 {
+		t.Fatalf("cancel fired %d times over checkpoints 2-3, want 2", fired)
+	}
+}
+
+func TestPanicAtBlockPanicsExactlyAtM(t *testing.T) {
+	PanicAtBlock(2, "boom")
+	defer Disarm()
+	OnBlockScan() // 1: no panic
+	func() {
+		defer func() {
+			if r := recover(); r != "boom" {
+				t.Errorf("recovered %v, want \"boom\"", r)
+			}
+		}()
+		OnBlockScan() // 2: panics
+	}()
+}
+
+func TestSlowShardProbeTargetsOneShard(t *testing.T) {
+	SlowShardProbe(1, 20*time.Millisecond)
+	defer Disarm()
+	start := time.Now()
+	OnShardProbe(0)
+	if d := time.Since(start); d > 10*time.Millisecond {
+		t.Fatalf("probe of untargeted shard took %v", d)
+	}
+	start = time.Now()
+	OnShardProbe(1)
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("probe of targeted shard took %v, want >= 20ms", d)
+	}
+}
+
+func TestWrapPanicPassesEnginePayloadsThrough(t *testing.T) {
+	c := &Cancel{Err: errors.New("ctx done")}
+	if got := WrapPanic(c); got != any(c) {
+		t.Fatalf("WrapPanic(*Cancel) = %v, want the payload unchanged", got)
+	}
+	p := &Panic{Value: "v"}
+	if got := WrapPanic(p); got != any(p) {
+		t.Fatalf("WrapPanic(*Panic) = %v, want the payload unchanged", got)
+	}
+	wrapped, ok := WrapPanic("raw").(*Panic)
+	if !ok || wrapped.Value != "raw" || len(wrapped.Stack) == 0 {
+		t.Fatalf("WrapPanic(raw) = %#v, want *Panic with stack", wrapped)
+	}
+}
+
+func TestSlotPrefersPanicOverCancel(t *testing.T) {
+	var s Slot
+	if s.Load() != nil {
+		t.Fatal("empty slot loads non-nil")
+	}
+	c := &Cancel{}
+	s.Store(c)
+	if s.Load() != any(c) {
+		t.Fatal("first store lost")
+	}
+	p := &Panic{Value: "bug"}
+	s.Store(p)
+	if s.Load() != any(p) {
+		t.Fatal("panic did not displace cancel")
+	}
+	s.Store(&Cancel{})
+	if s.Load() != any(p) {
+		t.Fatal("cancel displaced panic")
+	}
+	s.Store(&Panic{Value: "second bug"})
+	if s.Load() != any(p) {
+		t.Fatal("second panic displaced the first")
+	}
+}

@@ -30,9 +30,12 @@
 package locality
 
 import (
+	"context"
 	"math"
 	"sort"
+	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/index"
 	"repro/internal/kernel"
@@ -214,6 +217,17 @@ type Searcher struct {
 	blocks []*index.Block
 	iters  *index.IterPool
 
+	// ctx/done/expired carry the cooperative-cancellation binding of the
+	// current query (see Bind): done is ctx's channel, saved for the
+	// fault-harness checkpoint's direct poll; expired is the watcher
+	// goroutine's flag, the only thing the production checkpoint reads — a
+	// single atomic load, with no channel select (≈20ns) or ctx.Err() mutex
+	// on the per-block path. stopWatch retires the watcher on unbind.
+	ctx       context.Context
+	done      <-chan struct{}
+	expired   *atomic.Bool
+	stopWatch chan struct{}
+
 	// scratch buffers, reused across queries
 	heap    maxKHeap
 	result  Neighborhood
@@ -234,6 +248,87 @@ func (s *Searcher) Clone() *Searcher { return NewSearcher(s.ix) }
 
 // Index returns the index the Searcher operates on.
 func (s *Searcher) Index() index.Index { return s.ix }
+
+// Bind attaches ctx as the searcher's cancellation context: every block
+// iteration of every subsequent query checkpoints against it (see
+// Checkpoint). Bind(nil) detaches, restoring the zero-overhead un-cancellable
+// behavior; pooled handles are detached on release so a stale context can
+// never cancel a later borrower's query.
+//
+// Binding a cancellable context spawns a watcher goroutine that waits on
+// ctx.Done() and flips the searcher's cancellation flag the moment the
+// context ends, so the per-block checkpoint needs only an atomic load.
+// Unbinding (or rebinding) retires the watcher; the flag pointer is fresh
+// per bind, so a watcher racing its own retirement can never mark a later
+// binding cancelled.
+func (s *Searcher) Bind(ctx context.Context) {
+	if s.stopWatch != nil {
+		close(s.stopWatch)
+		s.stopWatch = nil
+	}
+	s.ctx, s.done, s.expired = ctx, nil, nil
+	if ctx == nil {
+		return
+	}
+	done := ctx.Done()
+	if done == nil {
+		return // e.g. context.Background(): bound but never cancellable
+	}
+	expired := new(atomic.Bool)
+	stop := make(chan struct{})
+	s.done, s.expired, s.stopWatch = done, expired, stop
+	go func() {
+		select {
+		case <-done:
+			expired.Store(true)
+		case <-stop:
+		}
+	}()
+}
+
+// Context returns the bound cancellation context, or nil when detached. The
+// parallel drivers read it off the caller's handle to propagate the binding
+// onto the extra handles they borrow.
+func (s *Searcher) Context() context.Context { return s.ctx }
+
+// Checkpoint is the cooperative cancellation (and fault-injection) point,
+// invoked once per block span — never per point, so the batched distance
+// kernels below it run uninterrupted. When the bound context is done it
+// panics with a *fault.Cancel carrying the context's error; the unwind runs
+// the query's deferred handle releases and the public entry points recover
+// the payload into their typed cancellation error.
+//
+// The production cost is one atomic load of the global injection-armed flag
+// plus, on bound searchers, one atomic load of the watcher's cancellation
+// flag — Bind's watcher goroutine does the channel wait off the query path,
+// so a cancel still stops the query within a block scan of the flag flip.
+// While the fault harness is armed (tests only) the checkpoint additionally
+// polls the context channel directly, making hook-driven cancellation
+// deterministic at the exact injected block.
+func (s *Searcher) Checkpoint() {
+	if fault.Armed() {
+		fault.OnBlockScan()
+		s.pollContext()
+		return
+	}
+	if s.expired != nil && s.expired.Load() {
+		panic(&fault.Cancel{Err: s.ctx.Err()})
+	}
+}
+
+// pollContext is the armed-harness checkpoint tail: a direct non-blocking
+// receive on the bound context's channel, so a hook that cancels at block N
+// unwinds at block N+1 with no watcher-goroutine scheduling in between.
+func (s *Searcher) pollContext() {
+	if s.done == nil {
+		return
+	}
+	select {
+	case <-s.done:
+		panic(&fault.Cancel{Err: s.ctx.Err()})
+	default:
+	}
+}
 
 // Neighborhood returns the k nearest neighbors of p using the two-phase
 // locality construction. c may be nil.
@@ -288,6 +383,7 @@ func (s *Searcher) neighborhoodWithinSq(p geom.Point, k int, thresholdSq float64
 	it := s.iters.MinDist(p)
 	scanned, examined := 0, 0
 	for {
+		s.Checkpoint()
 		b, minSq, ok := it.Next()
 		if !ok || minSq > thresholdSq {
 			break
@@ -374,6 +470,7 @@ func (s *Searcher) CountStrictlyCloser(p geom.Point, k int, thresholdSq float64,
 	count, scanned := 0, 0
 	it := s.iters.MaxDist(p)
 	for count < k {
+		s.Checkpoint()
 		b, maxSq, ok := it.Next()
 		if !ok {
 			break
@@ -409,6 +506,7 @@ func (s *Searcher) neighborhood(p geom.Point, k int, thresholdSq float64, c *sta
 	mSq := math.Inf(1) // bound on the k-th NN distance, squared
 	scanned := 0
 	for count < k {
+		s.Checkpoint()
 		b, maxSq, ok := maxIt.Next()
 		if !ok {
 			break // fewer than k points in the whole data set
@@ -436,6 +534,7 @@ func (s *Searcher) neighborhood(p geom.Point, k int, thresholdSq float64, c *sta
 	if count >= k {
 		minIt := s.iters.MinDist(p)
 		for {
+			s.Checkpoint()
 			b, minSq, ok := minIt.Next()
 			if !ok {
 				break

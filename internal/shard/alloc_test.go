@@ -39,7 +39,7 @@ func TestProbeNeighborhoodZeroAllocsSteadyState(t *testing.T) {
 				if err != nil {
 					t.Fatalf("building sharded relation: %v", err)
 				}
-				pr := acquire(rel.Group())
+				pr := acquire(nil, rel.Group())
 				for _, q := range queries {
 					pr.neighborhood(q, 16)
 				}

@@ -1,11 +1,13 @@
 package shard
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/index"
 	"repro/internal/kernel"
@@ -119,7 +121,14 @@ type emitFn[T any] func(u unit, dst []T) []T
 // lives in the closure). workers <= 1 runs sequentially on the caller's
 // goroutine. The concatenated results are returned in arbitrary unit order;
 // callers canonically sort in their gather step.
-func scatter[T any](units []unit, inner Group, workers int, c *stats.Counters,
+//
+// A non-nil ctx bounds the whole scatter: probes bind to it, every claimed
+// unit starts with a checkpoint, and expiry unwinds as a fault.Cancel panic
+// after all handles are released and stat deltas folded. Worker panics —
+// cooperative or genuine — never cross a goroutine boundary: the first
+// fault is parked, the crew aborts at its next claim, and the fault resumes
+// its unwind on the caller's goroutine once the crew is joined.
+func scatter[T any](ctx context.Context, units []unit, inner Group, workers int, c *stats.Counters,
 	newEmit func(pr *probe, ctr *stats.Counters) emitFn[T]) []T {
 
 	if len(units) == 0 {
@@ -129,11 +138,12 @@ func scatter[T any](units []unit, inner Group, workers int, c *stats.Counters,
 		workers = len(units)
 	}
 	if workers <= 1 {
-		pr := acquire(inner)
+		pr := acquire(ctx, inner)
 		defer pr.release(c)
 		emit := newEmit(pr, c)
 		var out []T
 		for _, u := range units {
+			pr.checkpoint()
 			out = emit(u, out)
 		}
 		return out
@@ -150,17 +160,25 @@ func scatter[T any](units []unit, inner Group, workers int, c *stats.Counters,
 		}
 	}
 	var cursor atomic.Int64
+	var flt fault.Slot
+	var abort atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					flt.Store(fault.WrapPanic(r))
+					abort.Store(true)
+				}
+			}()
 			var pr *probe
 			if w == 0 {
-				pr = acquire(inner)
+				pr = acquire(ctx, inner)
 			} else {
 				var ok bool
-				if pr, ok = tryAcquire(inner); !ok {
+				if pr, ok = tryAcquire(ctx, inner); !ok {
 					return // bounded pool at capacity; the crew degrades
 				}
 			}
@@ -171,10 +189,14 @@ func scatter[T any](units []unit, inner Group, workers int, c *stats.Counters,
 			defer pr.release(ctr)
 			emit := newEmit(pr, ctr)
 			for {
+				if abort.Load() {
+					return
+				}
 				i := int(cursor.Add(1)) - 1
 				if i >= len(units) {
 					return
 				}
+				pr.checkpoint()
 				bufs[w] = emit(units[i], bufs[w])
 			}
 		}(w)
@@ -182,6 +204,11 @@ func scatter[T any](units []unit, inner Group, workers int, c *stats.Counters,
 	wg.Wait()
 	for _, ctr := range ctrs {
 		c.Add(ctr)
+	}
+	if r := flt.Load(); r != nil {
+		// Faulted: no partial result escapes; the fault resumes unwinding on
+		// the caller's goroutine for the public layer's recover.
+		panic(r)
 	}
 
 	total := 0
@@ -215,20 +242,21 @@ const (
 // Select evaluates σ_{k,f} over the group: the exact global k nearest
 // neighbors of f, in ascending (distance, X, Y) order — byte-identical to
 // the single-relation KNNSelect.
-func Select(g Group, f geom.Point, k int, c *stats.Counters) []geom.Point {
-	pts, _ := selectWithRadius(g, f, k, c)
+func Select(ctx context.Context, g Group, f geom.Point, k int, c *stats.Counters) []geom.Point {
+	pts, _ := selectWithRadius(ctx, g, f, k, c)
 	return pts
 }
 
 // selectWithRadius is Select returning also the distance from f to the
 // farthest selected point (0 for an empty result) — the threshold term the
 // select-inner-join block marking needs.
-func selectWithRadius(g Group, f geom.Point, k int, c *stats.Counters) ([]geom.Point, float64) {
+func selectWithRadius(ctx context.Context, g Group, f geom.Point, k int, c *stats.Counters) ([]geom.Point, float64) {
 	if k <= 0 {
 		return nil, 0
 	}
-	pr := acquire(g)
+	pr := acquire(ctx, g)
 	defer pr.release(c)
+	pr.checkpoint()
 	nbr := pr.neighborhood(f, k)
 	out := make([]geom.Point, len(nbr.Points))
 	copy(out, nbr.Points)
@@ -242,12 +270,13 @@ func selectWithRadius(g Group, f geom.Point, k int, c *stats.Counters) ([]geom.P
 // answer. Results are byte-identical to the single-relation TwoSelects.
 // conceptual selects the Figure 16 baseline (both neighborhoods in full)
 // instead.
-func TwoSelects(g Group, f1 geom.Point, k1 int, f2 geom.Point, k2 int, conceptual bool, c *stats.Counters) []geom.Point {
+func TwoSelects(ctx context.Context, g Group, f1 geom.Point, k1 int, f2 geom.Point, k2 int, conceptual bool, c *stats.Counters) []geom.Point {
 	if k1 <= 0 || k2 <= 0 {
 		return nil
 	}
-	pr := acquire(g)
+	pr := acquire(ctx, g)
 	defer pr.release(c)
+	pr.checkpoint()
 	if conceptual {
 		nbr1 := pr.neighborhood(f1, k1).Clone()
 		nbr2 := pr.neighborhood(f2, k2)
@@ -269,11 +298,11 @@ func TwoSelects(g Group, f1 geom.Point, k1 int, f2 geom.Point, k2 int, conceptua
 // out across workers, every outer point gets its exact global neighborhood
 // from the merged probe, and the gather canonically sorts the pairs. The
 // result is the single-relation KNNJoin's multiset in SortPairs order.
-func Join(outer, inner Group, k, workers int, c *stats.Counters) []core.Pair {
+func Join(ctx context.Context, outer, inner Group, k, workers int, c *stats.Counters) []core.Pair {
 	if k <= 0 {
 		return nil
 	}
-	out := join(outer, inner, k, workers, c)
+	out := join(ctx, outer, inner, k, workers, c)
 	core.SortPairs(out)
 	if out == nil {
 		out = []core.Pair{} // match the single-relation non-nil contract
@@ -285,8 +314,8 @@ func Join(outer, inner Group, k, workers int, c *stats.Counters) []core.Pair {
 // the two-join drivers consume its output through order-insensitive steps
 // (B-component grouping, chunked fan-out) and sort only their final
 // triples, so sorting the intermediate pair sets would be wasted work.
-func join(outer, inner Group, k, workers int, c *stats.Counters) []core.Pair {
-	return scatter(blockUnits(outer), inner, workers, c,
+func join(ctx context.Context, outer, inner Group, k, workers int, c *stats.Counters) []core.Pair {
+	return scatter(ctx, blockUnits(outer), inner, workers, c,
 		func(pr *probe, ctr *stats.Counters) emitFn[core.Pair] {
 			return func(u unit, dst []core.Pair) []core.Pair {
 				u.eachPoint(func(e1 geom.Point) {
@@ -304,11 +333,11 @@ func join(outer, inner Group, k, workers int, c *stats.Counters) []core.Pair {
 // by scatter/gather. The select gathers first (exact global σ set); the join
 // side then fans outer blocks out with the chosen per-shard pruning
 // strategy. Results are the single-relation multiset in SortPairs order.
-func SelectInnerJoin(outer, inner Group, f geom.Point, kJoin, kSel int, strat Strategy, workers int, c *stats.Counters) []core.Pair {
+func SelectInnerJoin(ctx context.Context, outer, inner Group, f geom.Point, kJoin, kSel int, strat Strategy, workers int, c *stats.Counters) []core.Pair {
 	if kJoin <= 0 || kSel <= 0 {
 		return nil
 	}
-	sel, fFarthest := selectWithRadius(inner, f, kSel, c)
+	sel, fFarthest := selectWithRadius(ctx, inner, f, kSel, c)
 	if len(sel) == 0 {
 		return nil
 	}
@@ -319,7 +348,7 @@ func SelectInnerJoin(outer, inner Group, f geom.Point, kJoin, kSel int, strat St
 		selXs, selYs = geom.FlatXYs(sel)
 	}
 
-	out := scatter(blockUnits(outer), inner, workers, c,
+	out := scatter(ctx, blockUnits(outer), inner, workers, c,
 		func(pr *probe, ctr *stats.Counters) emitFn[core.Pair] {
 			return func(u unit, dst []core.Pair) []core.Pair {
 				if strat == StrategyBlockMarking && u.blk != nil {
@@ -367,12 +396,12 @@ func SelectInnerJoin(outer, inner Group, f geom.Point, kJoin, kSel int, strat St
 // pushdown — the select gathers globally first, then the selected points'
 // joins fan out in chunks. Results are the single-relation multiset in
 // SortPairs order.
-func SelectOuterJoin(outer, inner Group, f geom.Point, kSel, kJoin, workers int, c *stats.Counters) []core.Pair {
+func SelectOuterJoin(ctx context.Context, outer, inner Group, f geom.Point, kSel, kJoin, workers int, c *stats.Counters) []core.Pair {
 	if kSel <= 0 || kJoin <= 0 {
 		return nil
 	}
-	sel := Select(outer, f, kSel, c)
-	out := scatter(pointUnits(sel, workers), inner, workers, c,
+	sel := Select(ctx, outer, f, kSel, c)
+	out := scatter(ctx, pointUnits(sel, workers), inner, workers, c,
 		func(pr *probe, ctr *stats.Counters) emitFn[core.Pair] {
 			return func(u unit, dst []core.Pair) []core.Pair {
 				u.eachPoint(func(e1 geom.Point) {
@@ -394,11 +423,11 @@ func SelectOuterJoin(outer, inner Group, f geom.Point, kSel, kJoin, workers int,
 // RangeJoin evaluates (outer ⋈kNN inner) ∩ (outer × σ_rng(inner)) — the
 // footnote-1 extension — with the chosen per-shard pruning strategy.
 // Results are the single-relation multiset in SortPairs order.
-func RangeJoin(outer, inner Group, rng geom.Rect, kJoin int, strat Strategy, workers int, c *stats.Counters) []core.Pair {
+func RangeJoin(ctx context.Context, outer, inner Group, rng geom.Rect, kJoin int, strat Strategy, workers int, c *stats.Counters) []core.Pair {
 	if kJoin <= 0 {
 		return nil
 	}
-	out := scatter(blockUnits(outer), inner, workers, c,
+	out := scatter(ctx, blockUnits(outer), inner, workers, c,
 		func(pr *probe, ctr *stats.Counters) emitFn[core.Pair] {
 			return func(u unit, dst []core.Pair) []core.Pair {
 				if strat == StrategyBlockMarking && u.blk != nil {
@@ -437,12 +466,12 @@ func RangeJoin(outer, inner Group, rng geom.Rect, kJoin int, strat Strategy, wor
 // independently (the conceptually correct plan — evaluating either "first"
 // would be invalid) and intersect on the shared B component. Results are the
 // single-relation multiset in SortTriples order.
-func Unchained(a, b, cg Group, kAB, kCB, workers int, c *stats.Counters) []core.Triple {
+func Unchained(ctx context.Context, a, b, cg Group, kAB, kCB, workers int, c *stats.Counters) []core.Triple {
 	if kAB <= 0 || kCB <= 0 {
 		return nil
 	}
-	abPairs := join(a, b, kAB, workers, c)
-	cbPairs := join(cg, b, kCB, workers, c)
+	abPairs := join(ctx, a, b, kAB, workers, c)
+	cbPairs := join(ctx, cg, b, kCB, workers, c)
 	out := core.IntersectOnB(abPairs, cbPairs)
 	core.SortTriples(out)
 	return out
@@ -453,12 +482,12 @@ func Unchained(a, b, cg Group, kAB, kCB, workers int, c *stats.Counters) []core.
 // its pairs fan out in chunks, each worker computing (or fetching from its
 // private cache) the exact global C-neighborhood of each distinct b value.
 // Results are the single-relation multiset in SortTriples order.
-func Chained(a, b, cg Group, kAB, kBC, workers int, c *stats.Counters) []core.Triple {
+func Chained(ctx context.Context, a, b, cg Group, kAB, kBC, workers int, c *stats.Counters) []core.Triple {
 	if kAB <= 0 || kBC <= 0 {
 		return nil
 	}
-	abPairs := join(a, b, kAB, workers, c)
-	out := scatter(pairUnits(abPairs, workers), cg, workers, c,
+	abPairs := join(ctx, a, b, kAB, workers, c)
+	out := scatter(ctx, pairUnits(abPairs, workers), cg, workers, c,
 		func(pr *probe, ctr *stats.Counters) emitFn[core.Triple] {
 			cache := make(map[geom.Point][]geom.Point)
 			return func(u unit, dst []core.Triple) []core.Triple {

@@ -1,9 +1,11 @@
 package shard
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/locality"
 	"repro/internal/stats"
@@ -39,10 +41,27 @@ type probe struct {
 // acquire borrows one handle per shard, blocking on bounded pools. Handles
 // are acquired in shard order, which is a fixed total order per group, so
 // concurrent probes over one group cannot deadlock against each other.
-func acquire(g Group) *probe {
+//
+// A non-nil ctx bounds each per-shard wait and binds the handles for
+// block-granularity cancellation; if ctx expires mid-acquisition the
+// handles obtained so far are released and the cancellation unwinds as a
+// fault.Cancel panic (recovered into a typed error at the public layer) —
+// a query that could not assemble its probe holds nothing.
+func acquire(ctx context.Context, g Group) *probe {
 	pr := newProbe(g)
 	for i, s := range g.shards {
-		pr.handles[i] = s.Acquire()
+		if ctx == nil {
+			pr.handles[i] = s.Acquire()
+			continue
+		}
+		h, err := s.AcquireCtx(ctx)
+		if err != nil {
+			for _, held := range pr.handles[:i] {
+				held.Release()
+			}
+			panic(&fault.Cancel{Err: err})
+		}
+		pr.handles[i] = h
 	}
 	return pr
 }
@@ -50,8 +69,9 @@ func acquire(g Group) *probe {
 // tryAcquire is acquire without blocking: if any shard's bounded pool is
 // exhausted, every handle obtained so far is returned and ok is false (the
 // extra scatter worker stands down, mirroring the core parallel driver's
-// graceful degradation).
-func tryAcquire(g Group) (pr *probe, ok bool) {
+// graceful degradation). Obtained handles are bound to ctx so extra workers
+// checkpoint the same context as worker 0.
+func tryAcquire(ctx context.Context, g Group) (pr *probe, ok bool) {
 	pr = newProbe(g)
 	for i, s := range g.shards {
 		h, err := s.TryAcquire()
@@ -61,10 +81,16 @@ func tryAcquire(g Group) (pr *probe, ok bool) {
 			}
 			return nil, false
 		}
+		h.S.Bind(ctx)
 		pr.handles[i] = h
 	}
 	return pr, true
 }
+
+// checkpoint polls the probe's cancellation binding (carried by the shard-0
+// handle; every handle shares the same ctx) — called by the scatter drivers
+// once per claimed unit.
+func (pr *probe) checkpoint() { pr.handles[0].Checkpoint() }
 
 func newProbe(g Group) *probe {
 	n := len(g.shards)
@@ -113,6 +139,9 @@ func (pr *probe) release(ctr *stats.Counters) {
 // shard bounds all cover the data extent and every shard is probed.
 func (pr *probe) neighborhood(p geom.Point, k int) *locality.Neighborhood {
 	if len(pr.handles) == 1 {
+		if fault.Armed() {
+			fault.OnShardProbe(0)
+		}
 		return pr.handles[0].S.Neighborhood(p, k, pr.deltas[0])
 	}
 	limit := pr.probeOrder(p)
@@ -120,6 +149,9 @@ func (pr *probe) neighborhood(p geom.Point, k int) *locality.Neighborhood {
 		if pr.minSqs[s] > limit {
 			pr.nbrs[s] = &pr.emptyNbr
 			continue
+		}
+		if fault.Armed() {
+			fault.OnShardProbe(s)
 		}
 		nbr := pr.handles[s].S.Neighborhood(p, k, pr.deltas[s])
 		pr.nbrs[s] = nbr
@@ -158,6 +190,9 @@ func (pr *probe) probeOrder(p geom.Point) float64 {
 // its own shard and ranked ahead in the merge.
 func (pr *probe) neighborhoodWithinSq(p geom.Point, k int, thresholdSq float64) *locality.Neighborhood {
 	if len(pr.handles) == 1 {
+		if fault.Armed() {
+			fault.OnShardProbe(0)
+		}
 		return pr.handles[0].S.NeighborhoodWithinSq(p, k, thresholdSq, pr.deltas[0])
 	}
 	pr.probeOrder(p)
@@ -166,6 +201,9 @@ func (pr *probe) neighborhoodWithinSq(p geom.Point, k int, thresholdSq float64) 
 		if pr.minSqs[s] > limit {
 			pr.nbrs[s] = &pr.emptyNbr
 			continue
+		}
+		if fault.Armed() {
+			fault.OnShardProbe(s)
 		}
 		nbr := pr.handles[s].S.NeighborhoodWithinSq(p, k, thresholdSq, pr.deltas[s])
 		pr.nbrs[s] = nbr

@@ -121,7 +121,7 @@ func TestMergedNeighborhoodExact(t *testing.T) {
 	for _, policy := range []Policy{PolicyHash, PolicySpatial} {
 		for _, s := range []int{1, 2, 3, 7} {
 			g := buildGroup(t, pts, s, policy)
-			pr := acquire(g)
+			pr := acquire(nil, g)
 			for trial := 0; trial < 30; trial++ {
 				f := geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
 				k := 1 + rng.Intn(20)
@@ -150,7 +150,7 @@ func TestMergedNeighborhoodKeepsDuplicates(t *testing.T) {
 	}
 	for _, s := range []int{2, 3} {
 		g := buildGroup(t, pts, s, PolicyHash)
-		pr := acquire(g)
+		pr := acquire(nil, g)
 		f := geom.Point{X: 11, Y: 11}
 		for k := 1; k <= len(pts); k++ {
 			want := locality.NaiveKNN(pts, f, k)
@@ -185,7 +185,7 @@ func TestJoinMatchesCore(t *testing.T) {
 				"inner-single": {outerG, SingleGroup(innerSingle)},
 			}
 			for name, gs := range cases {
-				got := Join(gs[0], gs[1], 4, workers, nil)
+				got := Join(nil, gs[0], gs[1], 4, workers, nil)
 				if !reflect.DeepEqual(want, got) {
 					t.Fatalf("%v/%s/workers=%d: join differs (%d vs %d pairs)",
 						policy, name, workers, len(got), len(want))
@@ -204,7 +204,7 @@ func TestProbeStatsFold(t *testing.T) {
 		t.Fatal(err)
 	}
 	var c stats.Counters
-	pr := acquire(rel.Group())
+	pr := acquire(nil, rel.Group())
 	pr.neighborhood(geom.Point{X: 500, Y: 500}, 5)
 	pr.release(&c)
 
@@ -241,7 +241,7 @@ func TestBoundedPoolDegradation(t *testing.T) {
 	want := core.KNNJoin(core.NewRelation(outerIx), core.NewRelation(innerIx).Acquire(), 3, nil)
 	core.SortPairs(want)
 
-	got := Join(outerG, innerSharded.Group(), 3, 8, nil)
+	got := Join(nil, outerG, innerSharded.Group(), 3, 8, nil)
 	if !reflect.DeepEqual(want, got) {
 		t.Fatalf("degraded join differs: %d vs %d pairs", len(got), len(want))
 	}

@@ -1,6 +1,7 @@
 package twoknn
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -142,6 +143,7 @@ type queryConfig struct {
 	chained           ChainedQEP
 	exhaustive        bool
 	concurrency       int
+	ctx               context.Context
 	stats             *Stats
 	explain           *string
 }
@@ -249,45 +251,47 @@ func SelectInnerJoin(outer, inner Source, f Point, kJoin, kSel int, opts ...Quer
 	alg, reason := plan.ChooseSelectJoinAlgorithm(cfg.algorithm.planAlgorithm(), outer.Len(), cfg.countingThreshold)
 
 	rels, single := allSingle(outer, inner)
-	if !single {
-		pairs := shard.SelectInnerJoin(outer.execGroup(), inner.execGroup(), f, kJoin, kSel,
-			shardStrategy(alg), cfg.concurrency, cfg.stats)
+	return runQuery(&cfg, func() ([]Pair, error) {
+		if !single {
+			pairs := shard.SelectInnerJoin(cfg.ctx, outer.execGroup(), inner.execGroup(), f, kJoin, kSel,
+				shardStrategy(alg), cfg.concurrency, cfg.stats)
+			if cfg.explain != nil {
+				*cfg.explain = shardedExplain("select-inner-join",
+					fmt.Sprintf("strategy %s: %s", alg, reason), outer, inner)
+			}
+			return pairs, nil
+		}
+
+		// Every strategy probes only the inner relation's searcher; the outer
+		// side is scanned through its immutable index and needs no handle.
+		hi := acquireHandle(cfg.ctx, rels[1].rel)
+		defer hi.Release()
+		ho := rels[0].rel
+
+		var pairs []Pair
+		switch {
+		case alg == plan.Conceptual && cfg.concurrency > 1:
+			pairs = core.SelectInnerJoinConceptualParallel(ho, hi, f, kJoin, kSel, cfg.concurrency, cfg.stats)
+		case alg == plan.Conceptual:
+			pairs = core.SelectInnerJoinConceptual(ho, hi, f, kJoin, kSel, cfg.stats)
+		case alg == plan.Counting && cfg.concurrency > 1:
+			pairs = core.SelectInnerJoinCountingParallel(ho, hi, f, kJoin, kSel, cfg.concurrency, cfg.stats)
+		case alg == plan.Counting:
+			pairs = core.SelectInnerJoinCounting(ho, hi, f, kJoin, kSel, cfg.stats)
+		case cfg.concurrency > 1:
+			pairs = core.SelectInnerJoinBlockMarkingParallel(ho, hi, f, kJoin, kSel,
+				core.BlockMarkingOptions{Exhaustive: cfg.exhaustive}, cfg.concurrency, cfg.stats)
+		default:
+			pairs = core.SelectInnerJoinBlockMarking(ho, hi, f, kJoin, kSel,
+				core.BlockMarkingOptions{Exhaustive: cfg.exhaustive}, cfg.stats)
+		}
+
 		if cfg.explain != nil {
-			*cfg.explain = shardedExplain("select-inner-join",
-				fmt.Sprintf("strategy %s: %s", alg, reason), outer, inner)
+			node := plan.SelectInnerJoinPlan(alg, outer.Name(), inner.Name(), outer.Len(), inner.Len(), kJoin, kSel)
+			*cfg.explain = fmt.Sprintf("strategy: %s (%s)\n%s", alg, reason, node.Explain())
 		}
 		return pairs, nil
-	}
-
-	// Every strategy probes only the inner relation's searcher; the outer
-	// side is scanned through its immutable index and needs no handle.
-	hi := rels[1].rel.Acquire()
-	defer hi.Release()
-	ho := rels[0].rel
-
-	var pairs []Pair
-	switch {
-	case alg == plan.Conceptual && cfg.concurrency > 1:
-		pairs = core.SelectInnerJoinConceptualParallel(ho, hi, f, kJoin, kSel, cfg.concurrency, cfg.stats)
-	case alg == plan.Conceptual:
-		pairs = core.SelectInnerJoinConceptual(ho, hi, f, kJoin, kSel, cfg.stats)
-	case alg == plan.Counting && cfg.concurrency > 1:
-		pairs = core.SelectInnerJoinCountingParallel(ho, hi, f, kJoin, kSel, cfg.concurrency, cfg.stats)
-	case alg == plan.Counting:
-		pairs = core.SelectInnerJoinCounting(ho, hi, f, kJoin, kSel, cfg.stats)
-	case cfg.concurrency > 1:
-		pairs = core.SelectInnerJoinBlockMarkingParallel(ho, hi, f, kJoin, kSel,
-			core.BlockMarkingOptions{Exhaustive: cfg.exhaustive}, cfg.concurrency, cfg.stats)
-	default:
-		pairs = core.SelectInnerJoinBlockMarking(ho, hi, f, kJoin, kSel,
-			core.BlockMarkingOptions{Exhaustive: cfg.exhaustive}, cfg.stats)
-	}
-
-	if cfg.explain != nil {
-		node := plan.SelectInnerJoinPlan(alg, outer.Name(), inner.Name(), outer.Len(), inner.Len(), kJoin, kSel)
-		*cfg.explain = fmt.Sprintf("strategy: %s (%s)\n%s", alg, reason, node.Explain())
-	}
-	return pairs, nil
+	})
 }
 
 // SelectOuterJoin evaluates a kNN-select on the outer relation of a
@@ -305,27 +309,29 @@ func SelectOuterJoin(outer, inner Source, f Point, kSel, kJoin int, opts ...Quer
 	}
 	cfg := applyOptions(opts)
 	rels, single := allSingle(outer, inner)
-	if !single {
-		pairs := shard.SelectOuterJoin(outer.execGroup(), inner.execGroup(), f, kSel, kJoin,
-			cfg.concurrency, cfg.stats)
+	return runQuery(&cfg, func() ([]Pair, error) {
+		if !single {
+			pairs := shard.SelectOuterJoin(cfg.ctx, outer.execGroup(), inner.execGroup(), f, kSel, kJoin,
+				cfg.concurrency, cfg.stats)
+			if cfg.explain != nil {
+				*cfg.explain = shardedExplain("select-outer-join", "valid pushdown: select gathers first", outer, inner)
+			}
+			return pairs, nil
+		}
+		ho, hi := acquireHandlePair(cfg.ctx, rels[0].rel, rels[1].rel)
+		defer core.ReleasePair(ho, hi)
+		var pairs []Pair
+		if cfg.concurrency > 1 {
+			pairs = core.SelectOuterJoinParallel(ho, hi, f, kSel, kJoin, cfg.concurrency, cfg.stats)
+		} else {
+			pairs = core.SelectOuterJoin(ho, hi, f, kSel, kJoin, cfg.stats)
+		}
 		if cfg.explain != nil {
-			*cfg.explain = shardedExplain("select-outer-join", "valid pushdown: select gathers first", outer, inner)
+			node := plan.SelectOuterJoinPlan(outer.Name(), inner.Name(), outer.Len(), inner.Len(), kSel, kJoin)
+			*cfg.explain = node.Explain()
 		}
 		return pairs, nil
-	}
-	ho, hi := core.AcquirePair(rels[0].rel, rels[1].rel)
-	defer core.ReleasePair(ho, hi)
-	var pairs []Pair
-	if cfg.concurrency > 1 {
-		pairs = core.SelectOuterJoinParallel(ho, hi, f, kSel, kJoin, cfg.concurrency, cfg.stats)
-	} else {
-		pairs = core.SelectOuterJoin(ho, hi, f, kSel, kJoin, cfg.stats)
-	}
-	if cfg.explain != nil {
-		node := plan.SelectOuterJoinPlan(outer.Name(), inner.Name(), outer.Len(), inner.Len(), kSel, kJoin)
-		*cfg.explain = node.Explain()
-	}
-	return pairs, nil
+	})
 }
 
 // UnchainedJoins evaluates the Section 4.1 query
@@ -351,43 +357,45 @@ func UnchainedJoins(a, b, c Source, kAB, kCB int, opts ...QueryOption) ([]Triple
 	}
 	cfg := applyOptions(opts)
 	rels, single := allSingle(a, b, c)
-	if !single {
-		// Scatter/gather evaluates both joins independently (the
-		// conceptually correct plan); WithJoinOrder only reorders work, so
-		// the sharded path ignores it without changing the answer.
-		triples := shard.Unchained(a.execGroup(), b.execGroup(), c.execGroup(), kAB, kCB,
-			cfg.concurrency, cfg.stats)
+	return runQuery(&cfg, func() ([]Triple, error) {
+		if !single {
+			// Scatter/gather evaluates both joins independently (the
+			// conceptually correct plan); WithJoinOrder only reorders work, so
+			// the sharded path ignores it without changing the answer.
+			triples := shard.Unchained(cfg.ctx, a.execGroup(), b.execGroup(), c.execGroup(), kAB, kCB,
+				cfg.concurrency, cfg.stats)
+			if cfg.explain != nil {
+				*cfg.explain = shardedExplain("unchained-joins", "both joins evaluated independently, intersected on B", a, b, c)
+			}
+			return triples, nil
+		}
+		covA := core.EstimateClusterCoverage(rels[0].rel)
+		covC := core.EstimateClusterCoverage(rels[2].rel)
+		order, prune, reason := plan.ChooseJoinOrder(cfg.order, covA, covC)
+
+		// Both unchained joins probe only B's searcher; A and C are scanned
+		// through their immutable indexes and need no handles.
+		hb := acquireHandle(cfg.ctx, rels[1].rel)
+		defer hb.Release()
+
+		var triples []Triple
+		switch {
+		case prune && cfg.concurrency > 1:
+			triples = core.UnchainedBlockMarkingParallel(rels[0].rel, hb, rels[2].rel, kAB, kCB, order, cfg.concurrency, cfg.stats)
+		case prune:
+			triples = core.UnchainedBlockMarking(rels[0].rel, hb, rels[2].rel, kAB, kCB, order, cfg.stats)
+		case cfg.concurrency > 1:
+			triples = core.UnchainedConceptualParallel(rels[0].rel, hb, rels[2].rel, kAB, kCB, cfg.concurrency, cfg.stats)
+		default:
+			triples = core.UnchainedConceptual(rels[0].rel, hb, rels[2].rel, kAB, kCB, cfg.stats)
+		}
+
 		if cfg.explain != nil {
-			*cfg.explain = shardedExplain("unchained-joins", "both joins evaluated independently, intersected on B", a, b, c)
+			node := plan.UnchainedPlan(order, prune, a.Name(), b.Name(), c.Name(), a.Len(), b.Len(), c.Len(), kAB, kCB)
+			*cfg.explain = fmt.Sprintf("order: %s (%s)\n%s", order, reason, node.Explain())
 		}
 		return triples, nil
-	}
-	covA := core.EstimateClusterCoverage(rels[0].rel)
-	covC := core.EstimateClusterCoverage(rels[2].rel)
-	order, prune, reason := plan.ChooseJoinOrder(cfg.order, covA, covC)
-
-	// Both unchained joins probe only B's searcher; A and C are scanned
-	// through their immutable indexes and need no handles.
-	hb := rels[1].rel.Acquire()
-	defer hb.Release()
-
-	var triples []Triple
-	switch {
-	case prune && cfg.concurrency > 1:
-		triples = core.UnchainedBlockMarkingParallel(rels[0].rel, hb, rels[2].rel, kAB, kCB, order, cfg.concurrency, cfg.stats)
-	case prune:
-		triples = core.UnchainedBlockMarking(rels[0].rel, hb, rels[2].rel, kAB, kCB, order, cfg.stats)
-	case cfg.concurrency > 1:
-		triples = core.UnchainedConceptualParallel(rels[0].rel, hb, rels[2].rel, kAB, kCB, cfg.concurrency, cfg.stats)
-	default:
-		triples = core.UnchainedConceptual(rels[0].rel, hb, rels[2].rel, kAB, kCB, cfg.stats)
-	}
-
-	if cfg.explain != nil {
-		node := plan.UnchainedPlan(order, prune, a.Name(), b.Name(), c.Name(), a.Len(), b.Len(), c.Len(), kAB, kCB)
-		*cfg.explain = fmt.Sprintf("order: %s (%s)\n%s", order, reason, node.Explain())
-	}
-	return triples, nil
+	})
 }
 
 // ChainedJoins evaluates the Section 4.2 query over chained joins a→b→c,
@@ -410,34 +418,36 @@ func ChainedJoins(a, b, c Source, kAB, kBC int, opts ...QueryOption) ([]Triple, 
 	}
 	cfg := applyOptions(opts)
 	rels, single := allSingle(a, b, c)
-	if !single {
-		// All Figure 13 QEPs produce identical triples; the scatter/gather
-		// path always runs the nested join with per-worker caches (the
-		// paper's winner), so WithChainedQEP does not change the answer.
-		triples := shard.Chained(a.execGroup(), b.execGroup(), c.execGroup(), kAB, kBC,
-			cfg.concurrency, cfg.stats)
+	return runQuery(&cfg, func() ([]Triple, error) {
+		if !single {
+			// All Figure 13 QEPs produce identical triples; the scatter/gather
+			// path always runs the nested join with per-worker caches (the
+			// paper's winner), so WithChainedQEP does not change the answer.
+			triples := shard.Chained(cfg.ctx, a.execGroup(), b.execGroup(), c.execGroup(), kAB, kBC,
+				cfg.concurrency, cfg.stats)
+			if cfg.explain != nil {
+				*cfg.explain = shardedExplain("chained-joins", "nested join with per-worker neighborhood caches", a, b, c)
+			}
+			return triples, nil
+		}
+		qep, reason := plan.ChooseChainedQEP(cfg.chained)
+		// The chain probes B's and C's searchers (A is only scanned), so two
+		// handles suffice; AcquirePair dedups b == c and orders the blocking
+		// acquisitions deadlock-free.
+		hb, hc := acquireHandlePair(cfg.ctx, rels[1].rel, rels[2].rel)
+		defer core.ReleasePair(hb, hc)
+		var triples []Triple
+		if cfg.concurrency > 1 {
+			triples = core.ChainedJoinsParallel(rels[0].rel, hb, hc, kAB, kBC, qep, cfg.concurrency, cfg.stats)
+		} else {
+			triples = core.ChainedJoins(rels[0].rel, hb, hc, kAB, kBC, qep, cfg.stats)
+		}
 		if cfg.explain != nil {
-			*cfg.explain = shardedExplain("chained-joins", "nested join with per-worker neighborhood caches", a, b, c)
+			node := plan.ChainedPlan(qep, a.Name(), b.Name(), c.Name(), a.Len(), b.Len(), c.Len(), kAB, kBC)
+			*cfg.explain = fmt.Sprintf("plan: %s (%s)\n%s", qep, reason, node.Explain())
 		}
 		return triples, nil
-	}
-	qep, reason := plan.ChooseChainedQEP(cfg.chained)
-	// The chain probes B's and C's searchers (A is only scanned), so two
-	// handles suffice; AcquirePair dedups b == c and orders the blocking
-	// acquisitions deadlock-free.
-	hb, hc := core.AcquirePair(rels[1].rel, rels[2].rel)
-	defer core.ReleasePair(hb, hc)
-	var triples []Triple
-	if cfg.concurrency > 1 {
-		triples = core.ChainedJoinsParallel(rels[0].rel, hb, hc, kAB, kBC, qep, cfg.concurrency, cfg.stats)
-	} else {
-		triples = core.ChainedJoins(rels[0].rel, hb, hc, kAB, kBC, qep, cfg.stats)
-	}
-	if cfg.explain != nil {
-		node := plan.ChainedPlan(qep, a.Name(), b.Name(), c.Name(), a.Len(), b.Len(), c.Len(), kAB, kBC)
-		*cfg.explain = fmt.Sprintf("plan: %s (%s)\n%s", qep, reason, node.Explain())
-	}
-	return triples, nil
+	})
 }
 
 // TwoSelects evaluates the Section 5 query
@@ -461,27 +471,29 @@ func TwoSelects(rel Source, f1 Point, k1 int, f2 Point, k2 int, opts ...QueryOpt
 	}
 	cfg := applyOptions(opts)
 	r := rel.singleRelation()
-	if r == nil {
-		pts := shard.TwoSelects(rel.execGroup(), f1, k1, f2, k2,
-			cfg.algorithm == AlgorithmConceptual, cfg.stats)
+	return runQuery(&cfg, func() ([]Point, error) {
+		if r == nil {
+			pts := shard.TwoSelects(cfg.ctx, rel.execGroup(), f1, k1, f2, k2,
+				cfg.algorithm == AlgorithmConceptual, cfg.stats)
+			if cfg.explain != nil {
+				*cfg.explain = shardedExplain("two-selects", "smaller-k predicate first, per-shard clipped locality", rel)
+			}
+			return pts, nil
+		}
+		h := acquireHandle(cfg.ctx, r.rel)
+		defer h.Release()
+		var pts []Point
+		if cfg.algorithm == AlgorithmConceptual {
+			pts = core.TwoSelectsConceptual(h, f1, k1, f2, k2, cfg.stats)
+		} else {
+			pts = core.TwoSelects(h, f1, k1, f2, k2, cfg.stats)
+		}
 		if cfg.explain != nil {
-			*cfg.explain = shardedExplain("two-selects", "smaller-k predicate first, per-shard clipped locality", rel)
+			node := plan.TwoSelectsPlan(cfg.algorithm != AlgorithmConceptual, rel.Name(), rel.Len(), k1, k2)
+			*cfg.explain = node.Explain()
 		}
 		return pts, nil
-	}
-	h := r.rel.Acquire()
-	defer h.Release()
-	var pts []Point
-	if cfg.algorithm == AlgorithmConceptual {
-		pts = core.TwoSelectsConceptual(h, f1, k1, f2, k2, cfg.stats)
-	} else {
-		pts = core.TwoSelects(h, f1, k1, f2, k2, cfg.stats)
-	}
-	if cfg.explain != nil {
-		node := plan.TwoSelectsPlan(cfg.algorithm != AlgorithmConceptual, rel.Name(), rel.Len(), k1, k2)
-		*cfg.explain = node.Explain()
-	}
-	return pts, nil
+	})
 }
 
 // RangeInnerJoin evaluates the footnote-1 extension of Section 3: pairs
@@ -500,44 +512,46 @@ func RangeInnerJoin(outer, inner Source, rng Rect, kJoin int, opts ...QueryOptio
 	alg, reason := plan.ChooseSelectJoinAlgorithm(cfg.algorithm.planAlgorithm(), outer.Len(), cfg.countingThreshold)
 
 	rels, single := allSingle(outer, inner)
-	if !single {
-		pairs := shard.RangeJoin(outer.execGroup(), inner.execGroup(), rng, kJoin,
-			shardStrategy(alg), cfg.concurrency, cfg.stats)
+	return runQuery(&cfg, func() ([]Pair, error) {
+		if !single {
+			pairs := shard.RangeJoin(cfg.ctx, outer.execGroup(), inner.execGroup(), rng, kJoin,
+				shardStrategy(alg), cfg.concurrency, cfg.stats)
+			if cfg.explain != nil {
+				*cfg.explain = shardedExplain("range-inner-join",
+					fmt.Sprintf("strategy %s: %s", alg, reason), outer, inner)
+			}
+			return pairs, nil
+		}
+
+		// Every strategy probes only the inner relation's searcher; the outer
+		// side is scanned through its immutable index and needs no handle.
+		hi := acquireHandle(cfg.ctx, rels[1].rel)
+		defer hi.Release()
+		ho := rels[0].rel
+
+		var pairs []Pair
+		switch {
+		case alg == plan.Conceptual && cfg.concurrency > 1:
+			pairs = core.RangeInnerJoinConceptualParallel(ho, hi, rng, kJoin, cfg.concurrency, cfg.stats)
+		case alg == plan.Conceptual:
+			pairs = core.RangeInnerJoinConceptual(ho, hi, rng, kJoin, cfg.stats)
+		case alg == plan.Counting && cfg.concurrency > 1:
+			pairs = core.RangeInnerJoinCountingParallel(ho, hi, rng, kJoin, cfg.concurrency, cfg.stats)
+		case alg == plan.Counting:
+			pairs = core.RangeInnerJoinCounting(ho, hi, rng, kJoin, cfg.stats)
+		case cfg.concurrency > 1:
+			pairs = core.RangeInnerJoinBlockMarkingParallel(ho, hi, rng, kJoin,
+				core.BlockMarkingOptions{Exhaustive: cfg.exhaustive}, cfg.concurrency, cfg.stats)
+		default:
+			pairs = core.RangeInnerJoinBlockMarking(ho, hi, rng, kJoin,
+				core.BlockMarkingOptions{Exhaustive: cfg.exhaustive}, cfg.stats)
+		}
 		if cfg.explain != nil {
-			*cfg.explain = shardedExplain("range-inner-join",
-				fmt.Sprintf("strategy %s: %s", alg, reason), outer, inner)
+			node := plan.RangeInnerJoinPlan(alg, outer.Name(), inner.Name(), outer.Len(), inner.Len(), kJoin, rng.String())
+			*cfg.explain = fmt.Sprintf("strategy: %s (%s)\n%s", alg, reason, node.Explain())
 		}
 		return pairs, nil
-	}
-
-	// Every strategy probes only the inner relation's searcher; the outer
-	// side is scanned through its immutable index and needs no handle.
-	hi := rels[1].rel.Acquire()
-	defer hi.Release()
-	ho := rels[0].rel
-
-	var pairs []Pair
-	switch {
-	case alg == plan.Conceptual && cfg.concurrency > 1:
-		pairs = core.RangeInnerJoinConceptualParallel(ho, hi, rng, kJoin, cfg.concurrency, cfg.stats)
-	case alg == plan.Conceptual:
-		pairs = core.RangeInnerJoinConceptual(ho, hi, rng, kJoin, cfg.stats)
-	case alg == plan.Counting && cfg.concurrency > 1:
-		pairs = core.RangeInnerJoinCountingParallel(ho, hi, rng, kJoin, cfg.concurrency, cfg.stats)
-	case alg == plan.Counting:
-		pairs = core.RangeInnerJoinCounting(ho, hi, rng, kJoin, cfg.stats)
-	case cfg.concurrency > 1:
-		pairs = core.RangeInnerJoinBlockMarkingParallel(ho, hi, rng, kJoin,
-			core.BlockMarkingOptions{Exhaustive: cfg.exhaustive}, cfg.concurrency, cfg.stats)
-	default:
-		pairs = core.RangeInnerJoinBlockMarking(ho, hi, rng, kJoin,
-			core.BlockMarkingOptions{Exhaustive: cfg.exhaustive}, cfg.stats)
-	}
-	if cfg.explain != nil {
-		node := plan.RangeInnerJoinPlan(alg, outer.Name(), inner.Name(), outer.Len(), inner.Len(), kJoin, rng.String())
-		*cfg.explain = fmt.Sprintf("strategy: %s (%s)\n%s", alg, reason, node.Explain())
-	}
-	return pairs, nil
+	})
 }
 
 // SortPairs orders pairs canonically (Left then Right) in place, so results

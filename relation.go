@@ -169,12 +169,19 @@ func WithBounds(r Rect) RelationOption {
 // WithMaxSearchers bounds the relation's searcher pool: at most n query
 // handles — each owning iterator pools, a selection heap and a result
 // buffer — ever exist at once, so the scratch memory added by concurrency
-// is n·O(handle) no matter how many queries are in flight. Queries beyond
-// the bound block until a handle frees up (and WithConcurrency fan-out
-// degrades to the handles it can get instead of blocking). n ≤ 0 (the
+// is n·O(handle) no matter how many queries are in flight. n ≤ 0 (the
 // default) leaves the pool unbounded: handles are minted on demand and
 // recycled through a sync.Pool, which adapts to load but lets a burst of
 // concurrent queries grow the resident scratch set.
+//
+// The shed-load contract beyond the bound: plain queries block until a
+// handle frees up; queries carrying a WithContext context wait only until
+// the context's deadline and then fail with an error chaining
+// ErrQueryCanceled and ErrSearchersExhausted; WithConcurrency's extra
+// fan-out workers never wait — they stand down and the query completes on
+// the handles it holds. A bounded relation therefore degrades under
+// overload by queueing (bounded by caller deadlines) and by shedding
+// parallelism, never by unbounded memory growth.
 func WithMaxSearchers(n int) RelationOption {
 	return func(c *relationConfig) { c.maxSearchers = n }
 }
@@ -302,10 +309,18 @@ func (r *Relation) KNNSelect(f Point, k int, opts ...QueryOption) ([]Point, erro
 		return nil, err
 	}
 	cfg := applyOptions(opts)
-	h := r.rel.Acquire()
-	defer h.Release()
-	return core.KNNSelect(h, f, k, cfg.stats), nil
+	return runQuery(&cfg, func() ([]Point, error) {
+		h := acquireHandle(cfg.ctx, r.rel)
+		defer h.Release()
+		return core.KNNSelect(h, f, k, cfg.stats), nil
+	})
 }
+
+// OutstandingSearchers returns the number of searcher handles currently out
+// of the relation's pool — a point-in-time snapshot for leak assertions and
+// load metrics. A relation with no query in flight reports 0, including
+// after cancelled, deadline-expired or panicked queries.
+func (r *Relation) OutstandingSearchers() int { return r.rel.Pool().Outstanding() }
 
 // execGroup implements Source.
 func (r *Relation) execGroup() shard.Group { return shard.SingleGroup(r.rel) }
@@ -330,17 +345,19 @@ func KNNJoin(outer, inner Source, k int, opts ...QueryOption) ([]Pair, error) {
 	}
 	cfg := applyOptions(opts)
 	so, si := outer.singleRelation(), inner.singleRelation()
-	if so == nil || si == nil {
-		return shard.Join(outer.execGroup(), inner.execGroup(), k, cfg.concurrency, cfg.stats), nil
-	}
-	// The join only probes the inner relation's searcher; the outer side is
-	// scanned through its immutable index and needs no handle.
-	hi := si.rel.Acquire()
-	defer hi.Release()
-	if cfg.concurrency > 1 {
-		return core.KNNJoinParallel(so.rel, hi, k, cfg.concurrency, cfg.stats), nil
-	}
-	return core.KNNJoin(so.rel, hi, k, cfg.stats), nil
+	return runQuery(&cfg, func() ([]Pair, error) {
+		if so == nil || si == nil {
+			return shard.Join(cfg.ctx, outer.execGroup(), inner.execGroup(), k, cfg.concurrency, cfg.stats), nil
+		}
+		// The join only probes the inner relation's searcher; the outer side is
+		// scanned through its immutable index and needs no handle.
+		hi := acquireHandle(cfg.ctx, si.rel)
+		defer hi.Release()
+		if cfg.concurrency > 1 {
+			return core.KNNJoinParallel(so.rel, hi, k, cfg.concurrency, cfg.stats), nil
+		}
+		return core.KNNJoin(so.rel, hi, k, cfg.stats), nil
+	})
 }
 
 // checkK validates a k parameter; the returned error wraps ErrNonPositiveK.

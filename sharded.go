@@ -199,7 +199,21 @@ func (sr *ShardedRelation) KNNSelect(f Point, k int, opts ...QueryOption) ([]Poi
 		return nil, err
 	}
 	cfg := applyOptions(opts)
-	return shard.Select(sr.sh.Group(), f, k, cfg.stats), nil
+	return runQuery(&cfg, func() ([]Point, error) {
+		return shard.Select(cfg.ctx, sr.sh.Group(), f, k, cfg.stats), nil
+	})
+}
+
+// OutstandingSearchers returns the number of searcher handles currently out
+// across all shard pools — a point-in-time snapshot for leak assertions and
+// load metrics. A relation with no query in flight reports 0, including
+// after cancelled, deadline-expired or panicked queries.
+func (sr *ShardedRelation) OutstandingSearchers() int {
+	total := 0
+	for i := 0; i < sr.sh.NumShards(); i++ {
+		total += sr.sh.Shard(i).Pool().Outstanding()
+	}
+	return total
 }
 
 // ShardStats is one shard's slice of a ShardedRelation.Snapshot: its
