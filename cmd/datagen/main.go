@@ -15,8 +15,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/berlinmod"
-	"repro/internal/datagen"
+	"repro/internal/dataload"
 	"repro/internal/geom"
 	"repro/internal/pointio"
 )
@@ -44,31 +43,25 @@ func main() {
 func run(kind string, n, clusters, perCluster int, radius float64, seed int64, out string, width, height float64) error {
 	bounds := geom.NewRect(0, 0, width, height)
 
-	// Generators fill pre-sized columnar stores; the CSV writer streams
-	// them out without materializing []geom.Point.
-	var (
-		st  *geom.PointStore
-		err error
-	)
-	switch kind {
-	case "uniform":
-		st = datagen.UniformStore(n, bounds, seed)
-	case "clustered":
-		st, err = datagen.ClusteredStore(datagen.ClusterConfig{
-			NumClusters:      clusters,
-			PointsPerCluster: perCluster,
-			Radius:           radius,
-			Bounds:           bounds,
-			Seed:             seed,
-		})
-	case "berlinmod":
-		st, err = berlinmod.Store(n, berlinmod.Config{
-			Network: berlinmod.NetworkConfig{Bounds: bounds, Seed: seed},
-			Seed:    seed + 1,
-		})
-	default:
-		err = fmt.Errorf("unknown kind %q (want uniform, clustered, or berlinmod)", kind)
+	// Generation goes through the shared dataset loader (internal/dataload,
+	// the same specs knnserve and knnquery accept); its generators fill
+	// pre-sized columnar stores the CSV writer streams out without
+	// materializing []geom.Point.
+	sp := dataload.Spec{
+		Kind:       dataload.Kind(kind),
+		N:          n,
+		Clusters:   clusters,
+		PerCluster: perCluster,
+		Radius:     radius,
+		Bounds:     bounds,
+		Seed:       seed,
 	}
+	switch sp.Kind {
+	case dataload.Uniform, dataload.Clustered, dataload.BerlinMOD:
+	default:
+		return fmt.Errorf("unknown kind %q (want uniform, clustered, or berlinmod)", kind)
+	}
+	st, err := sp.Store()
 	if err != nil {
 		return err
 	}

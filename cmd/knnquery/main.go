@@ -23,8 +23,8 @@ import (
 	"os"
 
 	twoknn "repro"
-	"repro/internal/berlinmod"
-	"repro/internal/pointio"
+	"repro/internal/dataload"
+	"repro/internal/server"
 )
 
 func main() {
@@ -74,26 +74,20 @@ func run(p params) error {
 		return err
 	}
 
-	load := func(name, path string, seed int64) (*twoknn.Relation, error) {
-		var (
-			pts []twoknn.Point
-			err error
-		)
+	// Datasets load through the same spec/build path the query server uses
+	// (internal/server + internal/dataload): an empty file flag falls back
+	// to a generated BerlinMOD-substitute spec.
+	load := func(name, path string, seed int64) (twoknn.Source, error) {
+		spec := dataload.FileSpec(path)
 		if path == "" {
-			pts, err = berlinmod.Points(p.genN, berlinmod.Config{Seed: seed})
-			if err == nil {
-				fmt.Printf("%s: generated %d BerlinMOD-substitute points (seed %d)\n", name, len(pts), seed)
-			}
-		} else {
-			pts, err = pointio.ReadFile(path)
-			if err == nil {
-				fmt.Printf("%s: loaded %d points from %s\n", name, len(pts), path)
-			}
+			spec = dataload.Spec{Kind: dataload.BerlinMOD, N: p.genN, Seed: seed}
 		}
+		src, err := server.BuildSource(name, spec, server.BuildOptions{Index: kind})
 		if err != nil {
 			return nil, err
 		}
-		return twoknn.NewRelation(name, pts, twoknn.WithIndexKind(kind))
+		fmt.Printf("%s: %d points (%s)\n", name, src.Len(), spec)
+		return src, nil
 	}
 
 	var explain string
@@ -169,35 +163,12 @@ func run(p params) error {
 	return nil
 }
 
-func parseIndexKind(s string) (twoknn.IndexKind, error) {
-	switch s {
-	case "grid":
-		return twoknn.GridIndex, nil
-	case "quadtree":
-		return twoknn.QuadtreeIndex, nil
-	case "rtree":
-		return twoknn.RTreeIndex, nil
-	case "kdtree":
-		return twoknn.KDTreeIndex, nil
-	default:
-		return 0, fmt.Errorf("unknown index kind %q", s)
-	}
-}
+// parseIndexKind and parseAlgorithm delegate to the server package's shared
+// flag parsers, so knnserve, knnquery and the wire codec accept the same
+// vocabulary.
+func parseIndexKind(s string) (twoknn.IndexKind, error) { return server.ParseIndexKind(s) }
 
-func parseAlgorithm(s string) (twoknn.Algorithm, error) {
-	switch s {
-	case "auto":
-		return twoknn.AlgorithmAuto, nil
-	case "conceptual":
-		return twoknn.AlgorithmConceptual, nil
-	case "counting":
-		return twoknn.AlgorithmCounting, nil
-	case "block-marking":
-		return twoknn.AlgorithmBlockMarking, nil
-	default:
-		return 0, fmt.Errorf("unknown algorithm %q", s)
-	}
-}
+func parseAlgorithm(s string) (twoknn.Algorithm, error) { return server.ParseAlgorithm(s) }
 
 func printPlanAndStats(explain string, st *twoknn.Stats) {
 	fmt.Println("\nEXPLAIN")

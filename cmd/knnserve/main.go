@@ -1,0 +1,152 @@
+// Command knnserve serves the twoknn query engine over HTTP/JSON: one named
+// dataset per -dataset flag (single or sharded relation), all eight query
+// entry points as POST routes, plus /metrics and /healthz. See the README's
+// "Serving" section for curl-able request examples.
+//
+// Usage:
+//
+//	knnserve -dataset trips=berlinmod:n=20000,seed=1
+//	knnserve -listen :8080 \
+//	    -dataset sites=file:sites.csv \
+//	    -dataset trips=berlinmod:n=100000,seed=7 \
+//	    -shards 4 -shard-policy spatial -index grid \
+//	    -max-searchers 64 -max-inflight 256 -timeout 5s
+//
+// Admission control: -max-inflight sheds excess per-dataset concurrency with
+// an immediate 429 + Retry-After; -max-searchers bounds each dataset's (or
+// each shard's) searcher pool, whose deadline-bounded waits shed as 429 via
+// the engine's ErrSearchersExhausted. -timeout is the per-request evaluation
+// budget (a request's timeout_ms can only shorten it); expiry returns 504.
+// SIGINT/SIGTERM drain in-flight requests and exit cleanly.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+// options carries the parsed flags; run is separated from main so tests can
+// drive the full serve lifecycle with a cancelable context.
+type options struct {
+	listen       string
+	datasets     []string
+	index        string
+	blockCap     int
+	shards       int
+	policy       string
+	maxSearchers int
+	timeout      time.Duration
+	maxInflight  int
+	retryAfter   time.Duration
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.listen, "listen", "127.0.0.1:8080", "address to listen on")
+	flag.Func("dataset", "dataset as name=spec; repeatable (specs: file:points.csv, berlinmod:n=20000,seed=1, uniform:n=...,seed=..., clustered:clusters=...,per=...)", func(s string) error {
+		o.datasets = append(o.datasets, s)
+		return nil
+	})
+	flag.StringVar(&o.index, "index", "grid", "index kind for every dataset: grid, quadtree, rtree, kdtree")
+	flag.IntVar(&o.blockCap, "block-capacity", 0, "points per index block (0 = engine default)")
+	flag.IntVar(&o.shards, "shards", 0, "shard count per dataset (0 or 1 = single relation)")
+	flag.StringVar(&o.policy, "shard-policy", "hash", "partitioning policy for sharded datasets: hash or spatial")
+	flag.IntVar(&o.maxSearchers, "max-searchers", 0, "bound each dataset's searcher pool (per shard when sharded; 0 = unbounded)")
+	flag.DurationVar(&o.timeout, "timeout", 10*time.Second, "per-request evaluation budget")
+	flag.IntVar(&o.maxInflight, "max-inflight", 0, "max concurrent requests per dataset before shedding 429 (0 = no server-level gate)")
+	flag.DurationVar(&o.retryAfter, "retry-after", time.Second, "Retry-After hint on 429 responses")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, o, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "knnserve:", err)
+		os.Exit(1)
+	}
+}
+
+// newServer builds the Server with every -dataset registered.
+func newServer(o options) (*server.Server, error) {
+	if len(o.datasets) == 0 {
+		return nil, fmt.Errorf("at least one -dataset name=spec is required")
+	}
+	kind, err := server.ParseIndexKind(o.index)
+	if err != nil {
+		return nil, err
+	}
+	policy, err := server.ParseShardPolicy(o.policy)
+	if err != nil {
+		return nil, err
+	}
+	build := server.BuildOptions{
+		Index:         kind,
+		BlockCapacity: o.blockCap,
+		Shards:        o.shards,
+		Policy:        policy,
+		MaxSearchers:  o.maxSearchers,
+	}
+	srv := server.New(server.Config{
+		DefaultTimeout: o.timeout,
+		MaxInflight:    o.maxInflight,
+		RetryAfter:     o.retryAfter,
+	})
+	for _, arg := range o.datasets {
+		name, spec, err := server.SplitDatasetArg(arg)
+		if err != nil {
+			return nil, err
+		}
+		src, err := server.BuildSource(name, spec, build)
+		if err != nil {
+			return nil, err
+		}
+		if err := srv.Register(name, src); err != nil {
+			return nil, err
+		}
+	}
+	return srv, nil
+}
+
+func run(ctx context.Context, o options, stdout io.Writer) error {
+	srv, err := newServer(o)
+	if err != nil {
+		return err
+	}
+	for _, name := range srv.DatasetNames() {
+		fmt.Fprintf(stdout, "knnserve: dataset %q ready\n", name)
+	}
+
+	ln, err := net.Listen("tcp", o.listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "knnserve: listening on http://%s (%s)\n",
+		ln.Addr(), strings.Join(srv.DatasetNames(), ", "))
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+		// Drain in-flight requests; each is already bounded by the request
+		// budget, so the grace period only needs to cover that.
+		fmt.Fprintln(stdout, "knnserve: shutting down")
+		grace := o.timeout + 5*time.Second
+		shCtx, cancel := context.WithTimeout(context.Background(), grace)
+		defer cancel()
+		return hs.Shutdown(shCtx)
+	case err := <-errc:
+		return err
+	}
+}

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+func TestNewServerValidation(t *testing.T) {
+	base := func() options {
+		return options{index: "grid", policy: "hash", timeout: time.Second, retryAfter: time.Second}
+	}
+	t.Run("requires a dataset", func(t *testing.T) {
+		if _, err := newServer(base()); err == nil || !strings.Contains(err.Error(), "-dataset") {
+			t.Fatalf("err = %v, want a -dataset requirement", err)
+		}
+	})
+	t.Run("rejects bad spec", func(t *testing.T) {
+		o := base()
+		o.datasets = []string{"pts=warpdrive:n=5"}
+		if _, err := newServer(o); err == nil {
+			t.Fatal("bad spec accepted")
+		}
+	})
+	t.Run("rejects bad index", func(t *testing.T) {
+		o := base()
+		o.datasets = []string{"pts=uniform:n=100,seed=1"}
+		o.index = "btree"
+		if _, err := newServer(o); err == nil {
+			t.Fatal("bad index accepted")
+		}
+	})
+	t.Run("rejects duplicate name", func(t *testing.T) {
+		o := base()
+		o.datasets = []string{"pts=uniform:n=100,seed=1", "pts=uniform:n=100,seed=2"}
+		if _, err := newServer(o); err == nil || !strings.Contains(err.Error(), "already registered") {
+			t.Fatalf("err = %v, want duplicate-name rejection", err)
+		}
+	})
+	t.Run("builds sharded datasets", func(t *testing.T) {
+		o := base()
+		o.datasets = []string{"a=uniform:n=200,seed=1", "b=clustered:clusters=2,per=50,seed=2"}
+		o.shards = 2
+		o.policy = "spatial"
+		srv, err := newServer(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := srv.DatasetNames(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+			t.Fatalf("DatasetNames = %v", got)
+		}
+	})
+}
+
+// syncBuffer makes run's stdout readable while the server goroutine writes.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenLine = regexp.MustCompile(`listening on (http://[^ ]+)`)
+
+// TestRunLifecycle drives the full serve loop in-process: start on an
+// ephemeral port, serve a query, then cancel the context (the code path
+// SIGINT/SIGTERM trigger) and require a clean drain.
+func TestRunLifecycle(t *testing.T) {
+	o := options{
+		listen:     "127.0.0.1:0",
+		datasets:   []string{"pts=uniform:n=500,seed=9"},
+		index:      "grid",
+		policy:     "hash",
+		timeout:    5 * time.Second,
+		retryAfter: time.Second,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, o, &out) }()
+
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address; output:\n%s", out.String())
+		}
+		if m := listenLine.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if !strings.Contains(out.String(), `dataset "pts" ready`) {
+		t.Errorf("startup output missing dataset announcement:\n%s", out.String())
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	body, err := server.EncodeRequest(&server.KNNSelectRequest{
+		Dataset: "pts", F: server.PointArg{X: 5000, Y: 5000}, K: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr, err := http.Post(base+"/v1/query/knn-select", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q server.QueryResponse
+	if err := json.NewDecoder(qr.Body).Decode(&q); err != nil {
+		t.Fatal(err)
+	}
+	qr.Body.Close()
+	if qr.StatusCode != http.StatusOK || q.Count != 3 {
+		t.Fatalf("query status %d, count %d", qr.StatusCode, q.Count)
+	}
+
+	mr, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mx server.MetricsResponse
+	if err := json.NewDecoder(mr.Body).Decode(&mx); err != nil {
+		t.Fatal(err)
+	}
+	mr.Body.Close()
+	if mx.Datasets["pts"].Points != 500 || mx.Routes["knn-select"].OK != 1 {
+		t.Errorf("metrics after one query: %+v", mx)
+	}
+
+	cancel() // what the SIGINT/SIGTERM NotifyContext does
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v on shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not drain after cancellation")
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Errorf("shutdown output missing:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadListen(t *testing.T) {
+	o := options{
+		listen:     "256.256.256.256:99999",
+		datasets:   []string{"pts=uniform:n=10,seed=1"},
+		index:      "grid",
+		policy:     "hash",
+		timeout:    time.Second,
+		retryAfter: time.Second,
+	}
+	if err := run(context.Background(), o, io.Discard); err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+}

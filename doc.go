@@ -110,6 +110,28 @@
 // slow-shard-probe, pool-acquire) that the cancellation battery and chaos
 // suite use to verify all of the above under the race detector.
 //
+// # Serving
+//
+// The engine is servable over HTTP/JSON: cmd/knnserve holds one named
+// dataset (a Relation or ShardedRelation built from a dataset spec) per
+// -dataset flag and exposes all eight query entry points as POST routes
+// under /v1/query/, plus /metrics and /healthz. The wire layer
+// (internal/server) carries results as stable int32 point IDs plus
+// coordinates and adds nothing to the answer — an end-to-end differential
+// battery holds every served route byte-identical (after canonical sort)
+// to the direct in-process call.
+//
+// The error taxonomy above maps directly onto statuses: a bounded pool's
+// ErrSearchersExhausted (and the server's own per-dataset inflight gate)
+// sheds load as 429 with a Retry-After hint; an expired request budget —
+// min of the server's -timeout and the request's timeout_ms, flowed into
+// the engine via WithContext — surfaces ErrQueryCanceled as 504; an
+// isolated *QueryPanicError returns 500 with the process still serving;
+// ErrNilRelation (unknown dataset) and ErrNonPositiveK are 400s. Request
+// decoding is strict (unknown fields and trailing bytes are rejected) and
+// fuzzed for lossless round-tripping. See the README's "Serving" section
+// for curl-able examples of every query shape.
+//
 // # Sharding
 //
 // NewShardedRelation partitions one logical point set across S shards,

@@ -13,9 +13,8 @@ import (
 	"fmt"
 	"sync"
 
-	"repro/internal/berlinmod"
 	"repro/internal/core"
-	"repro/internal/datagen"
+	"repro/internal/dataload"
 	"repro/internal/geom"
 	"repro/internal/index/grid"
 )
@@ -75,10 +74,7 @@ func BerlinMODPoints(role string, n int) []geom.Point {
 	for _, ch := range role {
 		seed = seed*131 + int64(ch)
 	}
-	pts, err := berlinmod.Points(n, berlinmod.Config{
-		Network: berlinmod.NetworkConfig{Bounds: Bounds, Seed: seed},
-		Seed:    seed + 1,
-	})
+	pts, err := dataload.Spec{Kind: dataload.BerlinMOD, N: n, Seed: seed, Bounds: Bounds}.Points()
 	if err != nil {
 		panic(fmt.Sprintf("bench: generating BerlinMOD points: %v", err)) // static config; cannot fail
 	}
@@ -99,13 +95,14 @@ func ClusteredPoints(role string, numClusters, perCluster int, radius float64) [
 	for _, ch := range role {
 		seed = seed*131 + int64(ch)
 	}
-	pts, err := datagen.Clustered(datagen.ClusterConfig{
-		NumClusters:      numClusters,
-		PointsPerCluster: perCluster,
-		Radius:           radius,
-		Bounds:           Bounds,
-		Seed:             seed,
-	})
+	pts, err := dataload.Spec{
+		Kind:       dataload.Clustered,
+		Clusters:   numClusters,
+		PerCluster: perCluster,
+		Radius:     radius,
+		Bounds:     Bounds,
+		Seed:       seed,
+	}.Points()
 	if err != nil {
 		panic(fmt.Sprintf("bench: generating clustered points: %v", err)) // parameters are fixed per experiment
 	}
@@ -125,7 +122,10 @@ func UniformPoints(role string, n int) []geom.Point {
 	for _, ch := range role {
 		seed = seed*131 + int64(ch)
 	}
-	pts := datagen.Uniform(n, Bounds, seed)
+	pts, err := dataload.Spec{Kind: dataload.Uniform, N: n, Seed: seed, Bounds: Bounds}.Points()
+	if err != nil {
+		panic(fmt.Sprintf("bench: generating uniform points: %v", err)) // static config; cannot fail
+	}
 	datasetCache.points[key] = pts
 	return pts
 }

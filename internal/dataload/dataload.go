@@ -1,0 +1,205 @@
+// Package dataload is the one dataset loader shared by every binary of the
+// repository (cmd/knnserve, cmd/knnquery, cmd/knnbench via internal/bench,
+// cmd/datagen): a small spec grammar names either a CSV point file or one of
+// the deterministic generators, and Store/Points materialize it into the
+// columnar form the indexes build from.
+//
+// The spec grammar is "kind:key=value,key=value":
+//
+//	file:points.csv                      CSV "x,y" rows (pointio format)
+//	berlinmod:n=20000,seed=1             BerlinMOD-substitute traffic snapshot
+//	uniform:n=20000,seed=1,w=10000,h=10000
+//	clustered:clusters=4,per=4000,radius=0,seed=1,w=10000,h=10000
+//
+// A bare string with no "kind:" prefix is a file path. All generators are
+// pure functions of their spec, so the same spec always yields the same
+// points (and the same stable IDs 0..n-1 in generation/file order).
+package dataload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/berlinmod"
+	"repro/internal/datagen"
+	"repro/internal/geom"
+	"repro/internal/pointio"
+)
+
+// Kind names a dataset source.
+type Kind string
+
+// The available kinds.
+const (
+	// File reads a CSV point file (pointio format).
+	File Kind = "file"
+
+	// BerlinMOD samples a snapshot of the BerlinMOD-substitute traffic
+	// simulation.
+	BerlinMOD Kind = "berlinmod"
+
+	// Uniform draws points independently and uniformly over the bounds.
+	Uniform Kind = "uniform"
+
+	// Clustered draws equal-size, equal-area, non-overlapping clusters
+	// (the paper's Section 6.2 synthetic layout).
+	Clustered Kind = "clustered"
+)
+
+// DefaultBounds is the generation region when a spec gives no w/h — the
+// 10000 x 10000 city extent every experiment in the repository uses.
+var DefaultBounds = geom.NewRect(0, 0, 10000, 10000)
+
+// Spec is a parsed dataset specification.
+type Spec struct {
+	// Kind selects the source; the zero value ("") is invalid.
+	Kind Kind
+
+	// Path is the CSV file (Kind File).
+	Path string
+
+	// N is the point count (Kinds BerlinMOD and Uniform).
+	N int
+
+	// Clusters and PerCluster shape Kind Clustered.
+	Clusters, PerCluster int
+
+	// Radius is the cluster radius; 0 derives one covering ~5% of the
+	// bounds (Kind Clustered).
+	Radius float64
+
+	// Bounds is the generation region; a zero-area rectangle means
+	// DefaultBounds.
+	Bounds geom.Rect
+
+	// Seed drives all randomness of the generators.
+	Seed int64
+}
+
+// FileSpec names a CSV point file.
+func FileSpec(path string) Spec { return Spec{Kind: File, Path: path} }
+
+// Parse parses the spec grammar. Unknown kinds and keys, and malformed
+// values, are errors; omitted keys take the documented defaults
+// (n=20000, clusters=4, per=4000, radius=0, seed=1, bounds 10000x10000).
+func Parse(s string) (Spec, error) {
+	kindStr, rest, found := strings.Cut(s, ":")
+	if !found {
+		if s == "" {
+			return Spec{}, fmt.Errorf("dataload: empty dataset spec")
+		}
+		return FileSpec(s), nil
+	}
+	kind := Kind(kindStr)
+	if kind == File {
+		if rest == "" {
+			return Spec{}, fmt.Errorf("dataload: file spec needs a path")
+		}
+		return FileSpec(rest), nil
+	}
+	switch kind {
+	case BerlinMOD, Uniform, Clustered:
+	default:
+		return Spec{}, fmt.Errorf("dataload: unknown dataset kind %q (want file, berlinmod, uniform or clustered)", kindStr)
+	}
+
+	sp := Spec{Kind: kind, N: 20000, Clusters: 4, PerCluster: 4000, Seed: 1}
+	w, h := 0.0, 0.0
+	for _, kv := range strings.Split(rest, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("dataload: %q is not key=value", kv)
+		}
+		var err error
+		switch key {
+		case "n":
+			sp.N, err = strconv.Atoi(val)
+		case "clusters":
+			sp.Clusters, err = strconv.Atoi(val)
+		case "per":
+			sp.PerCluster, err = strconv.Atoi(val)
+		case "radius":
+			sp.Radius, err = strconv.ParseFloat(val, 64)
+		case "seed":
+			sp.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "w":
+			w, err = strconv.ParseFloat(val, 64)
+		case "h":
+			h, err = strconv.ParseFloat(val, 64)
+		default:
+			return Spec{}, fmt.Errorf("dataload: unknown spec key %q", key)
+		}
+		if err != nil {
+			return Spec{}, fmt.Errorf("dataload: bad value for %s: %w", key, err)
+		}
+	}
+	if w > 0 && h > 0 {
+		sp.Bounds = geom.NewRect(0, 0, w, h)
+	} else if w != 0 || h != 0 {
+		return Spec{}, fmt.Errorf("dataload: w and h must be given together and positive")
+	}
+	return sp, nil
+}
+
+// String renders the spec back into the grammar Parse accepts.
+func (sp Spec) String() string {
+	switch sp.Kind {
+	case File:
+		return "file:" + sp.Path
+	case Uniform:
+		return fmt.Sprintf("uniform:n=%d,seed=%d", sp.N, sp.Seed)
+	case Clustered:
+		return fmt.Sprintf("clustered:clusters=%d,per=%d,radius=%g,seed=%d", sp.Clusters, sp.PerCluster, sp.Radius, sp.Seed)
+	default:
+		return fmt.Sprintf("berlinmod:n=%d,seed=%d", sp.N, sp.Seed)
+	}
+}
+
+// bounds resolves the generation region.
+func (sp Spec) bounds() geom.Rect {
+	if sp.Bounds.Area() > 0 {
+		return sp.Bounds
+	}
+	return DefaultBounds
+}
+
+// Store materializes the spec into a columnar point store: files are read in
+// row order, generators fill pre-sized stores, and stable IDs are 0..n-1 in
+// that order either way.
+func (sp Spec) Store() (*geom.PointStore, error) {
+	switch sp.Kind {
+	case File:
+		return pointio.ReadFileStore(sp.Path)
+	case Uniform:
+		return datagen.UniformStore(sp.N, sp.bounds(), sp.Seed), nil
+	case Clustered:
+		return datagen.ClusteredStore(datagen.ClusterConfig{
+			NumClusters:      sp.Clusters,
+			PointsPerCluster: sp.PerCluster,
+			Radius:           sp.Radius,
+			Bounds:           sp.bounds(),
+			Seed:             sp.Seed,
+		})
+	case BerlinMOD:
+		return berlinmod.Store(sp.N, berlinmod.Config{
+			Network: berlinmod.NetworkConfig{Bounds: sp.bounds(), Seed: sp.Seed},
+			Seed:    sp.Seed + 1,
+		})
+	default:
+		return nil, fmt.Errorf("dataload: invalid dataset kind %q", string(sp.Kind))
+	}
+}
+
+// Points is Store flattened into a point slice.
+func (sp Spec) Points() ([]geom.Point, error) {
+	st, err := sp.Store()
+	if err != nil {
+		return nil, err
+	}
+	return st.Points(), nil
+}

@@ -1,0 +1,133 @@
+package dataload
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/pointio"
+)
+
+func TestParseSpecs(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Spec
+	}{
+		{"file:points.csv", Spec{Kind: File, Path: "points.csv"}},
+		{"points.csv", Spec{Kind: File, Path: "points.csv"}},
+		{"berlinmod:n=2000,seed=7", Spec{Kind: BerlinMOD, N: 2000, Clusters: 4, PerCluster: 4000, Seed: 7}},
+		{"uniform:n=50", Spec{Kind: Uniform, N: 50, Clusters: 4, PerCluster: 4000, Seed: 1}},
+		{"clustered:clusters=2,per=10,radius=5,seed=3",
+			Spec{Kind: Clustered, N: 20000, Clusters: 2, PerCluster: 10, Radius: 5, Seed: 3}},
+		{"uniform:n=10,w=100,h=200",
+			Spec{Kind: Uniform, N: 10, Clusters: 4, PerCluster: 4000, Seed: 1, Bounds: geom.NewRect(0, 0, 100, 200)}},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Parse(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "file:", "btree:n=10", "uniform:n", "uniform:n=x",
+		"uniform:mystery=1", "uniform:w=10", "clustered:per=-,",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) must error", bad)
+		}
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	for _, in := range []string{
+		"file:points.csv",
+		"berlinmod:n=2000,seed=7",
+		"uniform:n=50,seed=1",
+		"clustered:clusters=2,per=10,radius=5,seed=3",
+	} {
+		sp, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		again, err := Parse(sp.String())
+		if err != nil {
+			t.Fatalf("Parse(String(%q)) = %q: %v", in, sp.String(), err)
+		}
+		if again != sp {
+			t.Errorf("spec %q does not round-trip through String: %+v vs %+v", in, sp, again)
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, spec := range []string{
+		"uniform:n=100,seed=9",
+		"clustered:clusters=3,per=20,seed=9",
+		"berlinmod:n=500,seed=9",
+	} {
+		sp, err := Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := sp.Points()
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		b, err := sp.Points()
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if len(a) == 0 || len(a) != len(b) {
+			t.Fatalf("%s: lengths %d vs %d", spec, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: point %d differs: %v vs %v", spec, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestStoreAssignsStableIDs(t *testing.T) {
+	sp, _ := Parse("uniform:n=32,seed=4")
+	st, err := sp.Store()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 32 {
+		t.Fatalf("Len = %d", st.Len())
+	}
+	for i := 0; i < st.Len(); i++ {
+		if st.ID(i) != int32(i) {
+			t.Fatalf("ID(%d) = %d, want identity", i, st.ID(i))
+		}
+	}
+}
+
+func TestFileSpecReadsCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pts.csv")
+	pts := []geom.Point{{X: 1, Y: 2}, {X: 3, Y: 4}}
+	if err := pointio.WriteFile(path, pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := FileSpec(path).Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != pts[0] || got[1] != pts[1] {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := FileSpec(filepath.Join(dir, "missing.csv")).Points(); err == nil {
+		t.Fatal("missing file must error")
+	}
+	_ = os.Remove(path)
+}

@@ -1,0 +1,441 @@
+package server_test
+
+// Admission-control and request-lifecycle scenarios: shed (429 + Retry-After)
+// from both admission layers, deadline expiry (504), panic isolation (500
+// with the process alive), the 400 taxonomy, and a mixed-shape concurrent
+// hammer that must leave no searcher handle outstanding.
+//
+// Scenarios that arm the fault injector never run in parallel: the harness
+// is deliberately process-global (see internal/fault).
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	twoknn "repro"
+	"repro/internal/dataload"
+	"repro/internal/fault"
+	"repro/internal/server"
+)
+
+// mini is a small two-dataset server ("pts" single, "sharded" hash-split)
+// with configurable engine-level pool bounds.
+type mini struct {
+	srv     *server.Server
+	ts      *httptest.Server
+	single  *twoknn.Relation
+	sharded *twoknn.ShardedRelation
+}
+
+func newMini(t testing.TB, cfg server.Config, relOpts ...twoknn.RelationOption) *mini {
+	t.Helper()
+	sp, err := dataload.Parse("uniform:n=2000,seed=42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := sp.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := twoknn.NewRelation("pts", pts, relOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := twoknn.NewShardedRelation("sharded", pts, 3, relOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &mini{srv: server.New(cfg), single: single, sharded: sharded}
+	if err := m.srv.Register("pts", single); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.srv.Register("sharded", sharded); err != nil {
+		t.Fatal(err)
+	}
+	m.ts = httptest.NewServer(m.srv.Handler())
+	t.Cleanup(m.ts.Close)
+	return m
+}
+
+type wireResult struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// send posts a request struct (or raw bytes) to a query route.
+func send(t testing.TB, ts *httptest.Server, route string, req server.Request, raw []byte) wireResult {
+	t.Helper()
+	body := raw
+	if req != nil {
+		var err error
+		body, err = server.EncodeRequest(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/v1/query/"+route, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wireResult{status: resp.StatusCode, header: resp.Header, body: data}
+}
+
+// decodeError unmarshals an ErrorResponse body.
+func decodeError(t testing.TB, body []byte) server.ErrorResponse {
+	t.Helper()
+	var e server.ErrorResponse
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatalf("decoding error body %q: %v", body, err)
+	}
+	return e
+}
+
+// blockFirstQuery arms an injector that parks the first query reaching a
+// cancellation checkpoint until release is closed, and signals entry on
+// entered. The t.Cleanup disarms and unblocks even when the test fails early.
+func blockFirstQuery(t testing.TB) (entered <-chan struct{}, release func()) {
+	t.Helper()
+	in := make(chan struct{})
+	out := make(chan struct{})
+	var once, closeOnce sync.Once
+	fault.Arm(&fault.Injector{BlockScan: func(uint64) {
+		once.Do(func() {
+			close(in)
+			<-out
+		})
+	}})
+	rel := func() { closeOnce.Do(func() { close(out) }) }
+	t.Cleanup(func() {
+		rel()
+		fault.Disarm()
+	})
+	return in, rel
+}
+
+func knnSelectReq(dataset string, timeoutMS int64) *server.KNNSelectRequest {
+	req := &server.KNNSelectRequest{Dataset: dataset, F: focal, K: 5}
+	req.TimeoutMS = timeoutMS
+	return req
+}
+
+// TestInflightGateSheds429 exercises the server-level admission layer: with
+// MaxInflight=1, a request parked inside the engine makes the next one shed
+// immediately with 429 + Retry-After, and the dataset serves again once the
+// first completes.
+func TestInflightGateSheds429(t *testing.T) {
+	m := newMini(t, server.Config{MaxInflight: 1, RetryAfter: 1500 * time.Millisecond})
+	entered, release := blockFirstQuery(t)
+
+	first := make(chan wireResult, 1)
+	go func() { first <- send(t, m.ts, "knn-select", knnSelectReq("pts", 0), nil) }()
+	<-entered // the first request now holds the only admission slot
+
+	shed := send(t, m.ts, "knn-select", knnSelectReq("pts", 0), nil)
+	if shed.status != http.StatusTooManyRequests {
+		t.Fatalf("gated request: status %d, body %s", shed.status, shed.body)
+	}
+	if got := shed.header.Get("Retry-After"); got != "2" {
+		t.Errorf("Retry-After = %q, want %q (1500ms rounded up)", got, "2")
+	}
+	if e := decodeError(t, shed.body); e.Code != "shed_load" {
+		t.Errorf("shed code = %q, want shed_load", e.Code)
+	}
+
+	release()
+	if r := <-first; r.status != http.StatusOK {
+		t.Fatalf("parked request finished with %d: %s", r.status, r.body)
+	}
+	fault.Disarm()
+	if r := send(t, m.ts, "knn-select", knnSelectReq("pts", 0), nil); r.status != http.StatusOK {
+		t.Fatalf("post-shed request: status %d, body %s", r.status, r.body)
+	}
+}
+
+// TestBoundedPoolSheds429 exercises the engine-level admission layer: a
+// dataset built with WithMaxSearchers(1) whose only searcher is held makes
+// the next request's deadline-bounded pool wait fail, and the server maps
+// that ErrSearchersExhausted chain to 429 — not 504, even though the chain
+// also carries ErrQueryCanceled.
+func TestBoundedPoolSheds429(t *testing.T) {
+	m := newMini(t, server.Config{}, twoknn.WithMaxSearchers(1))
+	entered, release := blockFirstQuery(t)
+
+	first := make(chan wireResult, 1)
+	go func() { first <- send(t, m.ts, "knn-select", knnSelectReq("pts", 0), nil) }()
+	<-entered // the first request now holds the only pooled searcher
+
+	shed := send(t, m.ts, "knn-select", knnSelectReq("pts", 100), nil)
+	if shed.status != http.StatusTooManyRequests {
+		t.Fatalf("pool-starved request: status %d, body %s", shed.status, shed.body)
+	}
+	if shed.header.Get("Retry-After") == "" {
+		t.Error("429 response is missing Retry-After")
+	}
+	e := decodeError(t, shed.body)
+	if e.Code != "shed_load" {
+		t.Errorf("code = %q, want shed_load (ErrSearchersExhausted must outrank the deadline mapping)", e.Code)
+	}
+	if !strings.Contains(e.Error, "searcher pool exhausted") {
+		t.Errorf("error %q does not name the exhausted pool", e.Error)
+	}
+
+	release()
+	if r := <-first; r.status != http.StatusOK {
+		t.Fatalf("parked request finished with %d: %s", r.status, r.body)
+	}
+	fault.Disarm()
+	if r := send(t, m.ts, "knn-select", knnSelectReq("pts", 0), nil); r.status != http.StatusOK {
+		t.Fatalf("post-shed request: status %d, body %s", r.status, r.body)
+	}
+	if n := m.single.OutstandingSearchers(); n != 0 {
+		t.Errorf("OutstandingSearchers = %d after recovery, want 0", n)
+	}
+}
+
+// TestDeadlineReturns504 places a delay at the first checkpoint so a short
+// request budget expires mid-query; the cooperative unwind must surface as
+// 504 with the engine's typed cancellation text.
+func TestDeadlineReturns504(t *testing.T) {
+	m := newMini(t, server.Config{})
+	fault.Arm(&fault.Injector{BlockScan: func(n uint64) {
+		if n == 1 {
+			time.Sleep(150 * time.Millisecond)
+		}
+	}})
+	defer fault.Disarm()
+
+	r := send(t, m.ts, "knn-join", func() server.Request {
+		req := &server.KNNJoinRequest{Outer: "pts", Inner: "pts", K: 3}
+		req.TimeoutMS = 50
+		return req
+	}(), nil)
+	if r.status != http.StatusGatewayTimeout {
+		t.Fatalf("expired request: status %d, body %s", r.status, r.body)
+	}
+	e := decodeError(t, r.body)
+	if e.Code != "deadline" {
+		t.Errorf("code = %q, want deadline", e.Code)
+	}
+	if !strings.Contains(e.Error, "twoknn: query canceled") {
+		t.Errorf("error %q does not carry the typed cancellation text", e.Error)
+	}
+	if !strings.Contains(e.Error, "context deadline exceeded") {
+		t.Errorf("error %q does not carry the context cause", e.Error)
+	}
+
+	fault.Disarm()
+	if r := send(t, m.ts, "knn-select", knnSelectReq("pts", 0), nil); r.status != http.StatusOK {
+		t.Fatalf("post-deadline request: status %d, body %s", r.status, r.body)
+	}
+	if n := m.single.OutstandingSearchers(); n != 0 {
+		t.Errorf("OutstandingSearchers = %d after deadline, want 0", n)
+	}
+}
+
+// TestPanicReturns500AndServerSurvives injects a worker panic; the server
+// must answer 500 with the typed panic error and keep serving — against both
+// single and sharded datasets (the sharded path crosses worker goroutines).
+func TestPanicReturns500AndServerSurvives(t *testing.T) {
+	m := newMini(t, server.Config{})
+	for _, dataset := range []string{"pts", "sharded"} {
+		fault.PanicAtBlock(3, "injected boom")
+
+		r := send(t, m.ts, "knn-select", knnSelectReq(dataset, 0), nil)
+		if r.status != http.StatusInternalServerError {
+			t.Fatalf("%s: poisoned request: status %d, body %s", dataset, r.status, r.body)
+		}
+		e := decodeError(t, r.body)
+		if e.Code != "panic" {
+			t.Errorf("%s: code = %q, want panic", dataset, e.Code)
+		}
+		if !strings.Contains(e.Error, "twoknn: panic during query execution") ||
+			!strings.Contains(e.Error, "injected boom") {
+			t.Errorf("%s: error %q does not carry the typed panic text and value", dataset, e.Error)
+		}
+
+		fault.Disarm()
+		if r := send(t, m.ts, "knn-select", knnSelectReq(dataset, 0), nil); r.status != http.StatusOK {
+			t.Fatalf("%s: post-panic request: status %d, body %s", dataset, r.status, r.body)
+		}
+	}
+	if n := m.single.OutstandingSearchers() + m.sharded.OutstandingSearchers(); n != 0 {
+		t.Errorf("OutstandingSearchers = %d after panics, want 0", n)
+	}
+}
+
+// TestBadRequestTaxonomy pins every 400 path: codec-level strictness and the
+// engine's ErrNilRelation/ErrNonPositiveK mappings.
+func TestBadRequestTaxonomy(t *testing.T) {
+	m := newMini(t, server.Config{})
+	cases := []struct {
+		name    string
+		route   string
+		req     server.Request
+		raw     []byte
+		errPart string
+	}{
+		{name: "malformed JSON", route: "knn-select", raw: []byte(`{"dataset": "pts",`), errPart: "decoding request"},
+		{name: "unknown field", route: "knn-select", raw: []byte(`{"dataset":"pts","k":5,"frobnicate":1}`), errPart: "frobnicate"},
+		{name: "trailing data", route: "knn-select", raw: []byte(`{"dataset":"pts","k":5} {"again":true}`), errPart: "trailing data"},
+		{name: "negative timeout", route: "knn-select", raw: []byte(`{"dataset":"pts","k":5,"timeout_ms":-1}`), errPart: "timeout_ms"},
+		{name: "unknown algorithm", route: "knn-select", raw: []byte(`{"dataset":"pts","k":5,"algorithm":"psychic"}`), errPart: "unknown algorithm"},
+		{name: "non-positive k", route: "knn-select", req: &server.KNNSelectRequest{Dataset: "pts", F: focal, K: 0}, errPart: "k must be positive"},
+		{name: "unknown dataset", route: "knn-select", req: &server.KNNSelectRequest{Dataset: "nope", F: focal, K: 5}, errPart: "nil relation"},
+		{name: "unknown join dataset", route: "knn-join", req: &server.KNNJoinRequest{Outer: "pts", Inner: "nope", K: 3}, errPart: "nil relation"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := send(t, m.ts, tc.route, tc.req, tc.raw)
+			if r.status != http.StatusBadRequest {
+				t.Fatalf("status %d, body %s; want 400", r.status, r.body)
+			}
+			e := decodeError(t, r.body)
+			if e.Code != "bad_request" {
+				t.Errorf("code = %q, want bad_request", e.Code)
+			}
+			if !strings.Contains(e.Error, tc.errPart) {
+				t.Errorf("error %q does not contain %q", e.Error, tc.errPart)
+			}
+		})
+	}
+}
+
+// TestConcurrentHammer drives 16 clients through mixed query shapes —
+// including invalid and tightly-budgeted requests — against gated, bounded
+// datasets, then asserts the lifecycle left nothing behind: zero outstanding
+// searchers, consistent route counters, healthy /healthz. Run under -race in
+// CI.
+func TestConcurrentHammer(t *testing.T) {
+	m := newMini(t,
+		server.Config{MaxInflight: 8, DefaultTimeout: 5 * time.Second},
+		twoknn.WithMaxSearchers(4))
+
+	const clients = 16
+	const perClient = 25
+	var issued, got200, got400, got429, got504 atomic.Int64
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				dataset := "pts"
+				if (c+i)%2 == 1 {
+					dataset = "sharded"
+				}
+				var route string
+				var req server.Request
+				switch i % 5 {
+				case 0:
+					route, req = "knn-select", knnSelectReq(dataset, 0)
+				case 1:
+					route, req = "two-selects", &server.TwoSelectsRequest{Dataset: dataset, F1: focal, K1: 3, F2: focal2, K2: 4}
+				case 2:
+					route, req = "knn-join", &server.KNNJoinRequest{Outer: "pts", Inner: dataset, K: 2}
+				case 3:
+					// Invalid on purpose: k = 0 must 400 under load too.
+					route, req = "knn-select", &server.KNNSelectRequest{Dataset: dataset, F: focal, K: 0}
+				case 4:
+					// A 1 ms budget: completes, sheds or expires — any of
+					// 200/429/504 is legal, leaking is not.
+					route, req = "select-inner-join", func() server.Request {
+						r := &server.SelectInnerJoinRequest{Outer: "pts", Inner: dataset, F: focal, KJoin: 2, KSel: 5}
+						r.TimeoutMS = 1
+						return r
+					}()
+				}
+				issued.Add(1)
+				r := send(t, m.ts, route, req, nil)
+				switch r.status {
+				case http.StatusOK:
+					got200.Add(1)
+				case http.StatusBadRequest:
+					got400.Add(1)
+				case http.StatusTooManyRequests:
+					got429.Add(1)
+				case http.StatusGatewayTimeout:
+					got504.Add(1)
+				default:
+					t.Errorf("unexpected status %d: %s", r.status, r.body)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	t.Logf("hammer: %d issued, %d ok, %d bad, %d shed, %d deadline",
+		issued.Load(), got200.Load(), got400.Load(), got429.Load(), got504.Load())
+
+	if n := m.single.OutstandingSearchers(); n != 0 {
+		t.Errorf("single OutstandingSearchers = %d after hammer, want 0", n)
+	}
+	if n := m.sharded.OutstandingSearchers(); n != 0 {
+		t.Errorf("sharded OutstandingSearchers = %d after hammer, want 0", n)
+	}
+	if want := int64(clients * perClient); issued.Load() != want {
+		t.Fatalf("issued %d requests, want %d", issued.Load(), want)
+	}
+	if got400.Load() < int64(clients) {
+		t.Errorf("expected at least %d bad requests (one per client's k=0 round), got %d", clients, got400.Load())
+	}
+
+	// The /metrics snapshot must agree with what the clients observed.
+	resp, err := http.Get(m.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mx server.MetricsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mx); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	var totalReq, totalOK, totalShed, totalDeadline int64
+	for _, rm := range mx.Routes {
+		totalReq += rm.Requests
+		totalOK += rm.OK
+		totalShed += rm.Shed
+		totalDeadline += rm.Deadline
+	}
+	if totalReq != issued.Load() {
+		t.Errorf("metrics count %d requests, clients issued %d", totalReq, issued.Load())
+	}
+	if totalOK != got200.Load() || totalShed != got429.Load() || totalDeadline != got504.Load() {
+		t.Errorf("metrics (ok=%d shed=%d deadline=%d) disagree with clients (ok=%d shed=%d deadline=%d)",
+			totalOK, totalShed, totalDeadline, got200.Load(), got429.Load(), got504.Load())
+	}
+	for name, dm := range mx.Datasets {
+		if dm.OutstandingSearchers != 0 {
+			t.Errorf("dataset %s reports %d outstanding searchers", name, dm.OutstandingSearchers)
+		}
+		if dm.Inflight != 0 {
+			t.Errorf("dataset %s reports %d inflight admission slots", name, dm.Inflight)
+		}
+	}
+
+	hr, err := http.Get(m.ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health server.HealthResponse
+	if err := json.NewDecoder(hr.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if health.Status != "ok" {
+		t.Errorf("healthz after hammer = %+v", health)
+	}
+}

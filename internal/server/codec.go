@@ -1,0 +1,301 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	twoknn "repro"
+)
+
+// This file is the wire codec: one typed request struct per query route, the
+// shared response envelope, and the strict JSON decoder every handler runs
+// requests through. Decoding is strict by design — unknown fields, trailing
+// data and oversized bodies are rejected — so a request either maps exactly
+// onto a struct or fails with 400; FuzzRequestDecode holds the codec to "no
+// panic, and every accepted request re-encodes and re-decodes to the same
+// value".
+
+// maxRequestBytes bounds a request body; queries are tiny, so anything
+// larger is a client error (or abuse), not a query.
+const maxRequestBytes = 1 << 20
+
+// PointArg is a coordinate pair in a request (focal points).
+type PointArg struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Point converts to the engine's point type.
+func (p PointArg) Point() twoknn.Point { return twoknn.Point{X: p.X, Y: p.Y} }
+
+// RectArg is a closed axis-aligned rectangle in a request (range
+// predicates). Corner order is normalized server-side, like twoknn.NewRect.
+type RectArg struct {
+	MinX float64 `json:"min_x"`
+	MinY float64 `json:"min_y"`
+	MaxX float64 `json:"max_x"`
+	MaxY float64 `json:"max_y"`
+}
+
+// Rect converts to the engine's rectangle type, normalizing corner order.
+func (r RectArg) Rect() twoknn.Rect { return twoknn.NewRect(r.MinX, r.MinY, r.MaxX, r.MaxY) }
+
+// Common carries the fields every query request accepts.
+type Common struct {
+	// TimeoutMS caps the request's evaluation budget in milliseconds. The
+	// effective deadline is min(server budget, TimeoutMS); zero means the
+	// server budget alone. Negative values are rejected.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// Algorithm forces the evaluation strategy for the *-inner-join routes:
+	// "auto" (default when empty), "conceptual", "counting" or
+	// "block-marking". Other routes accept and ignore it, mirroring
+	// twoknn.WithAlgorithm.
+	Algorithm string `json:"algorithm,omitempty"`
+
+	// Explain asks for an EXPLAIN rendering of the executed plan in the
+	// response.
+	Explain bool `json:"explain,omitempty"`
+}
+
+// validate is the codec-level check: structural validity only. Semantic
+// validation (k > 0, dataset exists) is the engine's job — its typed errors
+// map onto HTTP statuses in the handler layer.
+func (c Common) validate() error {
+	if c.TimeoutMS < 0 {
+		return fmt.Errorf("timeout_ms must be non-negative, got %d", c.TimeoutMS)
+	}
+	switch c.Algorithm {
+	case "", "auto", "conceptual", "counting", "block-marking":
+		return nil
+	default:
+		return fmt.Errorf("unknown algorithm %q (want auto, conceptual, counting or block-marking)", c.Algorithm)
+	}
+}
+
+// algorithmOption resolves the Algorithm field; validate has vetted it.
+func (c Common) algorithmOption() twoknn.Algorithm {
+	switch c.Algorithm {
+	case "conceptual":
+		return twoknn.AlgorithmConceptual
+	case "counting":
+		return twoknn.AlgorithmCounting
+	case "block-marking":
+		return twoknn.AlgorithmBlockMarking
+	default:
+		return twoknn.AlgorithmAuto
+	}
+}
+
+// Request is the interface every typed request struct implements; Validate
+// is the codec-level (structural) check run right after decoding.
+type Request interface {
+	Validate() error
+}
+
+// KNNSelectRequest asks for σ_{k,f}(dataset): POST /v1/query/knn-select.
+type KNNSelectRequest struct {
+	Dataset string   `json:"dataset"`
+	F       PointArg `json:"f"`
+	K       int      `json:"k"`
+	Common
+}
+
+// Validate implements Request.
+func (r *KNNSelectRequest) Validate() error { return r.Common.validate() }
+
+// KNNJoinRequest asks for outer ⋈kNN inner: POST /v1/query/knn-join.
+type KNNJoinRequest struct {
+	Outer string `json:"outer"`
+	Inner string `json:"inner"`
+	K     int    `json:"k"`
+	Common
+}
+
+// Validate implements Request.
+func (r *KNNJoinRequest) Validate() error { return r.Common.validate() }
+
+// SelectInnerJoinRequest asks for (outer ⋈kNN inner) ∩ (outer ×
+// σ_{kSel,f}(inner)): POST /v1/query/select-inner-join.
+type SelectInnerJoinRequest struct {
+	Outer string   `json:"outer"`
+	Inner string   `json:"inner"`
+	F     PointArg `json:"f"`
+	KJoin int      `json:"k_join"`
+	KSel  int      `json:"k_sel"`
+	Common
+}
+
+// Validate implements Request.
+func (r *SelectInnerJoinRequest) Validate() error { return r.Common.validate() }
+
+// SelectOuterJoinRequest asks for (σ_{kSel,f}(outer)) ⋈kNN inner: POST
+// /v1/query/select-outer-join.
+type SelectOuterJoinRequest struct {
+	Outer string   `json:"outer"`
+	Inner string   `json:"inner"`
+	F     PointArg `json:"f"`
+	KSel  int      `json:"k_sel"`
+	KJoin int      `json:"k_join"`
+	Common
+}
+
+// Validate implements Request.
+func (r *SelectOuterJoinRequest) Validate() error { return r.Common.validate() }
+
+// TwoSelectsRequest asks for σ_{k1,f1}(dataset) ∩ σ_{k2,f2}(dataset): POST
+// /v1/query/two-selects.
+type TwoSelectsRequest struct {
+	Dataset string   `json:"dataset"`
+	F1      PointArg `json:"f1"`
+	K1      int      `json:"k1"`
+	F2      PointArg `json:"f2"`
+	K2      int      `json:"k2"`
+	Common
+}
+
+// Validate implements Request.
+func (r *TwoSelectsRequest) Validate() error { return r.Common.validate() }
+
+// UnchainedJoinsRequest asks for (a ⋈kNN b) ∩B (c ⋈kNN b): POST
+// /v1/query/unchained-joins.
+type UnchainedJoinsRequest struct {
+	A   string `json:"a"`
+	B   string `json:"b"`
+	C   string `json:"c"`
+	KAB int    `json:"k_ab"`
+	KCB int    `json:"k_cb"`
+	Common
+}
+
+// Validate implements Request.
+func (r *UnchainedJoinsRequest) Validate() error { return r.Common.validate() }
+
+// ChainedJoinsRequest asks for the chain a→b→c: POST
+// /v1/query/chained-joins.
+type ChainedJoinsRequest struct {
+	A   string `json:"a"`
+	B   string `json:"b"`
+	C   string `json:"c"`
+	KAB int    `json:"k_ab"`
+	KBC int    `json:"k_bc"`
+	Common
+}
+
+// Validate implements Request.
+func (r *ChainedJoinsRequest) Validate() error { return r.Common.validate() }
+
+// RangeInnerJoinRequest asks for the Section 3 footnote-1 extension — pairs
+// whose right point lies in the rectangle: POST /v1/query/range-inner-join.
+type RangeInnerJoinRequest struct {
+	Outer string  `json:"outer"`
+	Inner string  `json:"inner"`
+	Range RectArg `json:"range"`
+	KJoin int     `json:"k_join"`
+	Common
+}
+
+// Validate implements Request.
+func (r *RangeInnerJoinRequest) Validate() error { return r.Common.validate() }
+
+// PointRow is one result point on the wire: the stable int32 point ID (input
+// position in the dataset the point came from; -1 if unresolvable) plus its
+// coordinates.
+type PointRow struct {
+	ID int32   `json:"id"`
+	X  float64 `json:"x"`
+	Y  float64 `json:"y"`
+}
+
+// PairRow is one kNN-join result row.
+type PairRow struct {
+	Left  PointRow `json:"left"`
+	Right PointRow `json:"right"`
+}
+
+// TripleRow is one two-join result row.
+type TripleRow struct {
+	A PointRow `json:"a"`
+	B PointRow `json:"b"`
+	C PointRow `json:"c"`
+}
+
+// QueryResponse is the shared response envelope; exactly one of Points,
+// Pairs and Triples is set, matching the route's result shape. Rows come
+// back in the engine's order (ascending (distance, X, Y) for selects,
+// evaluation order for joins — canonical SortPairs/SortTriples order when
+// any operand is sharded).
+type QueryResponse struct {
+	Points  []PointRow  `json:"points,omitempty"`
+	Pairs   []PairRow   `json:"pairs,omitempty"`
+	Triples []TripleRow `json:"triples,omitempty"`
+
+	// Count is the number of result rows (len of the set field), present
+	// even when the result is empty.
+	Count int `json:"count"`
+
+	// Stats are the query's operation counters.
+	Stats twoknn.Stats `json:"stats"`
+
+	// Explain is the EXPLAIN rendering when the request asked for one.
+	Explain string `json:"explain,omitempty"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx response.
+type ErrorResponse struct {
+	// Error is the full error string, including the engine's typed
+	// sentinel text (e.g. "twoknn: query canceled: ...").
+	Error string `json:"error"`
+
+	// Code is a stable machine-readable discriminator: "bad_request",
+	// "shed_load", "deadline", "panic" or "internal".
+	Code string `json:"code"`
+}
+
+// DecodeRequest strictly decodes a JSON request body into dst: unknown
+// fields, trailing data, bodies over 1 MiB and structural invalidity
+// (Validate) are errors.
+func DecodeRequest(body io.Reader, dst Request) error {
+	data, err := io.ReadAll(io.LimitReader(body, maxRequestBytes+1))
+	if err != nil {
+		return fmt.Errorf("reading request body: %w", err)
+	}
+	if len(data) > maxRequestBytes {
+		return fmt.Errorf("request body exceeds %d bytes", maxRequestBytes)
+	}
+	return DecodeRequestBytes(data, dst)
+}
+
+// DecodeRequestBytes is DecodeRequest over an in-memory body (the form the
+// fuzz target drives).
+func DecodeRequestBytes(data []byte, dst Request) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	// A request is one JSON value; trailing non-space content is a
+	// malformed request, not extra queries.
+	if dec.More() {
+		return fmt.Errorf("decoding request: trailing data after JSON value")
+	}
+	return dst.Validate()
+}
+
+// EncodeRequest renders a request struct back into the exact form
+// DecodeRequestBytes accepts — the client-side encoder, and the round-trip
+// partner the fuzz target checks losslessness with.
+func EncodeRequest(req Request) ([]byte, error) {
+	return json.Marshal(req)
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the connection is the only failure mode left
+}

@@ -1,0 +1,117 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+
+	twoknn "repro"
+	"repro/internal/dataload"
+)
+
+// This file is the dataset-loading surface the repository's binaries share
+// (cmd/knnserve, cmd/knnquery; cmd/knnbench generates through the same
+// dataload specs via internal/bench): parse a spec, build the engine source,
+// one code path everywhere.
+
+// BuildOptions shape the engine backing a loaded dataset gets.
+type BuildOptions struct {
+	// Index selects the spatial index (default twoknn.GridIndex).
+	Index twoknn.IndexKind
+
+	// BlockCapacity is the per-block point target; 0 keeps the engine
+	// default (64).
+	BlockCapacity int
+
+	// Shards > 1 builds a ShardedRelation with that many shards; 0 or 1
+	// builds a single Relation.
+	Shards int
+
+	// Policy selects the partition for sharded datasets (default
+	// HashSharding).
+	Policy twoknn.ShardPolicy
+
+	// MaxSearchers bounds the searcher pool (per shard for sharded
+	// datasets); 0 leaves it unbounded. Bounded pools are the engine layer
+	// of the server's admission control: beyond the bound, deadline-carrying
+	// queries shed as ErrSearchersExhausted → 429.
+	MaxSearchers int
+}
+
+// BuildSource materializes a dataset spec into a query source.
+func BuildSource(name string, sp dataload.Spec, o BuildOptions) (twoknn.Source, error) {
+	pts, err := sp.Points()
+	if err != nil {
+		return nil, fmt.Errorf("loading dataset %q (%s): %w", name, sp, err)
+	}
+	opts := []twoknn.RelationOption{twoknn.WithIndexKind(o.Index)}
+	if o.BlockCapacity > 0 {
+		opts = append(opts, twoknn.WithBlockCapacity(o.BlockCapacity))
+	}
+	if o.MaxSearchers > 0 {
+		opts = append(opts, twoknn.WithMaxSearchers(o.MaxSearchers))
+	}
+	if o.Shards > 1 {
+		opts = append(opts, twoknn.WithShardPolicy(o.Policy))
+		return twoknn.NewShardedRelation(name, pts, o.Shards, opts...)
+	}
+	return twoknn.NewRelation(name, pts, opts...)
+}
+
+// SplitDatasetArg splits a -dataset flag value "name=spec" (e.g.
+// "trips=berlinmod:n=20000,seed=1" or "sites=points.csv").
+func SplitDatasetArg(s string) (name string, spec dataload.Spec, err error) {
+	name, rest, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return "", dataload.Spec{}, fmt.Errorf("dataset %q is not name=spec", s)
+	}
+	spec, err = dataload.Parse(rest)
+	if err != nil {
+		return "", dataload.Spec{}, fmt.Errorf("dataset %q: %w", name, err)
+	}
+	return name, spec, nil
+}
+
+// ParseIndexKind parses an index-kind flag value.
+func ParseIndexKind(s string) (twoknn.IndexKind, error) {
+	switch s {
+	case "grid":
+		return twoknn.GridIndex, nil
+	case "quadtree":
+		return twoknn.QuadtreeIndex, nil
+	case "rtree":
+		return twoknn.RTreeIndex, nil
+	case "kdtree":
+		return twoknn.KDTreeIndex, nil
+	default:
+		return 0, fmt.Errorf("unknown index kind %q (want grid, quadtree, rtree or kdtree)", s)
+	}
+}
+
+// ParseShardPolicy parses a shard-policy flag value.
+func ParseShardPolicy(s string) (twoknn.ShardPolicy, error) {
+	switch s {
+	case "hash":
+		return twoknn.HashSharding, nil
+	case "spatial":
+		return twoknn.SpatialSharding, nil
+	default:
+		return 0, fmt.Errorf("unknown shard policy %q (want hash or spatial)", s)
+	}
+}
+
+// ParseAlgorithm parses an algorithm flag value (the CLI form of the wire
+// codec's Common.Algorithm field).
+func ParseAlgorithm(s string) (twoknn.Algorithm, error) {
+	switch s {
+	case "auto":
+		return twoknn.AlgorithmAuto, nil
+	case "conceptual":
+		return twoknn.AlgorithmConceptual, nil
+	case "counting":
+		return twoknn.AlgorithmCounting, nil
+	case "block-marking":
+		return twoknn.AlgorithmBlockMarking, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q (want auto, conceptual, counting or block-marking)", s)
+	}
+}

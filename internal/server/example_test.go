@@ -1,0 +1,61 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+
+	twoknn "repro"
+	"repro/internal/server"
+)
+
+// Example shows the client side of the query service: requests are the same
+// typed structs the server decodes, so a Go client needs no hand-written
+// JSON. The server here is in-process; against a real knnserve, only the URL
+// changes.
+func Example() {
+	rel, err := twoknn.NewRelation("demo", []twoknn.Point{
+		{X: 1, Y: 1}, {X: 2, Y: 2}, {X: 5, Y: 5}, {X: 9, Y: 9},
+	})
+	if err != nil {
+		panic(err)
+	}
+	srv := server.New(server.Config{})
+	if err := srv.Register("demo", rel); err != nil {
+		panic(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req := &server.KNNSelectRequest{
+		Dataset: "demo",
+		F:       server.PointArg{X: 0, Y: 0},
+		K:       2,
+	}
+	req.TimeoutMS = 500 // optional: shorten the server's budget
+	body, err := server.EncodeRequest(req)
+	if err != nil {
+		panic(err)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/query/knn-select", "application/json", bytes.NewReader(body))
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+
+	var out server.QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		panic(err)
+	}
+	fmt.Println("rows:", out.Count)
+	for _, p := range out.Points {
+		fmt.Printf("id=%d (%g, %g)\n", p.ID, p.X, p.Y)
+	}
+	// Output:
+	// rows: 2
+	// id=0 (1, 1)
+	// id=1 (2, 2)
+}

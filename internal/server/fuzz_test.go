@@ -1,0 +1,73 @@
+package server_test
+
+// FuzzRequestDecode holds the wire codec to its contract over arbitrary
+// bytes: decoding never panics, and any accepted request round-trips
+// losslessly through EncodeRequest → DecodeRequestBytes. The seed corpus in
+// testdata/fuzz covers every request shape plus the strictness edges
+// (unknown fields, trailing data, wrong types).
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// requestFactories builds one fresh zero value of every request type; the
+// fuzz target tries each shape against the input, mirroring how every route
+// shares one decoder.
+var requestFactories = []func() server.Request{
+	func() server.Request { return new(server.KNNSelectRequest) },
+	func() server.Request { return new(server.KNNJoinRequest) },
+	func() server.Request { return new(server.SelectInnerJoinRequest) },
+	func() server.Request { return new(server.SelectOuterJoinRequest) },
+	func() server.Request { return new(server.TwoSelectsRequest) },
+	func() server.Request { return new(server.UnchainedJoinsRequest) },
+	func() server.Request { return new(server.ChainedJoinsRequest) },
+	func() server.Request { return new(server.RangeInnerJoinRequest) },
+}
+
+func FuzzRequestDecode(f *testing.F) {
+	seeds := []string{
+		`{"dataset":"trips","f":{"x":5000,"y":5000},"k":5}`,
+		`{"outer":"a","inner":"b","k":3,"timeout_ms":250}`,
+		`{"outer":"a","inner":"b","f":{"x":1,"y":2},"k_join":3,"k_sel":8,"algorithm":"block-marking"}`,
+		`{"outer":"a","inner":"b","f":{"x":1,"y":2},"k_sel":6,"k_join":3,"explain":true}`,
+		`{"dataset":"e","f1":{"x":1,"y":2},"k1":7,"f2":{"x":3,"y":4},"k2":9}`,
+		`{"a":"x","b":"y","c":"z","k_ab":2,"k_cb":2}`,
+		`{"a":"x","b":"y","c":"z","k_ab":2,"k_bc":2}`,
+		`{"outer":"a","inner":"b","range":{"min_x":0,"min_y":0,"max_x":10,"max_y":10},"k_join":3}`,
+		`{"dataset":"trips","k":5,"frobnicate":true}`,
+		`{"dataset":"trips","k":5} trailing`,
+		`{"dataset":"trips","k":5,"timeout_ms":-7}`,
+		`{"dataset":"trips","k":"five"}`,
+		`{"dataset":"trips","algorithm":"psychic","k":5}`,
+		`null`,
+		`{}`,
+		`[]`,
+		`"just a string"`,
+		`{"f":{"x":1e308,"y":-1e308},"dataset":"\u0000","k":-9999999}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, mk := range requestFactories {
+			req := mk()
+			if err := server.DecodeRequestBytes(data, req); err != nil {
+				continue // rejected inputs only need to not panic
+			}
+			enc, err := server.EncodeRequest(req)
+			if err != nil {
+				t.Fatalf("accepted request failed to encode: %v (input %q)", err, data)
+			}
+			again := mk()
+			if err := server.DecodeRequestBytes(enc, again); err != nil {
+				t.Fatalf("re-decoding own encoding %q failed: %v (input %q)", enc, err, data)
+			}
+			if !reflect.DeepEqual(req, again) {
+				t.Fatalf("lossy round-trip for %T:\ninput  %q\nfirst  %#v\nwire   %q\nsecond %#v", req, data, req, enc, again)
+			}
+		}
+	})
+}

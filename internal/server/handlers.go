@@ -1,0 +1,207 @@
+package server
+
+import (
+	"context"
+	"net/http"
+
+	twoknn "repro"
+)
+
+// queryOpts assembles the engine options every route shares: the request
+// context (deadline + cancellation), per-request stats, the forced algorithm
+// and, when asked for, an EXPLAIN target.
+func queryOpts(ctx context.Context, c *Common, st *twoknn.Stats) ([]twoknn.QueryOption, *string) {
+	opts := []twoknn.QueryOption{
+		twoknn.WithContext(ctx),
+		twoknn.WithStats(st),
+		twoknn.WithAlgorithm(c.algorithmOption()),
+	}
+	var explain *string
+	if c.Explain {
+		explain = new(string)
+		opts = append(opts, twoknn.WithExplain(explain))
+	}
+	return opts, explain
+}
+
+// finish folds the request's counters into every distinct operand dataset's
+// lifetime totals and fills the envelope's shared fields.
+func finish(resp QueryResponse, st *twoknn.Stats, explain *string, ds ...*dataset) QueryResponse {
+	folded := make(map[*dataset]bool, len(ds))
+	for _, d := range ds {
+		if d != nil && !folded[d] {
+			folded[d] = true
+			d.stats.Add(st)
+		}
+	}
+	resp.Stats = st.Snapshot()
+	if explain != nil {
+		resp.Explain = *explain
+	}
+	return resp
+}
+
+// pointRows renders a point result against one dataset's ID mapping.
+func pointRows(d *dataset, pts []twoknn.Point) []PointRow {
+	rows := make([]PointRow, len(pts))
+	for i, p := range pts {
+		rows[i] = d.row(p)
+	}
+	return rows
+}
+
+// pairRows renders a join result: Left resolves in the outer dataset,
+// Right in the inner.
+func pairRows(outer, inner *dataset, pairs []twoknn.Pair) []PairRow {
+	rows := make([]PairRow, len(pairs))
+	for i, pr := range pairs {
+		rows[i] = PairRow{Left: outer.row(pr.Left), Right: inner.row(pr.Right)}
+	}
+	return rows
+}
+
+// tripleRows renders a two-join result; each column resolves in its own
+// dataset.
+func tripleRows(a, b, c *dataset, ts []twoknn.Triple) []TripleRow {
+	rows := make([]TripleRow, len(ts))
+	for i, tr := range ts {
+		rows[i] = TripleRow{A: a.row(tr.A), B: b.row(tr.B), C: c.row(tr.C)}
+	}
+	return rows
+}
+
+func (s *Server) handleKNNSelect(w http.ResponseWriter, r *http.Request) {
+	var req KNNSelectRequest
+	s.serve(w, r, "knn-select", &req, func() ([]*dataset, func(context.Context) (QueryResponse, error)) {
+		d := s.lookup(req.Dataset)
+		return []*dataset{d}, func(ctx context.Context) (QueryResponse, error) {
+			var st twoknn.Stats
+			opts, explain := queryOpts(ctx, &req.Common, &st)
+			pts, err := twoknn.KNNSelect(source(d), req.F.Point(), req.K, opts...)
+			if err != nil {
+				return QueryResponse{}, err
+			}
+			rows := pointRows(d, pts)
+			return finish(QueryResponse{Points: rows, Count: len(rows)}, &st, explain, d), nil
+		}
+	})
+}
+
+func (s *Server) handleKNNJoin(w http.ResponseWriter, r *http.Request) {
+	var req KNNJoinRequest
+	s.serve(w, r, "knn-join", &req, func() ([]*dataset, func(context.Context) (QueryResponse, error)) {
+		outer, inner := s.lookup(req.Outer), s.lookup(req.Inner)
+		return []*dataset{outer, inner}, func(ctx context.Context) (QueryResponse, error) {
+			var st twoknn.Stats
+			opts, explain := queryOpts(ctx, &req.Common, &st)
+			pairs, err := twoknn.KNNJoin(source(outer), source(inner), req.K, opts...)
+			if err != nil {
+				return QueryResponse{}, err
+			}
+			rows := pairRows(outer, inner, pairs)
+			return finish(QueryResponse{Pairs: rows, Count: len(rows)}, &st, explain, outer, inner), nil
+		}
+	})
+}
+
+func (s *Server) handleSelectInnerJoin(w http.ResponseWriter, r *http.Request) {
+	var req SelectInnerJoinRequest
+	s.serve(w, r, "select-inner-join", &req, func() ([]*dataset, func(context.Context) (QueryResponse, error)) {
+		outer, inner := s.lookup(req.Outer), s.lookup(req.Inner)
+		return []*dataset{outer, inner}, func(ctx context.Context) (QueryResponse, error) {
+			var st twoknn.Stats
+			opts, explain := queryOpts(ctx, &req.Common, &st)
+			pairs, err := twoknn.SelectInnerJoin(source(outer), source(inner), req.F.Point(), req.KJoin, req.KSel, opts...)
+			if err != nil {
+				return QueryResponse{}, err
+			}
+			rows := pairRows(outer, inner, pairs)
+			return finish(QueryResponse{Pairs: rows, Count: len(rows)}, &st, explain, outer, inner), nil
+		}
+	})
+}
+
+func (s *Server) handleSelectOuterJoin(w http.ResponseWriter, r *http.Request) {
+	var req SelectOuterJoinRequest
+	s.serve(w, r, "select-outer-join", &req, func() ([]*dataset, func(context.Context) (QueryResponse, error)) {
+		outer, inner := s.lookup(req.Outer), s.lookup(req.Inner)
+		return []*dataset{outer, inner}, func(ctx context.Context) (QueryResponse, error) {
+			var st twoknn.Stats
+			opts, explain := queryOpts(ctx, &req.Common, &st)
+			pairs, err := twoknn.SelectOuterJoin(source(outer), source(inner), req.F.Point(), req.KSel, req.KJoin, opts...)
+			if err != nil {
+				return QueryResponse{}, err
+			}
+			rows := pairRows(outer, inner, pairs)
+			return finish(QueryResponse{Pairs: rows, Count: len(rows)}, &st, explain, outer, inner), nil
+		}
+	})
+}
+
+func (s *Server) handleTwoSelects(w http.ResponseWriter, r *http.Request) {
+	var req TwoSelectsRequest
+	s.serve(w, r, "two-selects", &req, func() ([]*dataset, func(context.Context) (QueryResponse, error)) {
+		d := s.lookup(req.Dataset)
+		return []*dataset{d}, func(ctx context.Context) (QueryResponse, error) {
+			var st twoknn.Stats
+			opts, explain := queryOpts(ctx, &req.Common, &st)
+			pts, err := twoknn.TwoSelects(source(d), req.F1.Point(), req.K1, req.F2.Point(), req.K2, opts...)
+			if err != nil {
+				return QueryResponse{}, err
+			}
+			rows := pointRows(d, pts)
+			return finish(QueryResponse{Points: rows, Count: len(rows)}, &st, explain, d), nil
+		}
+	})
+}
+
+func (s *Server) handleUnchainedJoins(w http.ResponseWriter, r *http.Request) {
+	var req UnchainedJoinsRequest
+	s.serve(w, r, "unchained-joins", &req, func() ([]*dataset, func(context.Context) (QueryResponse, error)) {
+		a, b, c := s.lookup(req.A), s.lookup(req.B), s.lookup(req.C)
+		return []*dataset{a, b, c}, func(ctx context.Context) (QueryResponse, error) {
+			var st twoknn.Stats
+			opts, explain := queryOpts(ctx, &req.Common, &st)
+			ts, err := twoknn.UnchainedJoins(source(a), source(b), source(c), req.KAB, req.KCB, opts...)
+			if err != nil {
+				return QueryResponse{}, err
+			}
+			rows := tripleRows(a, b, c, ts)
+			return finish(QueryResponse{Triples: rows, Count: len(rows)}, &st, explain, a, b, c), nil
+		}
+	})
+}
+
+func (s *Server) handleChainedJoins(w http.ResponseWriter, r *http.Request) {
+	var req ChainedJoinsRequest
+	s.serve(w, r, "chained-joins", &req, func() ([]*dataset, func(context.Context) (QueryResponse, error)) {
+		a, b, c := s.lookup(req.A), s.lookup(req.B), s.lookup(req.C)
+		return []*dataset{a, b, c}, func(ctx context.Context) (QueryResponse, error) {
+			var st twoknn.Stats
+			opts, explain := queryOpts(ctx, &req.Common, &st)
+			ts, err := twoknn.ChainedJoins(source(a), source(b), source(c), req.KAB, req.KBC, opts...)
+			if err != nil {
+				return QueryResponse{}, err
+			}
+			rows := tripleRows(a, b, c, ts)
+			return finish(QueryResponse{Triples: rows, Count: len(rows)}, &st, explain, a, b, c), nil
+		}
+	})
+}
+
+func (s *Server) handleRangeInnerJoin(w http.ResponseWriter, r *http.Request) {
+	var req RangeInnerJoinRequest
+	s.serve(w, r, "range-inner-join", &req, func() ([]*dataset, func(context.Context) (QueryResponse, error)) {
+		outer, inner := s.lookup(req.Outer), s.lookup(req.Inner)
+		return []*dataset{outer, inner}, func(ctx context.Context) (QueryResponse, error) {
+			var st twoknn.Stats
+			opts, explain := queryOpts(ctx, &req.Common, &st)
+			pairs, err := twoknn.RangeInnerJoin(source(outer), source(inner), req.Range.Rect(), req.KJoin, opts...)
+			if err != nil {
+				return QueryResponse{}, err
+			}
+			rows := pairRows(outer, inner, pairs)
+			return finish(QueryResponse{Pairs: rows, Count: len(rows)}, &st, explain, outer, inner), nil
+		}
+	})
+}

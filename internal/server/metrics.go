@@ -1,0 +1,171 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	twoknn "repro"
+)
+
+// routeMetrics are one route's request counters, bumped atomically by the
+// serving path and snapshotted by /metrics.
+type routeMetrics struct {
+	requests   atomic.Int64 // every request that reached the route
+	ok         atomic.Int64 // 200
+	badRequest atomic.Int64 // 400 (malformed JSON, unknown dataset, k<=0)
+	shed       atomic.Int64 // 429 (admission gate or bounded-pool shed)
+	deadline   atomic.Int64 // 504 (deadline expired mid-query)
+	panics     atomic.Int64 // 500 from an isolated worker panic
+	internal   atomic.Int64 // 500, anything else
+}
+
+type metrics struct {
+	start time.Time
+
+	mu     sync.Mutex
+	routes map[string]*routeMetrics
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), routes: make(map[string]*routeMetrics)}
+}
+
+// route returns (lazily creating) the counters for a route name.
+func (m *metrics) route(name string) *routeMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rm, ok := m.routes[name]
+	if !ok {
+		rm = &routeMetrics{}
+		m.routes[name] = rm
+	}
+	return rm
+}
+
+// RouteMetrics is one route's counters on the /metrics wire.
+type RouteMetrics struct {
+	Requests   int64 `json:"requests"`
+	OK         int64 `json:"ok"`
+	BadRequest int64 `json:"bad_request"`
+	Shed       int64 `json:"shed"`
+	Deadline   int64 `json:"deadline"`
+	Panic      int64 `json:"panic"`
+	Internal   int64 `json:"internal"`
+}
+
+// ShardMetrics is one shard's slice of a sharded dataset on the /metrics
+// wire (twoknn.ShardStats, flattened for JSON).
+type ShardMetrics struct {
+	Shard  int          `json:"shard"`
+	Points int          `json:"points"`
+	Ops    twoknn.Stats `json:"ops"`
+}
+
+// DatasetMetrics is one dataset's /metrics entry.
+type DatasetMetrics struct {
+	Points int    `json:"points"`
+	Index  string `json:"index"`
+
+	// Shards and Policy are set for sharded datasets only.
+	Shards int    `json:"shards,omitempty"`
+	Policy string `json:"policy,omitempty"`
+
+	// OutstandingSearchers is the engine's load/leak metric: searcher
+	// handles currently out of the dataset's pools. Zero when no query is
+	// in flight.
+	OutstandingSearchers int `json:"outstanding_searchers"`
+
+	// Inflight is the number of admission-gate slots currently held (0
+	// when the server runs without MaxInflight).
+	Inflight int `json:"inflight"`
+
+	// Stats accumulates the engine's operation counters over every request
+	// this dataset participated in.
+	Stats twoknn.Stats `json:"stats"`
+
+	// ShardStats is the per-shard lifetime counter snapshot of a sharded
+	// dataset (partition-balance signal), absent for single relations.
+	ShardStats []ShardMetrics `json:"shard_stats,omitempty"`
+}
+
+// MetricsResponse is the GET /metrics body.
+type MetricsResponse struct {
+	UptimeSeconds float64                   `json:"uptime_seconds"`
+	Datasets      map[string]DatasetMetrics `json:"datasets"`
+	Routes        map[string]RouteMetrics   `json:"routes"`
+}
+
+// HealthResponse is the GET /healthz body.
+type HealthResponse struct {
+	Status   string `json:"status"`
+	Datasets int    `json:"datasets"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	resp := MetricsResponse{
+		UptimeSeconds: time.Since(s.metrics.start).Seconds(),
+		Datasets:      make(map[string]DatasetMetrics),
+		Routes:        make(map[string]RouteMetrics),
+	}
+
+	s.mu.RLock()
+	names := make([]string, 0, len(s.datasets))
+	for n := range s.datasets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	ds := make([]*dataset, 0, len(names))
+	for _, n := range names {
+		ds = append(ds, s.datasets[n])
+	}
+	s.mu.RUnlock()
+
+	for _, d := range ds {
+		dm := DatasetMetrics{
+			Points:   d.src.Len(),
+			Index:    d.src.IndexKind().String(),
+			Inflight: len(d.gate),
+			Stats:    d.stats.Snapshot(),
+		}
+		switch r := d.src.(type) {
+		case *twoknn.Relation:
+			dm.OutstandingSearchers = r.OutstandingSearchers()
+		case *twoknn.ShardedRelation:
+			dm.OutstandingSearchers = r.OutstandingSearchers()
+			dm.Shards = r.NumShards()
+			dm.Policy = r.Policy().String()
+			perShard, _ := r.Snapshot()
+			dm.ShardStats = make([]ShardMetrics, len(perShard))
+			for i, sh := range perShard {
+				dm.ShardStats[i] = ShardMetrics{Shard: sh.Shard, Points: sh.Points, Ops: sh.Ops}
+			}
+		}
+		resp.Datasets[d.name] = dm
+	}
+
+	s.metrics.mu.Lock()
+	for name, rm := range s.metrics.routes {
+		resp.Routes[name] = RouteMetrics{
+			Requests:   rm.requests.Load(),
+			OK:         rm.ok.Load(),
+			BadRequest: rm.badRequest.Load(),
+			Shed:       rm.shed.Load(),
+			Deadline:   rm.deadline.Load(),
+			Panic:      rm.panics.Load(),
+			Internal:   rm.internal.Load(),
+		}
+	}
+	s.metrics.mu.Unlock()
+
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	n := len(s.datasets)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Datasets: n})
+}

@@ -1,0 +1,347 @@
+// Package server is the HTTP/JSON query front-end of the twoknn engine: it
+// holds one query source (single or sharded relation) per named dataset and
+// routes all eight public entry points through typed request/response
+// structs that carry stable int32 point IDs plus coordinates.
+//
+// The wire layer adds nothing to the answer — the differential battery in
+// server_test.go holds every route byte-identical (after canonical sort) to
+// the direct in-process call — and maps the engine's typed request-lifecycle
+// errors onto statuses:
+//
+//	ErrSearchersExhausted  → 429 + Retry-After   (bounded pool shed load)
+//	ErrQueryCanceled       → 504                 (deadline expired mid-query)
+//	*QueryPanicError       → 500                 (worker panic, process lives)
+//	ErrNilRelation, ErrNonPositiveK, malformed JSON → 400
+//
+// Admission control is two-layered: an optional per-dataset inflight gate
+// sheds excess requests with an immediate 429 (never queueing them), and
+// underneath it a dataset built with twoknn.WithMaxSearchers sheds via the
+// engine's own bounded-pool deadline path. Every request runs under a
+// context deadline of min(server budget, client timeout_ms), so no query
+// outlives its caller's patience.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	twoknn "repro"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// DefaultTimeout is the per-request evaluation budget; a request's
+	// timeout_ms can only shorten it. Zero means 10 seconds.
+	DefaultTimeout time.Duration
+
+	// MaxInflight bounds the number of requests concurrently evaluating
+	// against any one dataset; excess requests are shed with 429 +
+	// Retry-After immediately instead of queueing. Zero leaves admission
+	// to the engine's searcher pools alone.
+	MaxInflight int
+
+	// RetryAfter is the Retry-After hint on 429 responses, rounded up to
+	// whole seconds. Zero means 1 second.
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// dataset is one registered query source plus the serving-side state the
+// engine does not carry: the admission gate and the coordinate→stable-ID
+// mapping the response codec resolves rows through.
+type dataset struct {
+	name string
+	src  twoknn.Source
+
+	// gate admits at most cap(gate) concurrent requests when non-nil;
+	// TryAcquire semantics — a full gate sheds, never queues.
+	gate chan struct{}
+
+	// idOf maps a point's coordinates to its stable ID. Co-located points
+	// resolve to the smallest ID, deterministically.
+	idOf map[twoknn.Point]int32
+
+	// stats accumulates the engine's operation counters across every
+	// request served from this dataset (atomic; see twoknn.WithStats).
+	stats twoknn.Stats
+}
+
+// row renders a result point with its stable ID.
+func (d *dataset) row(p twoknn.Point) PointRow {
+	id, ok := d.idOf[p]
+	if !ok {
+		id = -1
+	}
+	return PointRow{ID: id, X: p.X, Y: p.Y}
+}
+
+// tryAcquire claims an admission slot; the zero gate always admits.
+func (d *dataset) tryAcquire() bool {
+	if d == nil || d.gate == nil {
+		return true
+	}
+	select {
+	case d.gate <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// release returns an admission slot.
+func (d *dataset) release() {
+	if d != nil && d.gate != nil {
+		<-d.gate
+	}
+}
+
+// Server routes query requests against a registry of named datasets. Create
+// with New, add datasets with Register, and serve Handler(); all three are
+// safe for concurrent use (datasets may be registered while serving).
+type Server struct {
+	cfg     Config
+	metrics *metrics
+
+	mu       sync.RWMutex
+	datasets map[string]*dataset
+}
+
+// New builds a Server with no datasets.
+func New(cfg Config) *Server {
+	return &Server{
+		cfg:      cfg.withDefaults(),
+		metrics:  newMetrics(),
+		datasets: make(map[string]*dataset),
+	}
+}
+
+// Register adds src under name, building the stable-ID mapping for response
+// rows. Registering a name twice or a nil source is an error.
+func (s *Server) Register(name string, src twoknn.Source) error {
+	if name == "" {
+		return fmt.Errorf("server: dataset name must be non-empty")
+	}
+	if src == nil {
+		return fmt.Errorf("server: dataset %q: %w", name, twoknn.ErrNilRelation)
+	}
+
+	// One coordinate → smallest stable ID, so co-located duplicates render
+	// deterministically no matter which copy an algorithm returned.
+	var pts []twoknn.Point
+	var ids []int32
+	switch r := src.(type) {
+	case *twoknn.Relation:
+		pts, ids = r.Points(), r.PointIDs()
+	case *twoknn.ShardedRelation:
+		pts, ids = r.Points(), r.PointIDs()
+	default:
+		return fmt.Errorf("server: dataset %q has unsupported source type %T", name, src)
+	}
+	idOf := make(map[twoknn.Point]int32, len(pts))
+	for i, p := range pts {
+		if old, ok := idOf[p]; !ok || ids[i] < old {
+			idOf[p] = ids[i]
+		}
+	}
+
+	d := &dataset{name: name, src: src, idOf: idOf}
+	if s.cfg.MaxInflight > 0 {
+		d.gate = make(chan struct{}, s.cfg.MaxInflight)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.datasets[name]; dup {
+		return fmt.Errorf("server: dataset %q already registered", name)
+	}
+	s.datasets[name] = d
+	return nil
+}
+
+// DatasetNames returns the registered names, sorted.
+func (s *Server) DatasetNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.datasets))
+	for n := range s.datasets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// lookup resolves a dataset name; a miss returns nil (the handler passes the
+// nil source into the engine, whose ErrNilRelation maps to 400).
+func (s *Server) lookup(name string) *dataset {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.datasets[name]
+}
+
+// Handler returns the routing handler:
+//
+//	POST /v1/query/knn-select         POST /v1/query/two-selects
+//	POST /v1/query/knn-join           POST /v1/query/unchained-joins
+//	POST /v1/query/select-inner-join  POST /v1/query/chained-joins
+//	POST /v1/query/select-outer-join  POST /v1/query/range-inner-join
+//	GET  /metrics                     GET  /healthz
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query/knn-select", s.handleKNNSelect)
+	mux.HandleFunc("POST /v1/query/knn-join", s.handleKNNJoin)
+	mux.HandleFunc("POST /v1/query/select-inner-join", s.handleSelectInnerJoin)
+	mux.HandleFunc("POST /v1/query/select-outer-join", s.handleSelectOuterJoin)
+	mux.HandleFunc("POST /v1/query/two-selects", s.handleTwoSelects)
+	mux.HandleFunc("POST /v1/query/unchained-joins", s.handleUnchainedJoins)
+	mux.HandleFunc("POST /v1/query/chained-joins", s.handleChainedJoins)
+	mux.HandleFunc("POST /v1/query/range-inner-join", s.handleRangeInnerJoin)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// admit claims an admission slot on every distinct resolved dataset of the
+// request (Try semantics, so no ordering concern — a full gate sheds
+// immediately). On success the returned release undoes all claims; on
+// failure nothing stays claimed and admit reports false.
+func admit(ds ...*dataset) (release func(), ok bool) {
+	seen := make(map[*dataset]bool, len(ds))
+	claimed := make([]*dataset, 0, len(ds))
+	for _, d := range ds {
+		if d == nil || seen[d] {
+			continue
+		}
+		seen[d] = true
+		if !d.tryAcquire() {
+			for _, c := range claimed {
+				c.release()
+			}
+			return nil, false
+		}
+		claimed = append(claimed, d)
+	}
+	return func() {
+		for _, c := range claimed {
+			c.release()
+		}
+	}, true
+}
+
+// source unwraps a dataset into its engine source; nil datasets stay nil
+// sources so the engine's ErrNilRelation taxonomy fires.
+func source(d *dataset) twoknn.Source {
+	if d == nil {
+		return nil
+	}
+	return d.src
+}
+
+// serve is the request lifecycle every query handler runs: strict decode,
+// admission, deadline budget, evaluation, and the error→status mapping.
+// plan resolves the decoded request's datasets and returns the evaluation
+// closure, which runs under the request context and fills the response
+// envelope.
+func (s *Server) serve(w http.ResponseWriter, r *http.Request, route string, req Request,
+	plan func() ([]*dataset, func(ctx context.Context) (QueryResponse, error))) {
+	m := s.metrics.route(route)
+	m.requests.Add(1)
+
+	if err := DecodeRequest(r.Body, req); err != nil {
+		m.badRequest.Add(1)
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Code: "bad_request"})
+		return
+	}
+	datasets, run := plan()
+
+	release, ok := admit(datasets...)
+	if !ok {
+		s.shed(w, m, fmt.Errorf("server: dataset admission gate full (max %d inflight)", s.cfg.MaxInflight))
+		return
+	}
+	defer release()
+
+	budget := s.cfg.DefaultTimeout
+	if t := timeoutOf(req); t > 0 && time.Duration(t)*time.Millisecond < budget {
+		budget = time.Duration(t) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), budget)
+	defer cancel()
+
+	resp, err := run(ctx)
+	if err != nil {
+		s.writeQueryError(w, m, err)
+		return
+	}
+	m.ok.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// timeoutOf extracts the embedded Common.TimeoutMS.
+func timeoutOf(req Request) int64 {
+	switch r := req.(type) {
+	case *KNNSelectRequest:
+		return r.TimeoutMS
+	case *KNNJoinRequest:
+		return r.TimeoutMS
+	case *SelectInnerJoinRequest:
+		return r.TimeoutMS
+	case *SelectOuterJoinRequest:
+		return r.TimeoutMS
+	case *TwoSelectsRequest:
+		return r.TimeoutMS
+	case *UnchainedJoinsRequest:
+		return r.TimeoutMS
+	case *ChainedJoinsRequest:
+		return r.TimeoutMS
+	case *RangeInnerJoinRequest:
+		return r.TimeoutMS
+	default:
+		return 0
+	}
+}
+
+// shed writes the 429 shed-load response with its Retry-After hint.
+func (s *Server) shed(w http.ResponseWriter, m *routeMetrics, err error) {
+	m.shed.Add(1)
+	secs := int64((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: err.Error(), Code: "shed_load"})
+}
+
+// writeQueryError maps the engine's typed error taxonomy onto HTTP statuses.
+// Order matters: a bounded-pool shed error chains both ErrSearchersExhausted
+// and ErrQueryCanceled, and the more specific shed-load mapping wins.
+func (s *Server) writeQueryError(w http.ResponseWriter, m *routeMetrics, err error) {
+	var panicErr *twoknn.QueryPanicError
+	switch {
+	case errors.Is(err, twoknn.ErrSearchersExhausted):
+		s.shed(w, m, err)
+	case errors.Is(err, twoknn.ErrQueryCanceled):
+		m.deadline.Add(1)
+		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Error: err.Error(), Code: "deadline"})
+	case errors.As(err, &panicErr):
+		m.panics.Add(1)
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error(), Code: "panic"})
+	case errors.Is(err, twoknn.ErrNilRelation), errors.Is(err, twoknn.ErrNonPositiveK):
+		m.badRequest.Add(1)
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Code: "bad_request"})
+	default:
+		m.internal.Add(1)
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error(), Code: "internal"})
+	}
+}

@@ -228,6 +228,31 @@ func WithExplain(target *string) QueryOption {
 	return func(c *queryConfig) { c.explain = target }
 }
 
+// KNNSelect evaluates σ_{k,f}(rel): the k points of the source closest to
+// the focal point f, in ascending (distance, X, Y) order. It is the
+// package-level form of the Relation/ShardedRelation methods, accepting any
+// Source so callers that hold a mixed dataset registry (e.g. a query server)
+// dispatch uniformly. It errors on a nil source (ErrNilRelation) and
+// non-positive k (ErrNonPositiveK).
+func KNNSelect(rel Source, f Point, k int, opts ...QueryOption) ([]Point, error) {
+	if err := checkSources(rel); err != nil {
+		return nil, err
+	}
+	if err := checkK("k", k); err != nil {
+		return nil, err
+	}
+	cfg := applyOptions(opts)
+	r := rel.singleRelation()
+	return runQuery(&cfg, func() ([]Point, error) {
+		if r == nil {
+			return shard.Select(cfg.ctx, rel.execGroup(), f, k, cfg.stats), nil
+		}
+		h := acquireHandle(cfg.ctx, r.rel)
+		defer h.Release()
+		return core.KNNSelect(h, f, k, cfg.stats), nil
+	})
+}
+
 // SelectInnerJoin evaluates the Section 3 query
 //
 //	(outer ⋈kNN inner) ∩ (outer × σ_{kSel,f}(inner)),

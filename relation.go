@@ -302,18 +302,7 @@ func (r *Relation) Clone() *Relation {
 // f (σ_{k,f}), in ascending (distance, X, Y) order. It errors on a nil
 // receiver (ErrNilRelation) and non-positive k (ErrNonPositiveK).
 func (r *Relation) KNNSelect(f Point, k int, opts ...QueryOption) ([]Point, error) {
-	if err := checkSources(r); err != nil {
-		return nil, err
-	}
-	if err := checkK("k", k); err != nil {
-		return nil, err
-	}
-	cfg := applyOptions(opts)
-	return runQuery(&cfg, func() ([]Point, error) {
-		h := acquireHandle(cfg.ctx, r.rel)
-		defer h.Release()
-		return core.KNNSelect(h, f, k, cfg.stats), nil
-	})
+	return KNNSelect(r, f, k, opts...)
 }
 
 // OutstandingSearchers returns the number of searcher handles currently out

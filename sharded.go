@@ -192,16 +192,30 @@ func (sr *ShardedRelation) srcNil() bool { return sr == nil }
 // KNNSelect over the same points. It errors on a nil receiver
 // (ErrNilRelation) and non-positive k (ErrNonPositiveK).
 func (sr *ShardedRelation) KNNSelect(f Point, k int, opts ...QueryOption) ([]Point, error) {
-	if err := checkSources(sr); err != nil {
-		return nil, err
+	return KNNSelect(sr, f, k, opts...)
+}
+
+// Points returns a copy of all points across shards, shard 0's storage order
+// first, then shard 1's, and so on — the sharded counterpart of
+// Relation.Points. Parallel to PointIDs.
+func (sr *ShardedRelation) Points() []Point {
+	out := make([]Point, 0, sr.sh.Len())
+	for i := 0; i < sr.sh.NumShards(); i++ {
+		out = append(out, sr.sh.Shard(i).Points()...)
 	}
-	if err := checkK("k", k); err != nil {
-		return nil, err
+	return out
+}
+
+// PointIDs returns the global stable IDs of all points, parallel to
+// Points(). Stable IDs are input positions and survive the partition, so a
+// dataset registry (e.g. a query server) can name any point of any shard
+// independently of where the partition placed it.
+func (sr *ShardedRelation) PointIDs() []int32 {
+	out := make([]int32, 0, sr.sh.Len())
+	for i := 0; i < sr.sh.NumShards(); i++ {
+		out = append(out, sr.sh.Shard(i).Store().IDs...)
 	}
-	cfg := applyOptions(opts)
-	return runQuery(&cfg, func() ([]Point, error) {
-		return shard.Select(cfg.ctx, sr.sh.Group(), f, k, cfg.stats), nil
-	})
+	return out
 }
 
 // OutstandingSearchers returns the number of searcher handles currently out
