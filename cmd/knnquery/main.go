@@ -15,11 +15,25 @@
 // so the command is runnable with no inputs at all:
 //
 //	knnquery -query select-inner-join -kjoin 2 -ksel 2 -fx 5000 -fy 5000
+//
+// Batched execution: -batch focals.csv switches to the batched kNN-select
+// driver — every line of the file is one focal point, k comes from -kjoin,
+// and the relation is -outer (or generated). With -addr host:port the batch
+// is instead POSTed to a running knnserve's /v1/query/knn-select-batch route
+// (-dataset names the server-side dataset), exercising its result cache and
+// request coalescing:
+//
+//	knnquery -batch focals.csv -kjoin 10
+//	knnquery -batch focals.csv -kjoin 10 -addr 127.0.0.1:8080 -dataset trips
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 
 	twoknn "repro"
@@ -43,14 +57,25 @@ func main() {
 		index = flag.String("index", "grid", "index kind: grid, quadtree, rtree, kdtree")
 		limit = flag.Int("limit", 20, "maximum result rows to print (0 = all)")
 		genN  = flag.Int("gen-n", 20000, "points per generated relation when a file flag is empty")
+		batch = flag.String("batch", "", "CSV file of focal points: run a batched kNN-select (k from -kjoin) over -outer instead of -query")
+		addr  = flag.String("addr", "", "host:port of a running knnserve; with -batch, POST to its /v1/query/knn-select-batch route instead of evaluating in-process")
+		dset  = flag.String("dataset", "", "server-side dataset name for -addr mode")
 	)
 	flag.Parse()
 
-	if err := run(params{
+	p := params{
 		query: *query, outer: *outer, inner: *inner, third: *third,
 		f1: twoknn.Point{X: *fx, Y: *fy}, f2: twoknn.Point{X: *f2x, Y: *f2y},
 		kJoin: *kJoin, kSel: *kSel, alg: *alg, index: *index, limit: *limit, genN: *genN,
-	}); err != nil {
+		batch: *batch, addr: *addr, dataset: *dset,
+	}
+	err := error(nil)
+	if p.batch != "" {
+		err = runBatch(p)
+	} else {
+		err = run(p)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "knnquery:", err)
 		os.Exit(1)
 	}
@@ -62,6 +87,7 @@ type params struct {
 	kJoin, kSel                int
 	alg, index                 string
 	limit, genN                int
+	batch, addr, dataset       string
 }
 
 func run(p params) error {
@@ -159,6 +185,98 @@ func run(p params) error {
 
 	default:
 		return fmt.Errorf("unknown query %q", p.query)
+	}
+	return nil
+}
+
+// runBatch is the -batch mode: a batched kNN-select over one relation,
+// evaluated in-process through twoknn.KNNSelectBatch or POSTed to a running
+// knnserve when -addr is set.
+func runBatch(p params) error {
+	focals, err := dataload.FileSpec(p.batch).Points()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("batch: %d focal points, k=%d\n", len(focals), p.kJoin)
+	if p.addr != "" {
+		return runBatchServed(p, focals)
+	}
+
+	kind, err := parseIndexKind(p.index)
+	if err != nil {
+		return err
+	}
+	spec := dataload.FileSpec(p.outer)
+	if p.outer == "" {
+		spec = dataload.Spec{Kind: dataload.BerlinMOD, N: p.genN, Seed: 1}
+	}
+	src, err := server.BuildSource("E", spec, server.BuildOptions{Index: kind})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("E: %d points (%s)\n", src.Len(), spec)
+
+	var explain string
+	var st twoknn.Stats
+	results, err := twoknn.KNNSelectBatch(src, focals, p.kJoin,
+		twoknn.WithExplain(&explain), twoknn.WithStats(&st))
+	if err != nil {
+		return err
+	}
+	printPlanAndStats(explain, &st)
+	printed := 0
+	for i, res := range results {
+		if p.limit > 0 && printed >= p.limit {
+			fmt.Printf("... (%d more focals)\n", len(results)-i)
+			break
+		}
+		fmt.Printf("focal %d %v: %d neighbors %v\n", i, focals[i], len(res), res)
+		printed++
+	}
+	return nil
+}
+
+// runBatchServed sends the focal batch to a knnserve instance.
+func runBatchServed(p params, focals []twoknn.Point) error {
+	if p.dataset == "" {
+		return fmt.Errorf("-addr mode requires -dataset")
+	}
+	req := server.KNNSelectBatchRequest{Dataset: p.dataset, K: p.kJoin}
+	req.Focals = make([]server.PointArg, len(focals))
+	for i, f := range focals {
+		req.Focals[i] = server.PointArg{X: f.X, Y: f.Y}
+	}
+	body, err := server.EncodeRequest(&req)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post("http://"+p.addr+"/v1/query/knn-select-batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("server returned %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	var qr server.QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		return err
+	}
+	fmt.Printf("%d result rows across %d focals (cache hits=%d misses=%d)\n",
+		qr.Count, len(qr.Batches), qr.Stats.CacheHits, qr.Stats.CacheMisses)
+	printed := 0
+	for i, rows := range qr.Batches {
+		if p.limit > 0 && printed >= p.limit {
+			fmt.Printf("... (%d more focals)\n", len(qr.Batches)-i)
+			break
+		}
+		fmt.Printf("focal %d: %d neighbors", i, len(rows))
+		for _, row := range rows {
+			fmt.Printf("  #%d(%g, %g)", row.ID, row.X, row.Y)
+		}
+		fmt.Println()
+		printed++
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 // Command knnserve serves the twoknn query engine over HTTP/JSON: one named
-// dataset per -dataset flag (single or sharded relation), all eight query
-// entry points as POST routes, plus /metrics and /healthz. See the README's
+// dataset per -dataset flag (single or sharded relation), every query entry
+// point as a POST route — including the batched, result-cached
+// /v1/query/knn-select-batch — plus /metrics and /healthz. See the README's
 // "Serving" section for curl-able request examples.
 //
 // Usage:
@@ -13,7 +14,9 @@
 //	    -max-searchers 64 -max-inflight 256 -timeout 5s
 //
 // Admission control: -max-inflight sheds excess per-dataset concurrency with
-// an immediate 429 + Retry-After; -max-searchers bounds each dataset's (or
+// an immediate 429 + Retry-After (a dataset spec's max_inflight=N segment
+// overrides the bound for that one dataset; negative N disables its gate);
+// -max-searchers bounds each dataset's (or
 // each shard's) searcher pool, whose deadline-bounded waits shed as 429 via
 // the engine's ErrSearchersExhausted. -timeout is the per-request evaluation
 // budget (a request's timeout_ms can only shorten it); expiry returns 504.
@@ -54,7 +57,7 @@ type options struct {
 func main() {
 	var o options
 	flag.StringVar(&o.listen, "listen", "127.0.0.1:8080", "address to listen on")
-	flag.Func("dataset", "dataset as name=spec; repeatable (specs: file:points.csv, berlinmod:n=20000,seed=1, uniform:n=...,seed=..., clustered:clusters=...,per=...)", func(s string) error {
+	flag.Func("dataset", "dataset as name=spec; repeatable (specs: file:points.csv, berlinmod:n=20000,seed=1, uniform:n=...,seed=..., clustered:clusters=...,per=...; append max_inflight=N to override -max-inflight for one dataset, N<0 disables its gate)", func(s string) error {
 		o.datasets = append(o.datasets, s)
 		return nil
 	})
@@ -102,7 +105,7 @@ func newServer(o options) (*server.Server, error) {
 		RetryAfter:     o.retryAfter,
 	})
 	for _, arg := range o.datasets {
-		name, spec, err := server.SplitDatasetArg(arg)
+		name, spec, dopts, err := server.SplitDatasetArgOptions(arg)
 		if err != nil {
 			return nil, err
 		}
@@ -110,7 +113,7 @@ func newServer(o options) (*server.Server, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := srv.Register(name, src); err != nil {
+		if err := srv.RegisterWithOptions(name, src, dopts); err != nil {
 			return nil, err
 		}
 	}

@@ -132,6 +132,34 @@
 // fuzzed for lossless round-tripping. See the README's "Serving" section
 // for curl-able examples of every query shape.
 //
+// # Batched execution and result caching
+//
+// KNNSelectBatch and TwoSelectsBatch evaluate many focal points against one
+// Source in a single call. The batch driver (internal/batch) sorts the
+// focals into Z-order, partitions them into spatially compact groups, and
+// walks the index once per group instead of once per query: a MAXDIST
+// counting pass establishes a per-focal search bound, then one shared
+// MINDIST block walk scans each block against every still-active focal of
+// the group through the batched distance kernels — the longer effective
+// spans are exactly the shape the SIMD layer wants. Per-focal results are
+// byte-identical to calling KNNSelect in a loop (a differential matrix and
+// the FuzzKNNSelectBatch target enforce this across index kinds and
+// sharded sources), the driver's scratch is pooled so steady-state batch
+// evaluation allocates nothing per query, and the abl-batch experiment of
+// cmd/knnbench records the amortization curve (BENCH_PR8.json).
+//
+// Above the driver sits an epoch-guarded result cache. Relation and
+// ShardedRelation carry a monotonic dataset epoch (Epoch reads it,
+// Invalidate bumps it — the hook a future mutable-relation path will call
+// on every write); internal/qcache memoizes (epoch, focal, k, shape) →
+// stable-ID answers in a bounded, sharded-lock map whose hit path
+// allocates nothing. Because the epoch is part of the key, invalidation is
+// O(1) and stale entries can never be served. Cache probes are counted by
+// the CacheHits/CacheMisses stats counters; the serving layer exposes them
+// per dataset on /metrics, serves repeated focals from the cache on the
+// POST /v1/query/knn-select-batch route, and coalesces identical
+// concurrent requests into one evaluation (single-flight).
+//
 // # Sharding
 //
 // NewShardedRelation partitions one logical point set across S shards,

@@ -1,0 +1,342 @@
+// Package batch executes many k-nearest-neighbor queries against one
+// relation in a single index walk, amortizing block traversal and turning
+// many short per-query scans into long shared spans — exactly the shape the
+// batched distance kernels want (see internal/kernel: the AVX2 paths only
+// pay off above BatchGrain lanes, so paper-faithful 16-point cells leave
+// them idle under single-query execution).
+//
+// The driver sorts the focal batch in Z-order, cuts it into spatially tight
+// groups, and runs a two-pass shared walk per group:
+//
+//  1. Pass A consumes blocks in MAXDIST order from the group centroid until
+//     the accumulated point count reaches k — a query-independent walk —
+//     and records, for every query q of the group, the exact bound
+//     max over consumed blocks of MAXDIST²(q, block): a valid upper bound
+//     on q's k-th-neighbor distance, because those blocks hold at least k
+//     points and every one of them is within that distance of q.
+//  2. Pass B consumes blocks in MINDIST order from the centroid. Each
+//     popped block is offered to every still-active query: admitted when
+//     its MINDIST²(q) is at or below q's Pass-A bound and not prunable
+//     against q's running heap bound, scanned through the same
+//     locality.KHeap span scan the sequential Searcher runs. A query
+//     deactivates permanently once the centroid key passes its stop key
+//     (sqrt(bound)+dist(centroid, q))², the triangle-inequality point past
+//     which no block can reach the query's bound; the stop key is inflated
+//     by 1+1e-12 so float rounding can only keep a query active longer,
+//     never skip a contributing block.
+//
+// Correctness does not depend on the grouping or the walk order: the
+// selection heap yields the exact top k of everything offered under the
+// canonical (distance, X, Y) order, every skip happens under a strict
+// inequality that proves the skipped block cannot contribute, and the span
+// scan is literally the sequential code path. Batch answers are therefore
+// byte-identical to the sequential per-query loop. Grouping only shapes
+// performance: groups are cut when their bounding box outgrows a cap
+// derived from the estimated k-th-neighbor radius, so spatially sparse
+// batches degrade to singleton groups (≈ sequential cost) instead of
+// dragging the shared walk across the whole index.
+package batch
+
+import (
+	"math"
+	"slices"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/index"
+	"repro/internal/locality"
+	"repro/internal/stats"
+)
+
+// maxGroup caps the number of queries sharing one walk. Beyond this the
+// per-block query loop starts to dominate the saved traversal.
+const maxGroup = 64
+
+// extentFactorSq caps a group's bounding-box diagonal at 4× the estimated
+// k-th-neighbor radius (compared squared, hence 16). Tighter groups keep
+// the centroid walk's ring close to every member's own locality.
+const extentFactorSq = 16
+
+// Driver runs batched queries over one relation, reusing every internal
+// buffer across calls: in steady state a batch allocates nothing. A Driver
+// is not safe for concurrent use; acquire one per goroutine from the pool.
+//
+// Result slices returned by the driver point into per-driver arenas and
+// remain valid only until the next call of the same method on the same
+// driver (KNNSelect and SelectWithinSq use separate arenas, so a
+// two-predicate composition may hold both at once).
+type Driver struct {
+	ix    index.Index
+	iters *index.IterPool
+	span  locality.SpanScratch
+
+	keys []uint64 // Z-order sort keys: morton<<32 | input index
+
+	// per-group scratch, indexed by position within the group
+	heaps     [maxGroup]locality.KHeap
+	bounds    [maxGroup]float64 // squared admission bound per query
+	stopKey   [maxGroup]float64 // centroid key past which the query is done
+	stopBound [maxGroup]float64 // bound the stop key was computed from
+	cDist     [maxGroup]float64 // distance from group centroid to query
+	examined  [maxGroup]int
+	active    [maxGroup]int32
+
+	knnRes    []locality.Neighborhood // KNNSelect arena, input order
+	withinRes []locality.Neighborhood // SelectWithinSq arena, input order
+}
+
+// driverPool recycles Drivers (and their arenas) across batches.
+var driverPool = sync.Pool{New: func() any { return new(Driver) }}
+
+// Acquire returns a pooled Driver.
+func Acquire() *Driver { return driverPool.Get().(*Driver) }
+
+// Release returns d to the pool.
+func Release(d *Driver) { driverPool.Put(d) }
+
+// bind points the driver's cached iterator pool at rel's index.
+func (d *Driver) bind(rel *core.Relation) {
+	if d.ix != rel.Ix {
+		d.ix = rel.Ix
+		d.iters = index.NewIterPool(rel.Ix)
+	}
+}
+
+// KNNSelect computes the k nearest neighbors of every focal point,
+// returning one Neighborhood per focal in input order, byte-identical to
+// calling the sequential searcher once per focal. The result aliases the
+// driver's arena; see Driver.
+func (d *Driver) KNNSelect(rel *core.Relation, focals []geom.Point, k int, c *stats.Counters) []locality.Neighborhood {
+	res := d.resetArena(&d.knnRes, focals)
+	if k <= 0 || len(focals) == 0 {
+		return res
+	}
+	d.bind(rel)
+	d.sortKeys(focals)
+	d.forEachGroup(focals, k, func(qs []uint64, centroid geom.Point) {
+		d.runGroup(rel, focals, qs, centroid, k, nil, res, c)
+	})
+	return res
+}
+
+// SelectWithinSq computes, for every focal i, the k nearest neighbors among
+// the points of blocks whose MINDIST² from the focal is at most
+// thresholdsSq[i] — the batched form of the sequential searcher's
+// NeighborhoodWithinSq, byte-identical to it. A negative threshold skips
+// the query entirely (empty result), mirroring the sequential two-select
+// plan's early exit for an empty first neighborhood. The result aliases the
+// driver's arena; see Driver.
+func (d *Driver) SelectWithinSq(rel *core.Relation, focals []geom.Point, k int, thresholdsSq []float64, c *stats.Counters) []locality.Neighborhood {
+	res := d.resetArena(&d.withinRes, focals)
+	if k <= 0 || len(focals) == 0 {
+		return res
+	}
+	d.bind(rel)
+	d.sortKeys(focals)
+	d.forEachGroup(focals, k, func(qs []uint64, centroid geom.Point) {
+		d.runGroup(rel, focals, qs, centroid, k, thresholdsSq, res, c)
+	})
+	return res
+}
+
+// resetArena sizes *arena to one empty neighborhood per focal.
+func (d *Driver) resetArena(arena *[]locality.Neighborhood, focals []geom.Point) []locality.Neighborhood {
+	a := *arena
+	if cap(a) < len(focals) {
+		a = append(a[:cap(a)], make([]locality.Neighborhood, len(focals)-cap(a))...)
+	}
+	a = a[:len(focals)]
+	for i := range a {
+		a[i].Center = focals[i]
+		a[i].Points = a[i].Points[:0]
+		a[i].Dists = a[i].Dists[:0]
+	}
+	*arena = a
+	return a
+}
+
+// sortKeys fills d.keys with morton<<32|index keys over the index bounds
+// and sorts them, so focals arrive in Z-order with ties broken by input
+// position — a deterministic order regardless of duplicates.
+func (d *Driver) sortKeys(focals []geom.Point) {
+	if cap(d.keys) < len(focals) {
+		d.keys = make([]uint64, len(focals))
+	}
+	d.keys = d.keys[:len(focals)]
+	b := d.ix.Bounds()
+	for i, f := range focals {
+		qx := quantize(f.X, b.MinX, b.MaxX)
+		qy := quantize(f.Y, b.MinY, b.MaxY)
+		morton := uint64(spread(qx) | spread(qy)<<1)
+		d.keys[i] = morton<<32 | uint64(uint32(i))
+	}
+	slices.Sort(d.keys)
+}
+
+// quantize maps v into [0, 65535] over [lo, hi], clamping everything
+// non-finite or out of range (the !(t > 0) form also catches NaN and a
+// degenerate zero-width extent).
+func quantize(v, lo, hi float64) uint32 {
+	t := (v - lo) / (hi - lo)
+	if !(t > 0) {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	return uint32(t * 65535)
+}
+
+// spread interleaves the low 16 bits of v with zeros.
+func spread(v uint32) uint32 {
+	v &= 0xFFFF
+	v = (v | v<<8) & 0x00FF00FF
+	v = (v | v<<4) & 0x0F0F0F0F
+	v = (v | v<<2) & 0x33333333
+	v = (v | v<<1) & 0x55555555
+	return v
+}
+
+// forEachGroup cuts the sorted key sequence into spatially tight groups and
+// invokes run on each: a group closes when it reaches maxGroup queries or
+// its bounding box diagonal² outgrows extentFactorSq × the estimated
+// k-th-neighbor radius² (k·Area/(π·n) under a uniform-density model). The
+// cap only shapes performance — a sparse batch degrades to singleton
+// groups — never correctness.
+func (d *Driver) forEachGroup(focals []geom.Point, k int, run func(qs []uint64, centroid geom.Point)) {
+	capDiagSq := math.Inf(1)
+	if n := d.ix.Len(); n > 0 {
+		capDiagSq = extentFactorSq * float64(k) * d.ix.Bounds().Area() / (math.Pi * float64(n))
+	}
+	start := 0
+	var box geom.Rect
+	for i, key := range d.keys {
+		f := focals[uint32(key)]
+		if i == start {
+			box = geom.NewRect(f.X, f.Y, f.X, f.Y)
+			continue
+		}
+		grown := box.ExpandPoint(f)
+		w, h := grown.Width(), grown.Height()
+		if i-start >= maxGroup || w*w+h*h > capDiagSq {
+			run(d.keys[start:i], box.Center())
+			start = i
+			box = geom.NewRect(f.X, f.Y, f.X, f.Y)
+			continue
+		}
+		box = grown
+	}
+	if start < len(d.keys) {
+		run(d.keys[start:], box.Center())
+	}
+}
+
+// runGroup executes one group's shared walk. qs are the group's sort keys
+// (low 32 bits = input index), centroid the group box center. thresholdsSq
+// nil selects kNN mode (Pass A derives per-query bounds); non-nil selects
+// within mode (bounds come from the thresholds, negative = skip query).
+func (d *Driver) runGroup(rel *core.Relation, focals []geom.Point, qs []uint64, centroid geom.Point, k int, thresholdsSq []float64, res []locality.Neighborhood, c *stats.Counters) {
+	m := len(qs)
+	scanned := 0
+	nAct := 0
+	for j := 0; j < m; j++ {
+		q := focals[uint32(qs[j])]
+		d.heaps[j].Reset(k)
+		d.examined[j] = 0
+		d.cDist[j] = math.Sqrt(centroid.DistSq(q))
+		d.stopBound[j] = math.Inf(-1) // force first stop-key computation
+		if thresholdsSq != nil {
+			t := thresholdsSq[uint32(qs[j])]
+			d.bounds[j] = t
+			if t < 0 {
+				continue // skipped query: empty result, never activated
+			}
+		} else {
+			d.bounds[j] = 0
+		}
+		d.active[nAct] = int32(j)
+		nAct++
+	}
+
+	if thresholdsSq == nil && nAct > 0 {
+		// Pass A: count to k in MAXDIST order from the centroid, raising
+		// every query's bound to the farthest corner of each consumed block.
+		it := d.iters.MaxDist(centroid)
+		count := 0
+		for count < k {
+			rel.Checkpoint()
+			b, _, ok := it.Next()
+			if !ok {
+				// Fewer than k points in the whole data set: no bound.
+				for j := 0; j < m; j++ {
+					d.bounds[j] = math.Inf(1)
+				}
+				break
+			}
+			scanned++
+			if b.Count() == 0 {
+				continue
+			}
+			count += b.Count()
+			for j := 0; j < m; j++ {
+				if mx := b.Bounds.MaxDistSq(focals[uint32(qs[j])]); mx > d.bounds[j] {
+					d.bounds[j] = mx
+				}
+			}
+		}
+	}
+
+	if nAct > 0 {
+		// Pass B: shared MINDIST walk from the centroid.
+		it := d.iters.MinDist(centroid)
+		for nAct > 0 {
+			rel.Checkpoint()
+			b, cKey, ok := it.Next()
+			if !ok {
+				break
+			}
+			scanned++
+			if b.Count() == 0 {
+				continue
+			}
+			for ai := 0; ai < nAct; {
+				j := d.active[ai]
+				q := focals[uint32(qs[j])]
+				h := &d.heaps[j]
+				eff := d.bounds[j]
+				if h.Full() && h.BoundSq() < eff {
+					eff = h.BoundSq()
+				}
+				if eff != d.stopBound[j] {
+					d.stopBound[j] = eff
+					r := math.Sqrt(eff) + d.cDist[j]
+					d.stopKey[j] = r * r * (1 + 1e-12)
+				}
+				if cKey > d.stopKey[j] {
+					// MINDIST from the centroid is 1-Lipschitz in the query
+					// point, so every block from here on has
+					// MINDIST²(q) > eff: the query is done. Swap-remove.
+					nAct--
+					d.active[ai] = d.active[nAct]
+					continue
+				}
+				minSq := b.Bounds.MinDistSq(q)
+				if minSq > d.bounds[j] || (h.Full() && minSq > h.BoundSq()) {
+					ai++
+					continue
+				}
+				d.examined[j] += h.ScanSpan(b, q, &d.span)
+				ai++
+			}
+		}
+	}
+
+	c.AddBlocksScanned(scanned)
+	for j := 0; j < m; j++ {
+		i := uint32(qs[j])
+		if thresholdsSq == nil || thresholdsSq[i] >= 0 {
+			c.AddNeighborhood(d.examined[j])
+			d.heaps[j].ExtractInto(&res[i], focals[i])
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package batch
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/index"
+	"repro/internal/index/grid"
+	"repro/internal/index/kdtree"
+	"repro/internal/index/quadtree"
+	"repro/internal/index/rtree"
+	"repro/internal/locality"
+	"repro/internal/stats"
+)
+
+var testBounds = geom.NewRect(0, 0, 1000, 1000)
+
+func testPoints(n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+	}
+	// Co-located duplicates stress the (distance, X, Y) tie order.
+	for i := 0; i+7 < n; i += 7 {
+		pts[i+1] = pts[i]
+	}
+	return pts
+}
+
+func testIndexes(t *testing.T, pts []geom.Point) map[string]index.Index {
+	t.Helper()
+	out := make(map[string]index.Index)
+	g, err := grid.New(pts, grid.Options{TargetPerCell: 8, Bounds: testBounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["grid"] = g
+	kd, err := kdtree.New(pts, kdtree.Options{LeafCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["kdtree"] = kd
+	qt, err := quadtree.New(pts, quadtree.Options{LeafCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["quadtree"] = qt
+	rt, err := rtree.New(pts, rtree.Options{LeafCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["rtree"] = rt
+	return out
+}
+
+func testFocals(n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	focals := make([]geom.Point, n)
+	for i := range focals {
+		switch i % 4 {
+		case 0: // clustered around a hot spot
+			focals[i] = geom.Point{X: 500 + rng.NormFloat64()*30, Y: 500 + rng.NormFloat64()*30}
+		case 1: // uniform over the region
+			focals[i] = geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		case 2: // duplicate of a previous focal
+			focals[i] = focals[rng.Intn(i)]
+		default: // outside the indexed bounds
+			focals[i] = geom.Point{X: -200 + rng.Float64()*1400, Y: -200 + rng.Float64()*1400}
+		}
+	}
+	return focals
+}
+
+func sameNeighborhood(a, b *locality.Neighborhood) bool {
+	if len(a.Points) != len(b.Points) {
+		return false
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] || a.Dists[i] != b.Dists[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestKNNSelectMatchesSequential is the package-level differential: the
+// batched driver must reproduce the sequential searcher byte for byte, per
+// index kind, across batch sizes and k values.
+func TestKNNSelectMatchesSequential(t *testing.T) {
+	pts := testPoints(2000, 1)
+	for name, ix := range testIndexes(t, pts) {
+		t.Run(name, func(t *testing.T) {
+			rel := core.NewRelation(ix)
+			d := Acquire()
+			defer Release(d)
+			for _, batchN := range []int{0, 1, 3, 17, 200} {
+				for _, k := range []int{1, 5, 23} {
+					focals := testFocals(batchN, int64(batchN*31+k))
+					got := d.KNNSelect(rel, focals, k, nil)
+					if len(got) != len(focals) {
+						t.Fatalf("batch=%d k=%d: got %d results", batchN, k, len(got))
+					}
+					h := rel.Acquire()
+					for i, f := range focals {
+						want := h.S.Neighborhood(f, k, nil)
+						if !sameNeighborhood(&got[i], want) {
+							t.Fatalf("batch=%d k=%d focal %d %v: batch %v vs sequential %v",
+								batchN, k, i, f, got[i].Points, want.Points)
+						}
+					}
+					h.Release()
+				}
+			}
+		})
+	}
+}
+
+// TestSelectWithinMatchesSequential checks the within-threshold mode against
+// the sequential NeighborhoodWithinSq, including negative (skipped)
+// thresholds.
+func TestSelectWithinMatchesSequential(t *testing.T) {
+	pts := testPoints(1500, 2)
+	for name, ix := range testIndexes(t, pts) {
+		t.Run(name, func(t *testing.T) {
+			rel := core.NewRelation(ix)
+			d := Acquire()
+			defer Release(d)
+			rng := rand.New(rand.NewSource(7))
+			focals := testFocals(120, 3)
+			thresholds := make([]float64, len(focals))
+			for i := range thresholds {
+				switch i % 5 {
+				case 0:
+					thresholds[i] = -1 // skipped
+				case 1:
+					thresholds[i] = 0 // exact-hit only
+				default:
+					r := rng.Float64() * 150
+					thresholds[i] = r * r
+				}
+			}
+			const k = 9
+			got := d.SelectWithinSq(rel, focals, k, thresholds, nil)
+			h := rel.Acquire()
+			defer h.Release()
+			for i, f := range focals {
+				if thresholds[i] < 0 {
+					if got[i].Len() != 0 {
+						t.Fatalf("focal %d: skipped query returned %d points", i, got[i].Len())
+					}
+					continue
+				}
+				want := h.S.NeighborhoodWithinSq(f, k, thresholds[i], nil)
+				if !sameNeighborhood(&got[i], want) {
+					t.Fatalf("focal %d %v thr %g: batch %v vs sequential %v",
+						i, f, thresholds[i], got[i].Points, want.Points)
+				}
+			}
+		})
+	}
+}
+
+// TestDriverStats checks the advisory counters move.
+func TestDriverStats(t *testing.T) {
+	pts := testPoints(800, 4)
+	ix, err := grid.New(pts, grid.Options{TargetPerCell: 8, Bounds: testBounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := core.NewRelation(ix)
+	d := Acquire()
+	defer Release(d)
+	var c stats.Counters
+	d.KNNSelect(rel, testFocals(50, 5), 5, &c)
+	if c.BlocksScanned == 0 || c.Neighborhoods != 50 || c.PointsCompared == 0 {
+		t.Fatalf("counters did not move: %+v", c)
+	}
+}
+
+// TestDriverAllocs: the batch hot path must be allocation-free in steady
+// state on a reused driver.
+func TestDriverAllocs(t *testing.T) {
+	pts := testPoints(2000, 6)
+	ix, err := grid.New(pts, grid.Options{TargetPerCell: 16, Bounds: testBounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := core.NewRelation(ix)
+	d := Acquire()
+	defer Release(d)
+	focals := testFocals(64, 7)
+	d.KNNSelect(rel, focals, 10, nil) // warm the arenas
+	avg := testing.AllocsPerRun(20, func() {
+		d.KNNSelect(rel, focals, 10, nil)
+	})
+	if avg != 0 {
+		t.Fatalf("batch hot path allocates %v allocs/op, want 0", avg)
+	}
+}
+
+func BenchmarkDriverKNNSelect(b *testing.B) {
+	pts := testPoints(20000, 8)
+	ix, err := grid.New(pts, grid.Options{TargetPerCell: 16, Bounds: testBounds})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rel := core.NewRelation(ix)
+	d := Acquire()
+	defer Release(d)
+	for _, batchN := range []int{1, 64} {
+		b.Run(fmt.Sprintf("batch=%d", batchN), func(b *testing.B) {
+			focals := testFocals(batchN, 9)
+			d.KNNSelect(rel, focals, 10, nil)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.KNNSelect(rel, focals, 10, nil)
+			}
+		})
+	}
+}

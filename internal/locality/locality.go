@@ -38,7 +38,6 @@ import (
 	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/index"
-	"repro/internal/kernel"
 	"repro/internal/stats"
 )
 
@@ -231,10 +230,9 @@ type Searcher struct {
 	// scratch buffers, reused across queries
 	heap    maxKHeap
 	result  Neighborhood
-	inLoc   []bool    // per-block locality membership, cleared via touched
-	touched []int     // block IDs marked in inLoc during the current query
-	dists   []float64 // batched-kernel scratch: per-lane squared distances
-	selIdx  []int32   // batched-kernel scratch: qualifying lane indices
+	inLoc   []bool // per-block locality membership, cleared via touched
+	touched []int  // block IDs marked in inLoc during the current query
+	span    SpanScratch
 }
 
 // NewSearcher returns a Searcher over ix.
@@ -401,62 +399,11 @@ func (s *Searcher) neighborhoodWithinSq(p geom.Point, k int, thresholdSq float64
 	return s.heap.extractInto(&s.result, p)
 }
 
-// scanSpan feeds the points of b into the selection heap. Spans at or above
-// the batched-kernel grain (kernel.BatchGrain: profitable span length for
-// the dispatched implementation, +Inf-like when only the scalar reference
-// is active) go through the batched kernel layer in two phases on the heap
-// state; shorter spans keep the original fused scalar loop, whose per-lane
-// cost nothing can beat at that size. All paths produce bit-identical heap
-// states — the kernels perform the scalar loop's exact float64 operations —
-// so query answers do not depend on the route taken. Returns the number of
-// points examined.
+// scanSpan feeds the points of b into the selection heap via the shared
+// span-scan implementation on maxKHeap (see kheap.go), which the batch
+// driver also runs — one code path, byte-identical answers by construction.
 func (s *Searcher) scanSpan(b *index.Block, p geom.Point) int {
-	xs, ys := b.XYs()
-	h := &s.heap
-	if len(xs) < kernel.BatchGrain() {
-		for i, x := range xs {
-			dx := x - p.X
-			dy := ys[i] - p.Y
-			dSq := dx*dx + dy*dy
-			if len(h.items) >= h.k && dSq > h.items[0].dSq {
-				continue
-			}
-			h.offer(geom.Point{X: x, Y: ys[i]}, dSq)
-		}
-		return len(xs)
-	}
-	if len(h.items) >= h.k {
-		// Heap already full: compress-store the only lanes at or below the
-		// bound at span entry. The bound only tightens within a span, so
-		// this is a superset of the fused loop's survivors, and offer's own
-		// ordering test filters the rest — the final heap is identical.
-		if cap(s.selIdx) < len(xs) {
-			s.selIdx = make([]int32, len(xs))
-		}
-		m := b.SelectWithinSq(p, h.boundSq(), s.selIdx[:len(xs)])
-		for _, lane := range s.selIdx[:m] {
-			x, y := xs[lane], ys[lane]
-			dx := x - p.X
-			dy := y - p.Y
-			h.offer(geom.Point{X: x, Y: y}, dx*dx+dy*dy)
-		}
-		return len(xs)
-	}
-	// Heap still filling: batch the whole span's distances into scratch,
-	// then offer in order, rechecking the running k-th distance as the heap
-	// fills exactly like the fused loop.
-	if cap(s.dists) < len(xs) {
-		s.dists = make([]float64, len(xs))
-	}
-	dists := s.dists[:len(xs)]
-	b.DistSqInto(p, dists)
-	for i, dSq := range dists {
-		if len(h.items) >= h.k && dSq > h.items[0].dSq {
-			continue
-		}
-		h.offer(geom.Point{X: xs[i], Y: ys[i]}, dSq)
-	}
-	return len(xs)
+	return s.heap.scanSpan(b, p, &s.span)
 }
 
 // CountStrictlyCloser counts indexed points in blocks whose MAXDIST from p

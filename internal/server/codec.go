@@ -107,6 +107,21 @@ type KNNSelectRequest struct {
 // Validate implements Request.
 func (r *KNNSelectRequest) Validate() error { return r.Common.validate() }
 
+// KNNSelectBatchRequest asks for σ_{k,f}(dataset) for every focal point of
+// one batch: POST /v1/query/knn-select-batch. Results come back per focal in
+// input order, each byte-identical to the knn-select route's answer for that
+// focal; repeated focals are served from the dataset's epoch-keyed result
+// cache, and identical concurrent requests coalesce into one evaluation.
+type KNNSelectBatchRequest struct {
+	Dataset string     `json:"dataset"`
+	Focals  []PointArg `json:"focals"`
+	K       int        `json:"k"`
+	Common
+}
+
+// Validate implements Request.
+func (r *KNNSelectBatchRequest) Validate() error { return r.Common.validate() }
+
 // KNNJoinRequest asks for outer ⋈kNN inner: POST /v1/query/knn-join.
 type KNNJoinRequest struct {
 	Outer string `json:"outer"`
@@ -224,8 +239,8 @@ type TripleRow struct {
 }
 
 // QueryResponse is the shared response envelope; exactly one of Points,
-// Pairs and Triples is set, matching the route's result shape. Rows come
-// back in the engine's order (ascending (distance, X, Y) for selects,
+// Pairs, Triples and Batches is set, matching the route's result shape. Rows
+// come back in the engine's order (ascending (distance, X, Y) for selects,
 // evaluation order for joins — canonical SortPairs/SortTriples order when
 // any operand is sharded).
 type QueryResponse struct {
@@ -233,8 +248,13 @@ type QueryResponse struct {
 	Pairs   []PairRow   `json:"pairs,omitempty"`
 	Triples []TripleRow `json:"triples,omitempty"`
 
-	// Count is the number of result rows (len of the set field), present
-	// even when the result is empty.
+	// Batches is the knn-select-batch result: one point list per focal, in
+	// focal input order.
+	Batches [][]PointRow `json:"batches,omitempty"`
+
+	// Count is the number of result rows (len of the set field; total rows
+	// across all Batches for the batch route), present even when the result
+	// is empty.
 	Count int `json:"count"`
 
 	// Stats are the query's operation counters.

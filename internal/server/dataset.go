@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	twoknn "repro"
@@ -60,15 +61,55 @@ func BuildSource(name string, sp dataload.Spec, o BuildOptions) (twoknn.Source, 
 // SplitDatasetArg splits a -dataset flag value "name=spec" (e.g.
 // "trips=berlinmod:n=20000,seed=1" or "sites=points.csv").
 func SplitDatasetArg(s string) (name string, spec dataload.Spec, err error) {
+	name, spec, _, err = SplitDatasetArgOptions(s)
+	return name, spec, err
+}
+
+// SplitDatasetArgOptions is SplitDatasetArg plus the serving-side options
+// the spec grammar carries beyond dataload's vocabulary: a "max_inflight=N"
+// segment anywhere in the comma-separated option list overrides the
+// server-wide admission bound for this dataset (N > 0 bounds it, N < 0
+// disables the gate), e.g. "trips=berlinmod:n=20000,seed=1,max_inflight=8".
+func SplitDatasetArgOptions(s string) (name string, spec dataload.Spec, opts DatasetOptions, err error) {
 	name, rest, ok := strings.Cut(s, "=")
 	if !ok || name == "" {
-		return "", dataload.Spec{}, fmt.Errorf("dataset %q is not name=spec", s)
+		return "", dataload.Spec{}, DatasetOptions{}, fmt.Errorf("dataset %q is not name=spec", s)
+	}
+	rest, opts, err = extractDatasetOptions(rest)
+	if err != nil {
+		return "", dataload.Spec{}, DatasetOptions{}, fmt.Errorf("dataset %q: %w", name, err)
 	}
 	spec, err = dataload.Parse(rest)
 	if err != nil {
-		return "", dataload.Spec{}, fmt.Errorf("dataset %q: %w", name, err)
+		return "", dataload.Spec{}, DatasetOptions{}, fmt.Errorf("dataset %q: %w", name, err)
 	}
-	return name, spec, nil
+	return name, spec, opts, nil
+}
+
+// extractDatasetOptions strips the serving-side option segments out of a
+// spec string before dataload parses the remainder. The "kind:" head (when
+// present) is kept aside so an option segment directly after the colon is
+// recognized too.
+func extractDatasetOptions(spec string) (string, DatasetOptions, error) {
+	var opts DatasetOptions
+	head, rest := "", spec
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		head, rest = spec[:i+1], spec[i+1:]
+	}
+	segs := strings.Split(rest, ",")
+	kept := segs[:0]
+	for _, seg := range segs {
+		if v, ok := strings.CutPrefix(seg, "max_inflight="); ok {
+			n, err := strconv.Atoi(v)
+			if err != nil || n == 0 {
+				return "", DatasetOptions{}, fmt.Errorf("max_inflight %q is not a non-zero integer", v)
+			}
+			opts.MaxInflight = n
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	return head + strings.Join(kept, ","), opts, nil
 }
 
 // ParseIndexKind parses an index-kind flag value.

@@ -1,0 +1,196 @@
+package server
+
+// White-box tests of the serving-side state PR 8 adds: the single-flight
+// coalescer (deterministically, with a blockable compute), the per-dataset
+// admission-gate override, and the dataset spec grammar's max_inflight
+// segment. The end-to-end behavior rides through batch_route_test.go.
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	twoknn "repro"
+	"repro/internal/dataload"
+)
+
+// TestSingleFlightCoalesces blocks a leader mid-compute, piles followers on
+// the same key, and asserts exactly one evaluation ran and every caller got
+// its result.
+func TestSingleFlightCoalesces(t *testing.T) {
+	s := New(Config{})
+	var computes atomic.Int32
+	started := make(chan struct{})
+	unblock := make(chan struct{})
+
+	const followers = 8
+	var wg sync.WaitGroup
+	results := make([]QueryResponse, followers+1)
+	errs := make([]error, followers+1)
+	run := func(i int) {
+		defer wg.Done()
+		results[i], errs[i] = s.singleFlight(context.Background(), "key", func(context.Context) (QueryResponse, error) {
+			if computes.Add(1) == 1 {
+				close(started)
+			}
+			<-unblock
+			return QueryResponse{Count: 42}, nil
+		})
+	}
+
+	wg.Add(1)
+	go run(0)
+	<-started // the leader is inside compute; everyone else must coalesce
+	for i := 1; i <= followers; i++ {
+		wg.Add(1)
+		go run(i)
+	}
+	// Followers park on the leader's done channel; a different key is
+	// unaffected and computes immediately.
+	other, err := s.singleFlight(context.Background(), "other", func(context.Context) (QueryResponse, error) {
+		return QueryResponse{Count: 7}, nil
+	})
+	if err != nil || other.Count != 7 {
+		t.Fatalf("unrelated key blocked by the flight: %v %v", other, err)
+	}
+	for { // release the leader only once every follower is parked
+		s.flightMu.Lock()
+		parked := s.flights["key"].waiters.Load()
+		s.flightMu.Unlock()
+		if parked == followers {
+			break
+		}
+		runtime.Gosched()
+	}
+	close(unblock)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("%d computations for %d concurrent identical calls, want 1", n, followers+1)
+	}
+	for i := range results {
+		if errs[i] != nil || results[i].Count != 42 {
+			t.Fatalf("caller %d: %v %v", i, results[i], errs[i])
+		}
+	}
+
+	// The flight is gone: a later call recomputes rather than reusing.
+	_, err = s.singleFlight(context.Background(), "key", func(context.Context) (QueryResponse, error) {
+		computes.Add(1)
+		return QueryResponse{}, nil
+	})
+	if err != nil || computes.Load() != 2 {
+		t.Fatalf("sequential call did not recompute: computes=%d err=%v", computes.Load(), err)
+	}
+}
+
+// TestSingleFlightWaiterCancel: a follower whose context dies while the
+// leader computes gives up with the engine's cancellation error (504), and
+// the leader is unaffected.
+func TestSingleFlightWaiterCancel(t *testing.T) {
+	s := New(Config{})
+	started := make(chan struct{})
+	unblock := make(chan struct{})
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := s.singleFlight(context.Background(), "key", func(context.Context) (QueryResponse, error) {
+			close(started)
+			<-unblock
+			return QueryResponse{Count: 1}, nil
+		})
+		leaderDone <- err
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := s.singleFlight(ctx, "key", func(context.Context) (QueryResponse, error) {
+		t.Error("follower must not compute")
+		return QueryResponse{}, nil
+	})
+	if !errors.Is(err, twoknn.ErrQueryCanceled) {
+		t.Fatalf("canceled waiter: %v, want ErrQueryCanceled", err)
+	}
+
+	close(unblock)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+}
+
+// TestRegisterInflightOverride checks the three DatasetOptions.MaxInflight
+// regimes against the server-wide default.
+func TestRegisterInflightOverride(t *testing.T) {
+	sp, err := dataload.Parse("uniform:n=50,seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := sp.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := func(name string) *twoknn.Relation {
+		r, err := twoknn.NewRelation(name, pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	s := New(Config{MaxInflight: 4})
+	for name, o := range map[string]DatasetOptions{
+		"inherit":  {},
+		"override": {MaxInflight: 2},
+		"ungated":  {MaxInflight: -1},
+	} {
+		if err := s.RegisterWithOptions(name, rel(name), o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, want := range map[string]int{"inherit": 4, "override": 2, "ungated": 0} {
+		d := s.lookup(name)
+		if got := cap(d.gate); got != want {
+			t.Errorf("dataset %q: gate capacity %d, want %d", name, got, want)
+		}
+		if want == 0 && d.gate != nil {
+			t.Errorf("dataset %q: expected no gate", name)
+		}
+	}
+}
+
+// TestSplitDatasetArgOptions covers the max_inflight spec grammar.
+func TestSplitDatasetArgOptions(t *testing.T) {
+	name, spec, opts, err := SplitDatasetArgOptions("trips=uniform:n=100,seed=1,max_inflight=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "trips" || spec.N != 100 || spec.Seed != 1 || opts.MaxInflight != 8 {
+		t.Fatalf("parsed name=%q spec=%+v opts=%+v", name, spec, opts)
+	}
+
+	// The segment works anywhere in the option list, and a negative value
+	// (gate disabled) parses.
+	_, _, opts, err = SplitDatasetArgOptions("trips=uniform:max_inflight=-1,n=100,seed=1")
+	if err != nil || opts.MaxInflight != -1 {
+		t.Fatalf("mid-list segment: opts=%+v err=%v", opts, err)
+	}
+
+	// No segment: zero value, spec untouched.
+	_, spec, opts, err = SplitDatasetArgOptions("trips=uniform:n=100,seed=1")
+	if err != nil || opts.MaxInflight != 0 || spec.N != 100 {
+		t.Fatalf("plain spec: spec=%+v opts=%+v err=%v", spec, opts, err)
+	}
+
+	// Zero and non-numeric values are rejected.
+	for _, bad := range []string{
+		"trips=uniform:n=100,max_inflight=0",
+		"trips=uniform:n=100,max_inflight=lots",
+	} {
+		if _, _, _, err := SplitDatasetArgOptions(bad); err == nil {
+			t.Errorf("%q: expected an error", bad)
+		}
+	}
+}

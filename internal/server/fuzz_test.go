@@ -18,6 +18,7 @@ import (
 // shares one decoder.
 var requestFactories = []func() server.Request{
 	func() server.Request { return new(server.KNNSelectRequest) },
+	func() server.Request { return new(server.KNNSelectBatchRequest) },
 	func() server.Request { return new(server.KNNJoinRequest) },
 	func() server.Request { return new(server.SelectInnerJoinRequest) },
 	func() server.Request { return new(server.SelectOuterJoinRequest) },
@@ -30,6 +31,7 @@ var requestFactories = []func() server.Request{
 func FuzzRequestDecode(f *testing.F) {
 	seeds := []string{
 		`{"dataset":"trips","f":{"x":5000,"y":5000},"k":5}`,
+		`{"dataset":"trips","focals":[{"x":5000,"y":5000},{"x":4000,"y":6000}],"k":5}`,
 		`{"outer":"a","inner":"b","k":3,"timeout_ms":250}`,
 		`{"outer":"a","inner":"b","f":{"x":1,"y":2},"k_join":3,"k_sel":8,"algorithm":"block-marking"}`,
 		`{"outer":"a","inner":"b","f":{"x":1,"y":2},"k_sel":6,"k_join":3,"explain":true}`,

@@ -5,6 +5,7 @@ import (
 	"net/http"
 
 	twoknn "repro"
+	"repro/internal/qcache"
 )
 
 // queryOpts assembles the engine options every route shares: the request
@@ -85,6 +86,92 @@ func (s *Server) handleKNNSelect(w http.ResponseWriter, r *http.Request) {
 			return finish(QueryResponse{Points: rows, Count: len(rows)}, &st, explain, d), nil
 		}
 	})
+}
+
+func (s *Server) handleKNNSelectBatch(w http.ResponseWriter, r *http.Request) {
+	var req KNNSelectBatchRequest
+	s.serve(w, r, "knn-select-batch", &req, func() ([]*dataset, func(context.Context) (QueryResponse, error)) {
+		d := s.lookup(req.Dataset)
+		return []*dataset{d}, func(ctx context.Context) (QueryResponse, error) {
+			// Coalesce identical concurrent requests: the flight key is the
+			// request's canonical re-encoding, so any field difference
+			// (focals, k, algorithm, explain, timeout) splits flights.
+			key, err := EncodeRequest(&req)
+			if err != nil {
+				return QueryResponse{}, err
+			}
+			return s.singleFlight(ctx, string(key), func(ctx context.Context) (QueryResponse, error) {
+				return s.evalKNNSelectBatch(ctx, d, &req)
+			})
+		}
+	})
+}
+
+// evalKNNSelectBatch is the batch route's leader evaluation: probe the
+// dataset's epoch-keyed result cache per focal, run the engine's batched
+// driver once over all misses, store their IDs back, and render. EXPLAIN
+// requests bypass the cache so the rendered plan reflects a real evaluation.
+func (s *Server) evalKNNSelectBatch(ctx context.Context, d *dataset, req *KNNSelectBatchRequest) (QueryResponse, error) {
+	var st twoknn.Stats
+	opts, explain := queryOpts(ctx, &req.Common, &st)
+
+	batches := make([][]PointRow, len(req.Focals))
+	missIdx := make([]int, 0, len(req.Focals))
+	missFocals := make([]twoknn.Point, 0, len(req.Focals))
+	var epoch uint64
+	useCache := d != nil && !req.Explain
+	if useCache {
+		epoch = d.src.Epoch()
+	}
+	for i, f := range req.Focals {
+		if useCache {
+			key := qcache.Key{Epoch: epoch, FX: f.X, FY: f.Y, K: req.K, Shape: qcache.ShapeKNNSelect}
+			if ids, ok := d.cache.Get(key); ok {
+				st.AddCacheHit()
+				rows := make([]PointRow, len(ids))
+				for j, id := range ids {
+					rows[j] = d.rowsByID[id]
+				}
+				batches[i] = rows
+				continue
+			}
+			st.AddCacheMiss()
+		}
+		missIdx = append(missIdx, i)
+		missFocals = append(missFocals, f.Point())
+	}
+
+	if len(missFocals) > 0 || d == nil {
+		res, err := twoknn.KNNSelectBatch(source(d), missFocals, req.K, opts...)
+		if err != nil {
+			return QueryResponse{}, err
+		}
+		for j, i := range missIdx {
+			rows := pointRows(d, res[j])
+			batches[i] = rows
+			if useCache {
+				ids := make([]int32, len(rows))
+				cacheable := true
+				for r, row := range rows {
+					if row.ID < 0 {
+						cacheable = false // unresolvable point; don't memoize
+						break
+					}
+					ids[r] = row.ID
+				}
+				if cacheable {
+					f := req.Focals[i]
+					d.cache.Put(qcache.Key{Epoch: epoch, FX: f.X, FY: f.Y, K: req.K, Shape: qcache.ShapeKNNSelect}, ids)
+				}
+			}
+		}
+	}
+
+	count := 0
+	for _, rows := range batches {
+		count += len(rows)
+	}
+	return finish(QueryResponse{Batches: batches, Count: count}, &st, explain, d), nil
 }
 
 func (s *Server) handleKNNJoin(w http.ResponseWriter, r *http.Request) {

@@ -82,6 +82,13 @@ type DatasetMetrics struct {
 	// when the server runs without MaxInflight).
 	Inflight int `json:"inflight"`
 
+	// CacheHits / CacheMisses are the dataset's lifetime result-cache
+	// counters (the batch route's epoch-keyed cache), broken out of Stats
+	// for dashboards; CacheEntries is the resident entry count.
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	CacheEntries int   `json:"cache_entries"`
+
 	// Stats accumulates the engine's operation counters over every request
 	// this dataset participated in.
 	Stats twoknn.Stats `json:"stats"`
@@ -124,11 +131,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RUnlock()
 
 	for _, d := range ds {
+		snap := d.stats.Snapshot()
 		dm := DatasetMetrics{
-			Points:   d.src.Len(),
-			Index:    d.src.IndexKind().String(),
-			Inflight: len(d.gate),
-			Stats:    d.stats.Snapshot(),
+			Points:       d.src.Len(),
+			Index:        d.src.IndexKind().String(),
+			Inflight:     len(d.gate),
+			CacheHits:    snap.CacheHits,
+			CacheMisses:  snap.CacheMisses,
+			CacheEntries: d.cache.Len(),
+			Stats:        snap,
 		}
 		switch r := d.src.(type) {
 		case *twoknn.Relation:

@@ -1,7 +1,9 @@
 // Package server is the HTTP/JSON query front-end of the twoknn engine: it
 // holds one query source (single or sharded relation) per named dataset and
-// routes all eight public entry points through typed request/response
-// structs that carry stable int32 point IDs plus coordinates.
+// routes every public entry point — including the batched kNN-select, whose
+// route adds an epoch-keyed result cache and single-flight request
+// coalescing — through typed request/response structs that carry stable
+// int32 point IDs plus coordinates.
 //
 // The wire layer adds nothing to the answer — the differential battery in
 // server_test.go holds every route byte-identical (after canonical sort) to
@@ -29,9 +31,11 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	twoknn "repro"
+	"repro/internal/qcache"
 )
 
 // Config parameterizes a Server.
@@ -62,8 +66,9 @@ func (c Config) withDefaults() Config {
 }
 
 // dataset is one registered query source plus the serving-side state the
-// engine does not carry: the admission gate and the coordinate→stable-ID
-// mapping the response codec resolves rows through.
+// engine does not carry: the admission gate, the coordinate→stable-ID
+// mapping the response codec resolves rows through, and the epoch-keyed
+// result cache of the batch route.
 type dataset struct {
 	name string
 	src  twoknn.Source
@@ -75,6 +80,17 @@ type dataset struct {
 	// idOf maps a point's coordinates to its stable ID. Co-located points
 	// resolve to the smallest ID, deterministically.
 	idOf map[twoknn.Point]int32
+
+	// rowsByID is the inverse rendering table: the PointRow of every stable
+	// ID (IDs are input positions, so the table is dense). Cache hits
+	// rebuild response rows from stored IDs through it without touching the
+	// engine.
+	rowsByID []PointRow
+
+	// cache memoizes per-focal batch results keyed by (epoch, focal, k,
+	// shape); see internal/qcache. Entries from a stale epoch become
+	// unreachable the moment src's epoch is bumped.
+	cache *qcache.Cache
 
 	// stats accumulates the engine's operation counters across every
 	// request served from this dataset (atomic; see twoknn.WithStats).
@@ -119,6 +135,24 @@ type Server struct {
 
 	mu       sync.RWMutex
 	datasets map[string]*dataset
+
+	// flights coalesces identical concurrent batch requests: the first
+	// request with a key becomes the leader and evaluates; followers wait on
+	// its done channel and share the response. Keys are the canonical
+	// re-encoding of the decoded request, so "identical" means
+	// field-for-field equal.
+	flightMu sync.Mutex
+	flights  map[string]*flightCall
+}
+
+// flightCall is one in-flight coalesced evaluation. waiters counts the
+// followers currently parked on done (an observability hook; the coalescing
+// tests synchronize on it).
+type flightCall struct {
+	done    chan struct{}
+	waiters atomic.Int32
+	resp    QueryResponse
+	err     error
 }
 
 // New builds a Server with no datasets.
@@ -127,12 +161,31 @@ func New(cfg Config) *Server {
 		cfg:      cfg.withDefaults(),
 		metrics:  newMetrics(),
 		datasets: make(map[string]*dataset),
+		flights:  make(map[string]*flightCall),
 	}
+}
+
+// DatasetOptions are per-dataset overrides of the server-wide Config.
+type DatasetOptions struct {
+	// MaxInflight overrides Config.MaxInflight for this dataset: positive
+	// bounds this dataset's concurrent requests, negative disables the gate
+	// even when the server has one, zero inherits the server setting. The
+	// knnserve dataset spec grammar sets it via a "max_inflight=N" option.
+	MaxInflight int
+
+	// CacheCapacity bounds the dataset's batch result cache in entries;
+	// zero selects the qcache default.
+	CacheCapacity int
 }
 
 // Register adds src under name, building the stable-ID mapping for response
 // rows. Registering a name twice or a nil source is an error.
 func (s *Server) Register(name string, src twoknn.Source) error {
+	return s.RegisterWithOptions(name, src, DatasetOptions{})
+}
+
+// RegisterWithOptions is Register with per-dataset overrides.
+func (s *Server) RegisterWithOptions(name string, src twoknn.Source, o DatasetOptions) error {
 	if name == "" {
 		return fmt.Errorf("server: dataset name must be non-empty")
 	}
@@ -153,15 +206,22 @@ func (s *Server) Register(name string, src twoknn.Source) error {
 		return fmt.Errorf("server: dataset %q has unsupported source type %T", name, src)
 	}
 	idOf := make(map[twoknn.Point]int32, len(pts))
+	rowsByID := make([]PointRow, len(pts))
 	for i, p := range pts {
 		if old, ok := idOf[p]; !ok || ids[i] < old {
 			idOf[p] = ids[i]
 		}
+		rowsByID[ids[i]] = PointRow{ID: ids[i], X: p.X, Y: p.Y}
 	}
 
-	d := &dataset{name: name, src: src, idOf: idOf}
-	if s.cfg.MaxInflight > 0 {
-		d.gate = make(chan struct{}, s.cfg.MaxInflight)
+	d := &dataset{name: name, src: src, idOf: idOf, rowsByID: rowsByID,
+		cache: qcache.New(o.CacheCapacity)}
+	inflight := s.cfg.MaxInflight
+	if o.MaxInflight != 0 {
+		inflight = o.MaxInflight
+	}
+	if inflight > 0 {
+		d.gate = make(chan struct{}, inflight)
 	}
 
 	s.mu.Lock()
@@ -196,13 +256,15 @@ func (s *Server) lookup(name string) *dataset {
 // Handler returns the routing handler:
 //
 //	POST /v1/query/knn-select         POST /v1/query/two-selects
-//	POST /v1/query/knn-join           POST /v1/query/unchained-joins
-//	POST /v1/query/select-inner-join  POST /v1/query/chained-joins
-//	POST /v1/query/select-outer-join  POST /v1/query/range-inner-join
+//	POST /v1/query/knn-select-batch   POST /v1/query/unchained-joins
+//	POST /v1/query/knn-join           POST /v1/query/chained-joins
+//	POST /v1/query/select-inner-join  POST /v1/query/range-inner-join
+//	POST /v1/query/select-outer-join
 //	GET  /metrics                     GET  /healthz
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query/knn-select", s.handleKNNSelect)
+	mux.HandleFunc("POST /v1/query/knn-select-batch", s.handleKNNSelectBatch)
 	mux.HandleFunc("POST /v1/query/knn-join", s.handleKNNJoin)
 	mux.HandleFunc("POST /v1/query/select-inner-join", s.handleSelectInnerJoin)
 	mux.HandleFunc("POST /v1/query/select-outer-join", s.handleSelectOuterJoin)
@@ -270,7 +332,7 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, route string, req
 
 	release, ok := admit(datasets...)
 	if !ok {
-		s.shed(w, m, fmt.Errorf("server: dataset admission gate full (max %d inflight)", s.cfg.MaxInflight))
+		s.shed(w, m, fmt.Errorf("server: dataset admission gate full"))
 		return
 	}
 	defer release()
@@ -296,6 +358,8 @@ func timeoutOf(req Request) int64 {
 	switch r := req.(type) {
 	case *KNNSelectRequest:
 		return r.TimeoutMS
+	case *KNNSelectBatchRequest:
+		return r.TimeoutMS
 	case *KNNJoinRequest:
 		return r.TimeoutMS
 	case *SelectInnerJoinRequest:
@@ -313,6 +377,40 @@ func timeoutOf(req Request) int64 {
 	default:
 		return 0
 	}
+}
+
+// singleFlight coalesces concurrent evaluations sharing a key: the first
+// caller computes under its own context, every concurrent caller with the
+// same key waits for that result and shares it (response, error and all).
+// The key is deleted before done closes, so a request arriving after the
+// leader finished starts a fresh flight — coalescing only ever spans truly
+// concurrent work and never serves stale answers (result reuse across time
+// is the epoch-keyed cache's job). A waiter whose own context expires first
+// gives up with the engine's cancellation error, mapping to 504.
+func (s *Server) singleFlight(ctx context.Context, key string, compute func(context.Context) (QueryResponse, error)) (QueryResponse, error) {
+	s.flightMu.Lock()
+	if c, ok := s.flights[key]; ok {
+		c.waiters.Add(1)
+		s.flightMu.Unlock()
+		defer c.waiters.Add(-1)
+		select {
+		case <-c.done:
+			return c.resp, c.err
+		case <-ctx.Done():
+			return QueryResponse{}, fmt.Errorf("%w: %v while waiting on a coalesced request", twoknn.ErrQueryCanceled, ctx.Err())
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	s.flights[key] = c
+	s.flightMu.Unlock()
+
+	c.resp, c.err = compute(ctx)
+
+	s.flightMu.Lock()
+	delete(s.flights, key)
+	s.flightMu.Unlock()
+	close(c.done)
+	return c.resp, c.err
 }
 
 // shed writes the 429 shed-load response with its Retry-After hint.

@@ -47,8 +47,11 @@ type Counters struct {
 	// neighborhood computation (the Counting algorithm's per-tuple prune).
 	OuterSkipped int64
 
-	// CacheHits / CacheMisses count probes of the chained-join neighborhood
-	// cache (Section 4.2 of the paper).
+	// CacheHits / CacheMisses count probes of every result-memoization
+	// layer: the chained-join neighborhood cache (Section 4.2 of the paper)
+	// and the serving layer's epoch-keyed query result cache
+	// (internal/qcache). A hit means the probed answer was reused without
+	// recomputation; a miss means the probe fell through to evaluation.
 	CacheHits   int64
 	CacheMisses int64
 }

@@ -1,6 +1,8 @@
 package twoknn
 
 import (
+	"sync/atomic"
+
 	"errors"
 	"fmt"
 	"sync"
@@ -105,6 +107,11 @@ type Source interface {
 	Bounds() Rect
 	// IndexKind returns the index implementation the relation was built on.
 	IndexKind() IndexKind
+	// Epoch returns the data-version number of the relation's snapshot.
+	// Today's relations are immutable, so the epoch changes only through an
+	// explicit Invalidate call; result caches key on it so the mutability
+	// work planned in the ROADMAP invalidates them for free.
+	Epoch() uint64
 
 	// execGroup returns the scatter/gather view (seals the interface).
 	execGroup() shard.Group
@@ -129,6 +136,10 @@ type Relation struct {
 	name string
 	kind IndexKind
 	rel  *core.Relation
+
+	// epoch is the data-version number of the snapshot, shared by every
+	// clone (it belongs to the data, not the handle). See Source.Epoch.
+	epoch *atomic.Uint64
 
 	// byID lazily maps a stable point ID to its position in the permuted
 	// store (built on first PointByID).
@@ -231,7 +242,15 @@ func NewRelation(name string, pts []Point, opts ...RelationOption) (*Relation, e
 	} else {
 		rel = core.NewRelation(ix)
 	}
-	return &Relation{name: name, kind: cfg.kind, rel: rel}, nil
+	return &Relation{name: name, kind: cfg.kind, rel: rel, epoch: newEpoch()}, nil
+}
+
+// newEpoch returns a fresh epoch counter starting at 1 (0 never names a
+// live snapshot, so zero-valued cache keys cannot alias one).
+func newEpoch() *atomic.Uint64 {
+	e := new(atomic.Uint64)
+	e.Store(1)
+	return e
 }
 
 // Name returns the relation's name.
@@ -295,8 +314,19 @@ func (r *Relation) PointByID(id int32) (p Point, ok bool) {
 // retained for API continuity with the pre-concurrency versions of this
 // package, not for performance.
 func (r *Relation) Clone() *Relation {
-	return &Relation{name: r.name, kind: r.kind, rel: r.rel.Clone()}
+	return &Relation{name: r.name, kind: r.kind, rel: r.rel.Clone(), epoch: r.epoch}
 }
+
+// Epoch implements Source: the data-version number of the snapshot. Clones
+// share it — the epoch names the data, not the handle.
+func (r *Relation) Epoch() uint64 { return r.epoch.Load() }
+
+// Invalidate bumps the relation's epoch, making every cached result keyed
+// on the previous epoch unreachable. Relations are immutable today, so this
+// is an explicit hook (e.g. for a server swapping the dataset behind a
+// name); the ROADMAP's mutable-relation work will call it from the update
+// path.
+func (r *Relation) Invalidate() { r.epoch.Add(1) }
 
 // KNNSelect returns the k points of the relation closest to the focal point
 // f (σ_{k,f}), in ascending (distance, X, Y) order. It errors on a nil

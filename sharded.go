@@ -3,6 +3,7 @@ package twoknn
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/geom"
 	"repro/internal/index"
@@ -76,6 +77,10 @@ type ShardedRelation struct {
 	policy ShardPolicy
 	bounds Rect
 	sh     *shard.Relation
+
+	// epoch is the data-version number of the partitioned snapshot; see
+	// Source.Epoch.
+	epoch *atomic.Uint64
 }
 
 // NewShardedRelation indexes pts under the given name, partitioned across
@@ -111,8 +116,15 @@ func NewShardedRelation(name string, pts []Point, shards int, opts ...RelationOp
 	if err != nil {
 		return nil, fmt.Errorf("twoknn: building %s-sharded %s relation %q: %w", cfg.shardPolicy, cfg.kind, name, err)
 	}
-	return &ShardedRelation{name: name, kind: cfg.kind, policy: cfg.shardPolicy, bounds: bounds, sh: sh}, nil
+	return &ShardedRelation{name: name, kind: cfg.kind, policy: cfg.shardPolicy, bounds: bounds, sh: sh, epoch: newEpoch()}, nil
 }
+
+// Epoch implements Source; see Relation.Epoch.
+func (sr *ShardedRelation) Epoch() uint64 { return sr.epoch.Load() }
+
+// Invalidate bumps the partitioned snapshot's epoch; see
+// Relation.Invalidate.
+func (sr *ShardedRelation) Invalidate() { sr.epoch.Add(1) }
 
 // shardIndexBuilder returns the per-shard index constructor for the kind.
 // An explicit relation bounds applies to every shard; otherwise non-empty
