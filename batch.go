@@ -37,7 +37,7 @@ func KNNSelectBatch(rel Source, focals []Point, k int, opts ...QueryOption) ([][
 		if r == nil {
 			return shard.SelectBatch(cfg.ctx, rel.execGroup(), focals, k, cfg.stats), nil
 		}
-		h := acquireHandle(cfg.ctx, r.rel)
+		h := acquireHandle(cfg.ctx, r.snapshot().rel)
 		defer h.Release()
 		d := batch.Acquire()
 		defer batch.Release(d)
@@ -77,7 +77,7 @@ func TwoSelectsBatch(rel Source, f1s []Point, k1 int, f2s []Point, k2 int, opts 
 		if r == nil {
 			return shard.TwoSelectsBatch(cfg.ctx, rel.execGroup(), f1s, k1, f2s, k2, conceptual, cfg.stats), nil
 		}
-		h := acquireHandle(cfg.ctx, r.rel)
+		h := acquireHandle(cfg.ctx, r.snapshot().rel)
 		defer h.Release()
 		d := batch.Acquire()
 		defer batch.Release(d)

@@ -52,7 +52,8 @@
 // Every query entry point — KNNSelect, KNNJoin, SelectInnerJoin,
 // SelectOuterJoin, TwoSelects, UnchainedJoins, ChainedJoins,
 // RangeInnerJoin — is safe to call from any number of goroutines against
-// the same *Relation values. A Relation's index is immutable; the mutable
+// the same *Relation values. A Relation's data is versioned in immutable
+// snapshots (see Mutability below); the mutable
 // searcher scratch (iterator pools, selection heap, result buffer) lives
 // in per-goroutine handles managed by an internal searcher pool. At entry
 // a query borrows one handle for each relation whose searcher it actually
@@ -80,6 +81,38 @@
 // Stats counters are atomic, so one *Stats may accumulate across
 // concurrent queries. Clone remains available to give a long-lived
 // component a dedicated handle, but is no longer required for correctness.
+//
+// # Mutability
+//
+// A Relation accepts in-place mutations: Insert appends points and
+// returns their assigned stable IDs, Remove tombstones live IDs, Update
+// moves a live point or re-inserts a dead or brand-new ID (an upsert).
+// Mutations land in a delta overlay over the immutable base index — an
+// append-only columnar side store for inserts, compacted replacement
+// blocks for removals — and every query shape reads base and delta
+// through the same batched kernels, returning answers byte-identical to a
+// from-scratch rebuild of the live set.
+//
+// The snapshot semantics: readers never lock. Every query entry point
+// atomically loads the relation's current snapshot and evaluates entirely
+// against it, so a query observes either all of a mutation batch or none
+// of it, a batch query answers a repeated focal identically within the
+// batch, and a mutation never perturbs a query already in flight (the old
+// snapshot stays alive until its last reader finishes). Writers are
+// serialized against each other and publish a new snapshot per batch;
+// each publish bumps Epoch, which is what invalidates epoch-keyed result
+// caches automatically.
+//
+// When the delta fraction crosses WithCompactThreshold (default 0.25; a
+// negative threshold disables the trigger), a background merge rebuilds a
+// block-contiguous store and index from the live set and swaps it in;
+// Compact forces the merge synchronously. Compaction does not change the
+// live set, so it does not bump the epoch, and post-merge reads are
+// indistinguishable from a never-mutated relation — flat spans, SIMD
+// scans, zero allocations steady-state. DeltaStats reports the epoch,
+// delta residency, tombstone count and lifetime mutation/compaction
+// totals. ShardedRelation does not accept mutations yet; partition
+// routing of writes is an open roadmap item.
 //
 // # Robustness
 //
@@ -149,9 +182,10 @@
 // cmd/knnbench records the amortization curve (BENCH_PR8.json).
 //
 // Above the driver sits an epoch-guarded result cache. Relation and
-// ShardedRelation carry a monotonic dataset epoch (Epoch reads it,
-// Invalidate bumps it — the hook a future mutable-relation path will call
-// on every write); internal/qcache memoizes (epoch, focal, k, shape) →
+// ShardedRelation carry a monotonic dataset epoch (Epoch reads it;
+// Invalidate bumps it by hand, and on a Relation every Insert, Remove and
+// Update batch bumps it automatically);
+// internal/qcache memoizes (epoch, focal, k, shape) →
 // stable-ID answers in a bounded, sharded-lock map whose hit path
 // allocates nothing. Because the epoch is part of the key, invalidation is
 // O(1) and stale entries can never be served. Cache probes are counted by

@@ -12,9 +12,11 @@ import (
 	"repro/internal/index"
 	"repro/internal/index/grid"
 	"repro/internal/index/kdtree"
+	"repro/internal/index/overlay"
 	"repro/internal/index/quadtree"
 	"repro/internal/index/rtree"
 	"repro/internal/kernel"
+	"repro/internal/locality"
 	"repro/internal/qcache"
 	"repro/internal/shard"
 	"repro/internal/stats"
@@ -27,7 +29,7 @@ import (
 // parallel join, the concurrent-serving contention sweep, and the
 // columnar-layout scan comparison. They run through the same harness as
 // the figures.
-var Ablations = []Experiment{ablPreprocess, ablIndexKinds, ablParallel, ablContention, ablLayout, ablKernel, ablShards, ablCancel, ablBatch, ablCache}
+var Ablations = []Experiment{ablPreprocess, ablIndexKinds, ablParallel, ablContention, ablLayout, ablKernel, ablShards, ablCancel, ablBatch, ablCache, ablMutate}
 
 // ParallelExperiments are the concurrency-focused subset run by
 // `knnbench -parallel` (the BENCH_PR2.json trajectory).
@@ -677,6 +679,106 @@ var ablCancel = Experiment{
 					}},
 				},
 			})
+		}
+		return cases
+	},
+}
+
+// --- Ablation: mutable-relation delta overlay ---
+
+// ablMutate isolates the PR 9 delta overlay: the same kNN-select stream
+// runs over an overlay snapshot holding a growing delta fraction (half
+// fresh inserts, half base tombstones) and over the block-contiguous
+// rebuild of the identical live set — the state an epoch-swapped merge
+// produces. Equal cardinalities are the post-compact parity proof; the
+// ns/op gap between the two plans is the price of reading through the
+// overlay, and the single-plan merge cases price the compaction itself
+// (live-set extraction + fresh grid build) at each residency level. At
+// fraction 0 the overlay snapshot IS the base index, so that row doubles
+// as the static baseline the compacted plan must sit within noise of.
+var ablMutate = Experiment{
+	ID:     "abl-mutate",
+	Title:  "mutable relations: kNN-select through a delta overlay vs the compacted rebuild of the same live set (k=10, BerlinMOD, 64 clustered focals)",
+	XLabel: "delta fraction",
+	Expect: "identical cardinalities between overlay and compacted at every fraction; overlay cost grows with delta residency while compacted stays flat at the fraction-0 baseline, and merge cost scales with the live set, not the delta",
+	Cases: func(scale Scale) []Case {
+		n := 40000
+		if scale == ScalePaper {
+			n = 200000
+		}
+		focals := ClusteredPoints("abl-mutate/focals", 8, 8, 100)
+		var cases []Case
+		for _, pct := range []int{0, 1, 10, 50} {
+			base := BerlinMODRelationCell("abl-mutate", n, 64).Ix
+			ov := overlay.NewStore(base, 64)
+			m := n * pct / 100
+			ins := UniformPoints(fmt.Sprintf("abl-mutate/delta%d", pct), m/2)
+			next := int32(n)
+			for _, p := range ins {
+				ov.Insert(p, next)
+				next++
+			}
+			for i := 0; i < m-len(ins); i++ {
+				// Stride 7 is coprime with the sweep sizes, so every removal
+				// hits a distinct live base ID.
+				ov.Remove(int32(i * 7 % n))
+			}
+			snap := ov.Snapshot()
+			live := ov.LiveStore()
+			compacted, err := grid.NewFromStore(live, grid.Options{TargetPerCell: 64, Bounds: snap.Bounds()})
+			if err != nil {
+				panic(fmt.Sprintf("bench: abl-mutate compacted rebuild: %v", err))
+			}
+			sOverlay := locality.NewSearcher(snap)
+			sCompacted := locality.NewSearcher(compacted)
+			cases = append(cases,
+				Case{
+					X: fmt.Sprintf("%d%%-%d", pct, n),
+					Plans: []Plan{
+						{Name: "overlay", Run: func(c *stats.Counters) int {
+							total := 0
+							for _, q := range focals {
+								total += sOverlay.Neighborhood(q, kDefault, c).Len()
+							}
+							return total
+						}},
+						{Name: "compacted", Run: func(c *stats.Counters) int {
+							total := 0
+							for _, q := range focals {
+								total += sCompacted.Neighborhood(q, kDefault, c).Len()
+							}
+							return total
+						}},
+					},
+				},
+				// The merge rows price compaction itself, with the same column
+				// names so the reporter aligns them: "overlay" extracts the
+				// live set out of the delta overlay and rebuilds, "compacted"
+				// rebuilds from already-contiguous data (copy + build). The
+				// gap between them is the extraction overhead; both scale
+				// with the live set, not the delta.
+				Case{
+					X: fmt.Sprintf("merge-%d%%-%d", pct, n),
+					Plans: []Plan{
+						{Name: "overlay", Run: func(c *stats.Counters) int {
+							ls := ov.LiveStore()
+							if _, err := grid.NewFromStore(ls, grid.Options{TargetPerCell: 64, Bounds: snap.Bounds()}); err != nil {
+								panic(fmt.Sprintf("bench: abl-mutate merge: %v", err))
+							}
+							return ls.Len()
+						}},
+						{Name: "compacted", Run: func(c *stats.Counters) int {
+							cp := geom.NewPointStore(live.Len())
+							for i := 0; i < live.Len(); i++ {
+								cp.AppendWithID(live.At(i), live.ID(i))
+							}
+							if _, err := grid.NewFromStore(cp, grid.Options{TargetPerCell: 64, Bounds: snap.Bounds()}); err != nil {
+								panic(fmt.Sprintf("bench: abl-mutate rebuild: %v", err))
+							}
+							return cp.Len()
+						}},
+					},
+				})
 		}
 		return cases
 	},

@@ -71,6 +71,21 @@ func (st *PointStore) AppendWithID(p Point, id int32) {
 	st.IDs = append(st.IDs, id)
 }
 
+// View returns a frozen view of the first n points: a store whose slice
+// headers are capped at n, sharing the backing arrays. Appends to the
+// original store after the view is taken — even ones that land in the same
+// backing array — are invisible to the view and race-free with respect to
+// it, because readers of the view never touch the original headers or any
+// element at position >= n. This is what lets an append-only delta store
+// publish immutable snapshots while mutation continues.
+func (st *PointStore) View(n int) *PointStore {
+	return &PointStore{
+		Xs:  st.Xs[:n:n],
+		Ys:  st.Ys[:n:n],
+		IDs: st.IDs[:n:n],
+	}
+}
+
 // Points materializes the store as a Point slice in storage order. It
 // allocates; scan paths iterate Xs/Ys directly instead.
 func (st *PointStore) Points() []Point {

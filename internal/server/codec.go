@@ -216,6 +216,63 @@ type RangeInnerJoinRequest struct {
 // Validate implements Request.
 func (r *RangeInnerJoinRequest) Validate() error { return r.Common.validate() }
 
+// InsertRequest appends points to a mutable dataset: POST /v1/data/insert.
+// Only single (un-sharded) relations accept mutations; the route answers 400
+// for sharded datasets.
+type InsertRequest struct {
+	Dataset string     `json:"dataset"`
+	Points  []PointArg `json:"points"`
+}
+
+// Validate implements Request.
+func (r *InsertRequest) Validate() error {
+	if len(r.Points) == 0 {
+		return fmt.Errorf("insert requires at least one point")
+	}
+	return nil
+}
+
+// RemoveRequest removes points from a mutable dataset by stable ID: POST
+// /v1/data/remove. IDs that are not live are skipped, not errors — the
+// response's removed count reports how many actually went away.
+type RemoveRequest struct {
+	Dataset string  `json:"dataset"`
+	IDs     []int32 `json:"ids"`
+}
+
+// Validate implements Request.
+func (r *RemoveRequest) Validate() error {
+	if len(r.IDs) == 0 {
+		return fmt.Errorf("remove requires at least one id")
+	}
+	for _, id := range r.IDs {
+		if id < 0 {
+			return fmt.Errorf("ids must be non-negative, got %d", id)
+		}
+	}
+	return nil
+}
+
+// MutateResponse is the body of a successful mutation: the post-mutation
+// epoch and cardinality, plus the route-specific effect (assigned IDs for
+// inserts, removed count for removes). Any result cached under an earlier
+// epoch is unreachable from here on.
+type MutateResponse struct {
+	// IDs are the stable IDs assigned to inserted points, in input order
+	// (insert route only).
+	IDs []int32 `json:"ids,omitempty"`
+
+	// Removed is the number of live points actually removed (remove route
+	// only; dead or unknown IDs don't count).
+	Removed int `json:"removed"`
+
+	// Epoch is the dataset's data version after the mutation.
+	Epoch uint64 `json:"epoch"`
+
+	// Len is the dataset's cardinality after the mutation.
+	Len int `json:"len"`
+}
+
 // PointRow is one result point on the wire: the stable int32 point ID (input
 // position in the dataset the point came from; -1 if unresolvable) plus its
 // coordinates.

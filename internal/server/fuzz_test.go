@@ -26,6 +26,8 @@ var requestFactories = []func() server.Request{
 	func() server.Request { return new(server.UnchainedJoinsRequest) },
 	func() server.Request { return new(server.ChainedJoinsRequest) },
 	func() server.Request { return new(server.RangeInnerJoinRequest) },
+	func() server.Request { return new(server.InsertRequest) },
+	func() server.Request { return new(server.RemoveRequest) },
 }
 
 func FuzzRequestDecode(f *testing.F) {
@@ -39,6 +41,10 @@ func FuzzRequestDecode(f *testing.F) {
 		`{"a":"x","b":"y","c":"z","k_ab":2,"k_cb":2}`,
 		`{"a":"x","b":"y","c":"z","k_ab":2,"k_bc":2}`,
 		`{"outer":"a","inner":"b","range":{"min_x":0,"min_y":0,"max_x":10,"max_y":10},"k_join":3}`,
+		`{"dataset":"trips","points":[{"x":1,"y":2},{"x":1,"y":2}]}`,
+		`{"dataset":"trips","ids":[0,7,7,4099]}`,
+		`{"dataset":"trips","ids":[-1]}`,
+		`{"dataset":"trips","points":[]}`,
 		`{"dataset":"trips","k":5,"frobnicate":true}`,
 		`{"dataset":"trips","k":5} trailing`,
 		`{"dataset":"trips","k":5,"timeout_ms":-7}`,

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 
 	twoknn "repro"
@@ -42,11 +43,13 @@ func finish(resp QueryResponse, st *twoknn.Stats, explain *string, ds ...*datase
 	return resp
 }
 
-// pointRows renders a point result against one dataset's ID mapping.
+// pointRows renders a point result against one dataset's current render
+// table (one epoch-check per call, not per point).
 func pointRows(d *dataset, pts []twoknn.Point) []PointRow {
+	rt := d.render()
 	rows := make([]PointRow, len(pts))
 	for i, p := range pts {
-		rows[i] = d.row(p)
+		rows[i] = rt.row(p)
 	}
 	return rows
 }
@@ -54,9 +57,10 @@ func pointRows(d *dataset, pts []twoknn.Point) []PointRow {
 // pairRows renders a join result: Left resolves in the outer dataset,
 // Right in the inner.
 func pairRows(outer, inner *dataset, pairs []twoknn.Pair) []PairRow {
+	ro, ri := outer.render(), inner.render()
 	rows := make([]PairRow, len(pairs))
 	for i, pr := range pairs {
-		rows[i] = PairRow{Left: outer.row(pr.Left), Right: inner.row(pr.Right)}
+		rows[i] = PairRow{Left: ro.row(pr.Left), Right: ri.row(pr.Right)}
 	}
 	return rows
 }
@@ -64,9 +68,10 @@ func pairRows(outer, inner *dataset, pairs []twoknn.Pair) []PairRow {
 // tripleRows renders a two-join result; each column resolves in its own
 // dataset.
 func tripleRows(a, b, c *dataset, ts []twoknn.Triple) []TripleRow {
+	ra, rb, rc := a.render(), b.render(), c.render()
 	rows := make([]TripleRow, len(ts))
 	for i, tr := range ts {
-		rows[i] = TripleRow{A: a.row(tr.A), B: b.row(tr.B), C: c.row(tr.C)}
+		rows[i] = TripleRow{A: ra.row(tr.A), B: rb.row(tr.B), C: rc.row(tr.C)}
 	}
 	return rows
 }
@@ -119,21 +124,24 @@ func (s *Server) evalKNNSelectBatch(ctx context.Context, d *dataset, req *KNNSel
 	missIdx := make([]int, 0, len(req.Focals))
 	missFocals := make([]twoknn.Point, 0, len(req.Focals))
 	var epoch uint64
+	var rt *renderTable
 	useCache := d != nil && !req.Explain
 	if useCache {
 		epoch = d.src.Epoch()
+		rt = d.render()
 	}
 	for i, f := range req.Focals {
 		if useCache {
 			key := qcache.Key{Epoch: epoch, FX: f.X, FY: f.Y, K: req.K, Shape: qcache.ShapeKNNSelect}
 			if ids, ok := d.cache.Get(key); ok {
-				st.AddCacheHit()
-				rows := make([]PointRow, len(ids))
-				for j, id := range ids {
-					rows[j] = d.rowsByID[id]
+				// An ID the table no longer resolves means a mutation slid in
+				// between the epoch read and the table load; fall through to a
+				// real evaluation rather than render a stale row.
+				if rows, ok := rt.rows(ids); ok {
+					st.AddCacheHit()
+					batches[i] = rows
+					continue
 				}
-				batches[i] = rows
-				continue
 			}
 			st.AddCacheMiss()
 		}
@@ -274,6 +282,77 @@ func (s *Server) handleChainedJoins(w http.ResponseWriter, r *http.Request) {
 			return finish(QueryResponse{Triples: rows, Count: len(rows)}, &st, explain, a, b, c), nil
 		}
 	})
+}
+
+// mutable resolves a dataset name to its backing mutable relation. Sharded
+// datasets are rejected: mutation routing across shards (re-partitioning on
+// insert, cross-shard removes) is an open item, and silently mutating one
+// shard would corrupt the partition.
+func (s *Server) mutable(name string) (*dataset, *twoknn.Relation, error) {
+	d := s.lookup(name)
+	if d == nil {
+		return nil, nil, fmt.Errorf("server: unknown dataset %q", name)
+	}
+	rel, ok := d.src.(*twoknn.Relation)
+	if !ok {
+		return nil, nil, fmt.Errorf("server: dataset %q is sharded; sharded datasets do not accept mutations", name)
+	}
+	return d, rel, nil
+}
+
+// serveMutation is the lifecycle shared by the data routes: strict decode,
+// dataset resolution (mutability check included), admission, and the
+// mutation itself. Mutations run under the same per-dataset gate as queries
+// — a saturated dataset sheds writes too — but not under the request
+// deadline: once admitted, a mutation batch is small and always completes.
+func (s *Server) serveMutation(w http.ResponseWriter, r *http.Request, route string, req Request,
+	dataset func() string, apply func(d *dataset, rel *twoknn.Relation) MutateResponse) {
+	m := s.metrics.route(route)
+	m.requests.Add(1)
+
+	if err := DecodeRequest(r.Body, req); err != nil {
+		m.badRequest.Add(1)
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Code: "bad_request"})
+		return
+	}
+	d, rel, err := s.mutable(dataset())
+	if err != nil {
+		m.badRequest.Add(1)
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Code: "bad_request"})
+		return
+	}
+	release, ok := admit(d)
+	if !ok {
+		s.shed(w, m, fmt.Errorf("server: dataset admission gate full"))
+		return
+	}
+	defer release()
+
+	resp := apply(d, rel)
+	m.ok.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req InsertRequest
+	s.serveMutation(w, r, "data-insert", &req, func() string { return req.Dataset },
+		func(d *dataset, rel *twoknn.Relation) MutateResponse {
+			pts := make([]twoknn.Point, len(req.Points))
+			for i, p := range req.Points {
+				pts[i] = p.Point()
+			}
+			ids := rel.Insert(pts...)
+			return MutateResponse{IDs: ids, Epoch: rel.Epoch(), Len: rel.Len()}
+		})
+}
+
+func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
+	var req RemoveRequest
+	s.serveMutation(w, r, "data-remove", &req, func() string { return req.Dataset },
+		func(d *dataset, rel *twoknn.Relation) MutateResponse {
+			removed := rel.Remove(req.IDs...)
+			return MutateResponse{Removed: removed, Epoch: rel.Epoch(), Len: rel.Len()}
+		})
 }
 
 func (s *Server) handleRangeInnerJoin(w http.ResponseWriter, r *http.Request) {

@@ -69,6 +69,15 @@ type DatasetMetrics struct {
 	Points int    `json:"points"`
 	Index  string `json:"index"`
 
+	// Epoch is the dataset's current data version; the batch cache keys on
+	// it, so a bump means every earlier cached result is unreachable.
+	Epoch uint64 `json:"epoch"`
+
+	// Delta is the mutable-relation residency snapshot — live delta points,
+	// tombstones, lifetime mutation batches and background/explicit merges —
+	// absent for sharded datasets, which do not accept mutations.
+	Delta *twoknn.DeltaStats `json:"delta,omitempty"`
+
 	// Shards and Policy are set for sharded datasets only.
 	Shards int    `json:"shards,omitempty"`
 	Policy string `json:"policy,omitempty"`
@@ -141,9 +150,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			CacheEntries: d.cache.Len(),
 			Stats:        snap,
 		}
+		dm.Epoch = d.src.Epoch()
 		switch r := d.src.(type) {
 		case *twoknn.Relation:
 			dm.OutstandingSearchers = r.OutstandingSearchers()
+			ds := r.DeltaStats()
+			dm.Delta = &ds
 		case *twoknn.ShardedRelation:
 			dm.OutstandingSearchers = r.OutstandingSearchers()
 			dm.Shards = r.NumShards()

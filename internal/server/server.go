@@ -67,7 +67,7 @@ func (c Config) withDefaults() Config {
 
 // dataset is one registered query source plus the serving-side state the
 // engine does not carry: the admission gate, the coordinate→stable-ID
-// mapping the response codec resolves rows through, and the epoch-keyed
+// render table the response codec resolves rows through, and the epoch-keyed
 // result cache of the batch route.
 type dataset struct {
 	name string
@@ -77,15 +77,9 @@ type dataset struct {
 	// TryAcquire semantics — a full gate sheds, never queues.
 	gate chan struct{}
 
-	// idOf maps a point's coordinates to its stable ID. Co-located points
-	// resolve to the smallest ID, deterministically.
-	idOf map[twoknn.Point]int32
-
-	// rowsByID is the inverse rendering table: the PointRow of every stable
-	// ID (IDs are input positions, so the table is dense). Cache hits
-	// rebuild response rows from stored IDs through it without touching the
-	// engine.
-	rowsByID []PointRow
+	// table is the current render table; stale the moment src's epoch moves
+	// past its tag, and rebuilt lazily by render(). Never nil after Register.
+	table atomic.Pointer[renderTable]
 
 	// cache memoizes per-focal batch results keyed by (epoch, focal, k,
 	// shape); see internal/qcache. Entries from a stale epoch become
@@ -97,13 +91,79 @@ type dataset struct {
 	stats twoknn.Stats
 }
 
+// renderTable resolves result points to wire rows for one epoch of a
+// dataset: coordinates → smallest stable ID (so co-located duplicates render
+// deterministically no matter which copy an algorithm returned), and stable
+// ID → row for cache hits, which rebuild responses without touching the
+// engine. Mutable relations retire a table on every mutation batch; static
+// and sharded sources keep their Register-time table forever.
+type renderTable struct {
+	epoch    uint64
+	idOf     map[twoknn.Point]int32
+	rowsByID map[int32]PointRow
+}
+
+func newRenderTable(epoch uint64, pts []twoknn.Point, ids []int32) *renderTable {
+	t := &renderTable{
+		epoch:    epoch,
+		idOf:     make(map[twoknn.Point]int32, len(pts)),
+		rowsByID: make(map[int32]PointRow, len(pts)),
+	}
+	for i, p := range pts {
+		if old, ok := t.idOf[p]; !ok || ids[i] < old {
+			t.idOf[p] = ids[i]
+		}
+		t.rowsByID[ids[i]] = PointRow{ID: ids[i], X: p.X, Y: p.Y}
+	}
+	return t
+}
+
 // row renders a result point with its stable ID.
-func (d *dataset) row(p twoknn.Point) PointRow {
-	id, ok := d.idOf[p]
+func (t *renderTable) row(p twoknn.Point) PointRow {
+	id, ok := t.idOf[p]
 	if !ok {
 		id = -1
 	}
 	return PointRow{ID: id, X: p.X, Y: p.Y}
+}
+
+// rows resolves cached stable IDs back to wire rows; ok is false when any ID
+// is not in this table (the live set moved on), in which case the caller
+// treats the cache entry as a miss and re-evaluates.
+func (t *renderTable) rows(ids []int32) ([]PointRow, bool) {
+	rows := make([]PointRow, len(ids))
+	for i, id := range ids {
+		r, ok := t.rowsByID[id]
+		if !ok {
+			return nil, false
+		}
+		rows[i] = r
+	}
+	return rows, true
+}
+
+// render returns a table no older than the epoch current when it was called,
+// rebuilding from a coherent engine snapshot when a mutation has retired the
+// stored one. Concurrent rebuilds race benignly: every stored table is
+// self-consistent, and a last-writer tag that lags the live epoch only costs
+// one extra rebuild.
+func (d *dataset) render() *renderTable {
+	epoch := d.src.Epoch()
+	if t := d.table.Load(); t != nil && t.epoch == epoch {
+		return t
+	}
+	var t *renderTable
+	switch r := d.src.(type) {
+	case *twoknn.Relation:
+		pts, ids := r.PointsWithIDs()
+		t = newRenderTable(epoch, pts, ids)
+	case *twoknn.ShardedRelation:
+		t = newRenderTable(epoch, r.Points(), r.PointIDs())
+	default: // Register rejects other source types
+		t = newRenderTable(epoch, nil, nil)
+	}
+	d.table.Store(t)
+	return t
 }
 
 // tryAcquire claims an admission slot; the zero gate always admits.
@@ -193,29 +253,14 @@ func (s *Server) RegisterWithOptions(name string, src twoknn.Source, o DatasetOp
 		return fmt.Errorf("server: dataset %q: %w", name, twoknn.ErrNilRelation)
 	}
 
-	// One coordinate → smallest stable ID, so co-located duplicates render
-	// deterministically no matter which copy an algorithm returned.
-	var pts []twoknn.Point
-	var ids []int32
-	switch r := src.(type) {
-	case *twoknn.Relation:
-		pts, ids = r.Points(), r.PointIDs()
-	case *twoknn.ShardedRelation:
-		pts, ids = r.Points(), r.PointIDs()
+	switch src.(type) {
+	case *twoknn.Relation, *twoknn.ShardedRelation:
 	default:
 		return fmt.Errorf("server: dataset %q has unsupported source type %T", name, src)
 	}
-	idOf := make(map[twoknn.Point]int32, len(pts))
-	rowsByID := make([]PointRow, len(pts))
-	for i, p := range pts {
-		if old, ok := idOf[p]; !ok || ids[i] < old {
-			idOf[p] = ids[i]
-		}
-		rowsByID[ids[i]] = PointRow{ID: ids[i], X: p.X, Y: p.Y}
-	}
 
-	d := &dataset{name: name, src: src, idOf: idOf, rowsByID: rowsByID,
-		cache: qcache.New(o.CacheCapacity)}
+	d := &dataset{name: name, src: src, cache: qcache.New(o.CacheCapacity)}
+	d.render() // build the initial table eagerly, off the serving path
 	inflight := s.cfg.MaxInflight
 	if o.MaxInflight != 0 {
 		inflight = o.MaxInflight
@@ -260,6 +305,7 @@ func (s *Server) lookup(name string) *dataset {
 //	POST /v1/query/knn-join           POST /v1/query/chained-joins
 //	POST /v1/query/select-inner-join  POST /v1/query/range-inner-join
 //	POST /v1/query/select-outer-join
+//	POST /v1/data/insert              POST /v1/data/remove
 //	GET  /metrics                     GET  /healthz
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -272,6 +318,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/query/unchained-joins", s.handleUnchainedJoins)
 	mux.HandleFunc("POST /v1/query/chained-joins", s.handleChainedJoins)
 	mux.HandleFunc("POST /v1/query/range-inner-join", s.handleRangeInnerJoin)
+	mux.HandleFunc("POST /v1/data/insert", s.handleInsert)
+	mux.HandleFunc("POST /v1/data/remove", s.handleRemove)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux

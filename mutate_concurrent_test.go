@@ -1,0 +1,160 @@
+package twoknn_test
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	twoknn "repro"
+	"repro/internal/datagen"
+)
+
+// TestMutateQueryRaceBattery runs N writer goroutines (inserts, removals,
+// moves, with background compaction enabled) against M reader goroutines
+// across several query shapes. Readers assert snapshot coherence — a batch
+// repeating the same focal must answer it identically within one query —
+// and the battery ends with a leak check and an internal-consistency sweep.
+// Run under -race in CI.
+func TestMutateQueryRaceBattery(t *testing.T) {
+	base := datagen.Uniform(1500, testBounds, 31)
+	rel, err := twoknn.NewRelation("race", base,
+		twoknn.WithBlockCapacity(32), twoknn.WithCompactThreshold(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := uniformRelation(t, "static", 300, 32, twoknn.WithBlockCapacity(32))
+
+	const (
+		writers      = 3
+		readers      = 4
+		writerOps    = 120
+		maxMutatedID = 4000
+	)
+	var wg sync.WaitGroup
+	writersDone := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < writerOps; i++ {
+				switch i % 3 {
+				case 0:
+					pts := make([]twoknn.Point, 5)
+					for j := range pts {
+						pts[j] = twoknn.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+					}
+					rel.Insert(pts...)
+				case 1:
+					rel.Remove(int32(rng.Intn(maxMutatedID)), int32(rng.Intn(maxMutatedID)))
+				default:
+					rel.Update(int32(rng.Intn(maxMutatedID)),
+						twoknn.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000})
+				}
+			}
+		}(int64(w) + 400)
+	}
+	go func() {
+		wg.Wait()
+		close(writersDone)
+	}()
+
+	var rwg sync.WaitGroup
+	errCh := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		rwg.Add(1)
+		go func(seed int64) {
+			defer rwg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for iter := 0; ; iter++ {
+				select {
+				case <-writersDone:
+					if iter > 0 {
+						return
+					}
+				default:
+				}
+				f := twoknn.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+				f2 := twoknn.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+
+				// Coherence: one batch query runs on one snapshot, so a
+				// repeated focal must get a byte-identical answer.
+				batches, err := twoknn.KNNSelectBatch(rel, []twoknn.Point{f, f2, f}, 8)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if !reflect.DeepEqual(batches[0], batches[2]) {
+					t.Errorf("repeated focal diverged within one batch:\n %v\n %v", batches[0], batches[2])
+					return
+				}
+
+				pts, err := rel.KNNSelect(f, 8)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				last := -1.0
+				for _, p := range pts {
+					d := p.Dist(f)
+					if d < last {
+						t.Errorf("KNNSelect result not distance-ordered: %v", pts)
+						return
+					}
+					last = d
+				}
+
+				if _, err := twoknn.KNNJoin(other, rel, 3); err != nil {
+					errCh <- err
+					return
+				}
+				if _, err := twoknn.TwoSelects(rel, f, 6, f2, 4); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(int64(r) + 500)
+	}
+	rwg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("reader query failed: %v", err)
+	}
+
+	// Zero leaked handles once the dust settles.
+	if n := rel.OutstandingSearchers(); n != 0 {
+		t.Fatalf("mutated relation leaked %d searcher handles", n)
+	}
+	if n := other.OutstandingSearchers(); n != 0 {
+		t.Fatalf("static relation leaked %d searcher handles", n)
+	}
+
+	// Internal consistency of the final state, compacted and not.
+	check := func() {
+		ids := rel.PointIDs()
+		if len(ids) != rel.Len() {
+			t.Fatalf("PointIDs len %d != Len %d", len(ids), rel.Len())
+		}
+		seen := make(map[int32]bool, len(ids))
+		for i, id := range ids {
+			if seen[id] {
+				t.Fatalf("duplicate stable ID %d in live set", id)
+			}
+			seen[id] = true
+			if p, ok := rel.PointByID(id); !ok || p != rel.PointAt(i) {
+				t.Fatalf("PointByID(%d) inconsistent with PointAt(%d)", id, i)
+			}
+		}
+	}
+	check()
+	if err := rel.Compact(); err != nil {
+		t.Fatalf("final compact: %v", err)
+	}
+	check()
+	ds := rel.DeltaStats()
+	if ds.DeltaLive != 0 || ds.Tombstones != 0 {
+		t.Fatalf("overlay not drained after final compact: %+v", ds)
+	}
+}

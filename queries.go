@@ -56,6 +56,34 @@ func allSingle(srcs ...Source) ([]*Relation, bool) {
 	return rels, true
 }
 
+// execGroups resolves the scatter/gather views of the sources, calling
+// execGroup exactly once per distinct source value so repeated arguments
+// resolve to one snapshot even while the relation is being mutated.
+func execGroups(srcs ...Source) []shard.Group {
+	out := make([]shard.Group, len(srcs))
+	for i, s := range srcs {
+		reused := false
+		for j := 0; j < i; j++ {
+			same := srcs[j] == s
+			if !same {
+				// Clones share data but differ as interface values.
+				if a, b := srcs[j].singleRelation(), s.singleRelation(); a != nil && b != nil && a.d == b.d {
+					same = true
+				}
+			}
+			if same {
+				out[i] = out[j]
+				reused = true
+				break
+			}
+		}
+		if !reused {
+			out[i] = s.execGroup()
+		}
+	}
+	return out
+}
+
 // Algorithm selects the evaluation strategy for queries with a selection on
 // the inner relation of a kNN-join.
 type Algorithm int
@@ -247,7 +275,7 @@ func KNNSelect(rel Source, f Point, k int, opts ...QueryOption) ([]Point, error)
 		if r == nil {
 			return shard.Select(cfg.ctx, rel.execGroup(), f, k, cfg.stats), nil
 		}
-		h := acquireHandle(cfg.ctx, r.rel)
+		h := acquireHandle(cfg.ctx, r.snapshot().rel)
 		defer h.Release()
 		return core.KNNSelect(h, f, k, cfg.stats), nil
 	})
@@ -278,7 +306,8 @@ func SelectInnerJoin(outer, inner Source, f Point, kJoin, kSel int, opts ...Quer
 	rels, single := allSingle(outer, inner)
 	return runQuery(&cfg, func() ([]Pair, error) {
 		if !single {
-			pairs := shard.SelectInnerJoin(cfg.ctx, outer.execGroup(), inner.execGroup(), f, kJoin, kSel,
+			gs := execGroups(outer, inner)
+			pairs := shard.SelectInnerJoin(cfg.ctx, gs[0], gs[1], f, kJoin, kSel,
 				shardStrategy(alg), cfg.concurrency, cfg.stats)
 			if cfg.explain != nil {
 				*cfg.explain = shardedExplain("select-inner-join",
@@ -288,10 +317,11 @@ func SelectInnerJoin(outer, inner Source, f Point, kJoin, kSel int, opts ...Quer
 		}
 
 		// Every strategy probes only the inner relation's searcher; the outer
-		// side is scanned through its immutable index and needs no handle.
-		hi := acquireHandle(cfg.ctx, rels[1].rel)
+		// side is scanned through its immutable snapshot and needs no handle.
+		co, ci := snapshotPair(rels[0], rels[1])
+		hi := acquireHandle(cfg.ctx, ci)
 		defer hi.Release()
-		ho := rels[0].rel
+		ho := co
 
 		var pairs []Pair
 		switch {
@@ -336,14 +366,16 @@ func SelectOuterJoin(outer, inner Source, f Point, kSel, kJoin int, opts ...Quer
 	rels, single := allSingle(outer, inner)
 	return runQuery(&cfg, func() ([]Pair, error) {
 		if !single {
-			pairs := shard.SelectOuterJoin(cfg.ctx, outer.execGroup(), inner.execGroup(), f, kSel, kJoin,
+			gs := execGroups(outer, inner)
+			pairs := shard.SelectOuterJoin(cfg.ctx, gs[0], gs[1], f, kSel, kJoin,
 				cfg.concurrency, cfg.stats)
 			if cfg.explain != nil {
 				*cfg.explain = shardedExplain("select-outer-join", "valid pushdown: select gathers first", outer, inner)
 			}
 			return pairs, nil
 		}
-		ho, hi := acquireHandlePair(cfg.ctx, rels[0].rel, rels[1].rel)
+		co, ci := snapshotPair(rels[0], rels[1])
+		ho, hi := acquireHandlePair(cfg.ctx, co, ci)
 		defer core.ReleasePair(ho, hi)
 		var pairs []Pair
 		if cfg.concurrency > 1 {
@@ -387,32 +419,34 @@ func UnchainedJoins(a, b, c Source, kAB, kCB int, opts ...QueryOption) ([]Triple
 			// Scatter/gather evaluates both joins independently (the
 			// conceptually correct plan); WithJoinOrder only reorders work, so
 			// the sharded path ignores it without changing the answer.
-			triples := shard.Unchained(cfg.ctx, a.execGroup(), b.execGroup(), c.execGroup(), kAB, kCB,
+			gs := execGroups(a, b, c)
+			triples := shard.Unchained(cfg.ctx, gs[0], gs[1], gs[2], kAB, kCB,
 				cfg.concurrency, cfg.stats)
 			if cfg.explain != nil {
 				*cfg.explain = shardedExplain("unchained-joins", "both joins evaluated independently, intersected on B", a, b, c)
 			}
 			return triples, nil
 		}
-		covA := core.EstimateClusterCoverage(rels[0].rel)
-		covC := core.EstimateClusterCoverage(rels[2].rel)
+		cs := snapshotCores(rels)
+		covA := core.EstimateClusterCoverage(cs[0])
+		covC := core.EstimateClusterCoverage(cs[2])
 		order, prune, reason := plan.ChooseJoinOrder(cfg.order, covA, covC)
 
 		// Both unchained joins probe only B's searcher; A and C are scanned
-		// through their immutable indexes and need no handles.
-		hb := acquireHandle(cfg.ctx, rels[1].rel)
+		// through their immutable snapshots and need no handles.
+		hb := acquireHandle(cfg.ctx, cs[1])
 		defer hb.Release()
 
 		var triples []Triple
 		switch {
 		case prune && cfg.concurrency > 1:
-			triples = core.UnchainedBlockMarkingParallel(rels[0].rel, hb, rels[2].rel, kAB, kCB, order, cfg.concurrency, cfg.stats)
+			triples = core.UnchainedBlockMarkingParallel(cs[0], hb, cs[2], kAB, kCB, order, cfg.concurrency, cfg.stats)
 		case prune:
-			triples = core.UnchainedBlockMarking(rels[0].rel, hb, rels[2].rel, kAB, kCB, order, cfg.stats)
+			triples = core.UnchainedBlockMarking(cs[0], hb, cs[2], kAB, kCB, order, cfg.stats)
 		case cfg.concurrency > 1:
-			triples = core.UnchainedConceptualParallel(rels[0].rel, hb, rels[2].rel, kAB, kCB, cfg.concurrency, cfg.stats)
+			triples = core.UnchainedConceptualParallel(cs[0], hb, cs[2], kAB, kCB, cfg.concurrency, cfg.stats)
 		default:
-			triples = core.UnchainedConceptual(rels[0].rel, hb, rels[2].rel, kAB, kCB, cfg.stats)
+			triples = core.UnchainedConceptual(cs[0], hb, cs[2], kAB, kCB, cfg.stats)
 		}
 
 		if cfg.explain != nil {
@@ -448,7 +482,8 @@ func ChainedJoins(a, b, c Source, kAB, kBC int, opts ...QueryOption) ([]Triple, 
 			// All Figure 13 QEPs produce identical triples; the scatter/gather
 			// path always runs the nested join with per-worker caches (the
 			// paper's winner), so WithChainedQEP does not change the answer.
-			triples := shard.Chained(cfg.ctx, a.execGroup(), b.execGroup(), c.execGroup(), kAB, kBC,
+			gs := execGroups(a, b, c)
+			triples := shard.Chained(cfg.ctx, gs[0], gs[1], gs[2], kAB, kBC,
 				cfg.concurrency, cfg.stats)
 			if cfg.explain != nil {
 				*cfg.explain = shardedExplain("chained-joins", "nested join with per-worker neighborhood caches", a, b, c)
@@ -456,16 +491,17 @@ func ChainedJoins(a, b, c Source, kAB, kBC int, opts ...QueryOption) ([]Triple, 
 			return triples, nil
 		}
 		qep, reason := plan.ChooseChainedQEP(cfg.chained)
+		cs := snapshotCores(rels)
 		// The chain probes B's and C's searchers (A is only scanned), so two
 		// handles suffice; AcquirePair dedups b == c and orders the blocking
 		// acquisitions deadlock-free.
-		hb, hc := acquireHandlePair(cfg.ctx, rels[1].rel, rels[2].rel)
+		hb, hc := acquireHandlePair(cfg.ctx, cs[1], cs[2])
 		defer core.ReleasePair(hb, hc)
 		var triples []Triple
 		if cfg.concurrency > 1 {
-			triples = core.ChainedJoinsParallel(rels[0].rel, hb, hc, kAB, kBC, qep, cfg.concurrency, cfg.stats)
+			triples = core.ChainedJoinsParallel(cs[0], hb, hc, kAB, kBC, qep, cfg.concurrency, cfg.stats)
 		} else {
-			triples = core.ChainedJoins(rels[0].rel, hb, hc, kAB, kBC, qep, cfg.stats)
+			triples = core.ChainedJoins(cs[0], hb, hc, kAB, kBC, qep, cfg.stats)
 		}
 		if cfg.explain != nil {
 			node := plan.ChainedPlan(qep, a.Name(), b.Name(), c.Name(), a.Len(), b.Len(), c.Len(), kAB, kBC)
@@ -505,7 +541,7 @@ func TwoSelects(rel Source, f1 Point, k1 int, f2 Point, k2 int, opts ...QueryOpt
 			}
 			return pts, nil
 		}
-		h := acquireHandle(cfg.ctx, r.rel)
+		h := acquireHandle(cfg.ctx, r.snapshot().rel)
 		defer h.Release()
 		var pts []Point
 		if cfg.algorithm == AlgorithmConceptual {
@@ -539,7 +575,8 @@ func RangeInnerJoin(outer, inner Source, rng Rect, kJoin int, opts ...QueryOptio
 	rels, single := allSingle(outer, inner)
 	return runQuery(&cfg, func() ([]Pair, error) {
 		if !single {
-			pairs := shard.RangeJoin(cfg.ctx, outer.execGroup(), inner.execGroup(), rng, kJoin,
+			gs := execGroups(outer, inner)
+			pairs := shard.RangeJoin(cfg.ctx, gs[0], gs[1], rng, kJoin,
 				shardStrategy(alg), cfg.concurrency, cfg.stats)
 			if cfg.explain != nil {
 				*cfg.explain = shardedExplain("range-inner-join",
@@ -549,10 +586,11 @@ func RangeInnerJoin(outer, inner Source, rng Rect, kJoin int, opts ...QueryOptio
 		}
 
 		// Every strategy probes only the inner relation's searcher; the outer
-		// side is scanned through its immutable index and needs no handle.
-		hi := acquireHandle(cfg.ctx, rels[1].rel)
+		// side is scanned through its immutable snapshot and needs no handle.
+		co, ci := snapshotPair(rels[0], rels[1])
+		hi := acquireHandle(cfg.ctx, ci)
 		defer hi.Release()
-		ho := rels[0].rel
+		ho := co
 
 		var pairs []Pair
 		switch {

@@ -12,6 +12,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/index/grid"
 	"repro/internal/index/kdtree"
+	"repro/internal/index/overlay"
 	"repro/internal/index/quadtree"
 	"repro/internal/index/rtree"
 	"repro/internal/shard"
@@ -107,10 +108,10 @@ type Source interface {
 	Bounds() Rect
 	// IndexKind returns the index implementation the relation was built on.
 	IndexKind() IndexKind
-	// Epoch returns the data-version number of the relation's snapshot.
-	// Today's relations are immutable, so the epoch changes only through an
-	// explicit Invalidate call; result caches key on it so the mutability
-	// work planned in the ROADMAP invalidates them for free.
+	// Epoch returns the data-version number of the relation's current
+	// snapshot. Every mutation batch (Insert/Remove/Update on a *Relation)
+	// bumps it, as does an explicit Invalidate call; result caches key on
+	// it, so mutation invalidates cached answers automatically.
 	Epoch() uint64
 
 	// execGroup returns the scatter/gather view (seals the interface).
@@ -122,29 +123,107 @@ type Source interface {
 	srcNil() bool
 }
 
-// Relation is an immutable, indexed snapshot of points, ready for querying.
+// Relation is an indexed relation of points. Queries always run against an
+// immutable snapshot; Insert, Remove and Update mutate the relation by
+// publishing a new snapshot (see the mutation API in mutate.go), so readers
+// and writers never block each other.
 //
-// Storage is columnar: the relation owns one flat structure-of-arrays
-// PointStore (separate X and Y columns) that the index permuted into
-// block-contiguous order at build time. Every point keeps a stable ID — its
-// position in the slice passed to NewRelation — across that permutation;
-// PointID, PointAt and PointByID expose the mapping. Stable IDs are the
-// identity primitive for layers above snapshots (result streaming, sharded
-// scatter/gather, change feeds): they name a point independently of where
-// any particular index placed it.
+// Storage is columnar: each snapshot owns flat structure-of-arrays point
+// storage (separate X and Y columns) that the index permuted into
+// block-contiguous order at build time; mutated snapshots add delta spans
+// and tombstone-compacted blocks over the same columnar shape (see
+// internal/index/overlay). Every point keeps a stable ID — its position in
+// the slice passed to NewRelation, or the ID Insert assigned — across that
+// permutation; PointID, PointAt and PointByID expose the mapping. Stable
+// IDs are the identity primitive for layers above snapshots (result
+// streaming, sharded scatter/gather, mutation, change feeds): they name a
+// point independently of where any particular index placed it.
 type Relation struct {
 	name string
 	kind IndexKind
-	rel  *core.Relation
 
-	// epoch is the data-version number of the snapshot, shared by every
-	// clone (it belongs to the data, not the handle). See Source.Epoch.
-	epoch *atomic.Uint64
+	// d is the mutable state shared by every clone: the current snapshot,
+	// the epoch, and the write path. It belongs to the data, not the
+	// handle.
+	d *relData
+}
 
-	// byID lazily maps a stable point ID to its position in the permuted
-	// store (built on first PointByID).
+// relData is the shared-by-clones state of one logical relation.
+type relData struct {
+	// epoch is the data-version number, bumped once per mutation batch.
+	epoch atomic.Uint64
+
+	// snap is the current immutable snapshot; queries load it exactly once
+	// per entry and run entirely against that value (RCU: a swapped-out
+	// snapshot stays valid for in-flight queries until they release it).
+	snap atomic.Pointer[relSnapshot]
+
+	cfg relationConfig
+
+	// mu serializes the write path (mutations and compaction). Queries
+	// never take it.
+	mu     sync.Mutex
+	ov     *overlay.Store // nil while the current snapshot is a native index
+	nextID int32
+
+	mutations   atomic.Uint64
+	compactions atomic.Uint64
+	compacting  atomic.Bool
+}
+
+// relSnapshot is one immutable snapshot: the core relation (index +
+// searcher pool) plus lazily built point-access views. Lazy state hangs off
+// the snapshot — not the Relation — so it can never go stale across
+// mutations (each snapshot builds its own).
+type relSnapshot struct {
+	rel *core.Relation
+
+	// Overlay residency at publish time, surfaced by DeltaStats.
+	deltaLive  int
+	tombstones int
+
+	// flat is the scan-order point view for snapshots whose index spreads
+	// points over several stores (overlay snapshots); nil until first use.
+	flatOnce sync.Once
+	flat     *geom.PointStore
+
+	// byID maps stable ID -> scan position, built on first PointByID.
 	byIDOnce sync.Once
-	byID     []int32
+	byID     map[int32]int32
+}
+
+// store returns the snapshot's scan-order columnar view: the index's own
+// relation-wide store when it has one, otherwise a flat copy materialized
+// from the blocks once per snapshot.
+func (s *relSnapshot) store() *geom.PointStore {
+	if st := s.rel.Store(); st != nil {
+		return st
+	}
+	s.flatOnce.Do(func() {
+		out := geom.NewPointStore(s.rel.Len())
+		for _, b := range s.rel.Ix.Blocks() {
+			ids := b.PointIDs()
+			for i := range ids {
+				out.AppendWithID(b.PointAt(i), ids[i])
+			}
+		}
+		s.flat = out
+	})
+	return s.flat
+}
+
+// inverse returns the snapshot's stable-ID -> scan-position map, built on
+// first use.
+func (s *relSnapshot) inverse() map[int32]int32 {
+	s.byIDOnce.Do(func() {
+		st := s.store()
+		m := make(map[int32]int32, st.Len())
+		for pos, id := range st.IDs {
+			m[id] = int32(pos)
+		}
+		s.byID = m
+	})
+	return s.byID
 }
 
 // RelationOption configures NewRelation.
@@ -156,6 +235,7 @@ type relationConfig struct {
 	bounds       Rect
 	maxSearchers int
 	shardPolicy  ShardPolicy
+	compactFrac  float64
 }
 
 // WithIndexKind selects the spatial index implementation (default
@@ -197,6 +277,35 @@ func WithMaxSearchers(n int) RelationOption {
 	return func(c *relationConfig) { c.maxSearchers = n }
 }
 
+// buildIndex constructs the spatial index for st, shared by NewRelation and
+// the compaction path. A zero bounds derives the region from the points;
+// the R-tree derives it always, and an empty R-tree falls back to a
+// single-cell grid so empty relations behave uniformly.
+func buildIndex(st *geom.PointStore, kind IndexKind, capacity int, bounds Rect) (index.Index, error) {
+	switch kind {
+	case QuadtreeIndex:
+		return quadtree.NewFromStore(st, quadtree.Options{LeafCapacity: capacity, Bounds: bounds})
+	case KDTreeIndex:
+		return kdtree.NewFromStore(st, kdtree.Options{LeafCapacity: capacity, Bounds: bounds})
+	case RTreeIndex:
+		if st.Len() == 0 {
+			return grid.New(nil, grid.Options{Bounds: bounds, Cols: 1, Rows: 1})
+		}
+		return rtree.NewFromStore(st, rtree.Options{LeafCapacity: capacity})
+	default:
+		return grid.NewFromStore(st, grid.Options{TargetPerCell: capacity, Bounds: bounds})
+	}
+}
+
+// newCore wraps an index in a core relation with this relation's pool
+// policy.
+func (d *relData) newCore(ix index.Index) *core.Relation {
+	if d.cfg.maxSearchers > 0 {
+		return core.NewRelationBounded(ix, d.cfg.maxSearchers)
+	}
+	return core.NewRelation(ix)
+}
+
 // NewRelation indexes pts under the given name. The name appears in EXPLAIN
 // output. The point slice is copied where the index implementation needs to
 // reorder it; callers may reuse pts afterwards.
@@ -213,120 +322,115 @@ func NewRelation(name string, pts []Point, opts ...RelationOption) (*Relation, e
 	// store into block-contiguous order, carrying the stable IDs (input
 	// positions) along.
 	st := geom.StoreFromPoints(pts)
-	var (
-		ix  index.Index
-		err error
-	)
-	switch cfg.kind {
-	case QuadtreeIndex:
-		ix, err = quadtree.NewFromStore(st, quadtree.Options{LeafCapacity: cfg.capacity, Bounds: cfg.bounds})
-	case KDTreeIndex:
-		ix, err = kdtree.NewFromStore(st, kdtree.Options{LeafCapacity: cfg.capacity, Bounds: cfg.bounds})
-	case RTreeIndex:
-		if len(pts) == 0 {
-			// An R-tree over nothing has no region; fall back to a
-			// single-cell grid so empty relations behave uniformly.
-			ix, err = grid.New(nil, grid.Options{Bounds: cfg.bounds, Cols: 1, Rows: 1})
-		} else {
-			ix, err = rtree.NewFromStore(st, rtree.Options{LeafCapacity: cfg.capacity})
-		}
-	default:
-		ix, err = grid.NewFromStore(st, grid.Options{TargetPerCell: cfg.capacity, Bounds: cfg.bounds})
-	}
+	ix, err := buildIndex(st, cfg.kind, cfg.capacity, cfg.bounds)
 	if err != nil {
 		return nil, fmt.Errorf("twoknn: building %s index for %q: %w", cfg.kind, name, err)
 	}
-	var rel *core.Relation
-	if cfg.maxSearchers > 0 {
-		rel = core.NewRelationBounded(ix, cfg.maxSearchers)
-	} else {
-		rel = core.NewRelation(ix)
-	}
-	return &Relation{name: name, kind: cfg.kind, rel: rel, epoch: newEpoch()}, nil
+	d := &relData{cfg: cfg, nextID: int32(len(pts))}
+	// The epoch starts at 1: 0 never names a live snapshot, so zero-valued
+	// cache keys cannot alias one.
+	d.epoch.Store(1)
+	d.snap.Store(&relSnapshot{rel: d.newCore(ix)})
+	return &Relation{name: name, kind: cfg.kind, d: d}, nil
 }
 
 // newEpoch returns a fresh epoch counter starting at 1 (0 never names a
-// live snapshot, so zero-valued cache keys cannot alias one).
+// live snapshot, so zero-valued cache keys cannot alias one); used by the
+// sharded relation, whose epoch is a standalone counter.
 func newEpoch() *atomic.Uint64 {
 	e := new(atomic.Uint64)
 	e.Store(1)
 	return e
 }
 
+// snapshot returns the relation's current immutable snapshot. Every query
+// entry point calls it exactly once per distinct relation argument and runs
+// entirely against the returned value.
+func (r *Relation) snapshot() *relSnapshot { return r.d.snap.Load() }
+
 // Name returns the relation's name.
 func (r *Relation) Name() string { return r.name }
 
-// Len returns the number of points in the relation.
-func (r *Relation) Len() int { return r.rel.Len() }
+// Len returns the number of points in the relation's current snapshot.
+func (r *Relation) Len() int { return r.snapshot().rel.Len() }
 
-// Bounds returns the indexed region.
-func (r *Relation) Bounds() Rect { return r.rel.Ix.Bounds() }
+// Bounds returns the indexed region of the current snapshot.
+func (r *Relation) Bounds() Rect { return r.snapshot().rel.Ix.Bounds() }
 
 // IndexKind returns the index implementation the relation was built with.
 func (r *Relation) IndexKind() IndexKind { return r.kind }
 
-// Points returns a copy of the relation's points in index scan order.
-func (r *Relation) Points() []Point { return r.rel.Points() }
+// Points returns a copy of the current snapshot's points in index scan
+// order.
+func (r *Relation) Points() []Point { return r.snapshot().rel.Points() }
 
-// PointAt returns the i-th point in index scan order, 0 ≤ i < Len().
-func (r *Relation) PointAt(i int) Point { return r.rel.Store().At(i) }
+// PointAt returns the i-th point in index scan order, 0 ≤ i < Len(), of the
+// current snapshot.
+func (r *Relation) PointAt(i int) Point { return r.snapshot().store().At(i) }
 
 // PointID returns the stable ID of the i-th point in index scan order: its
-// position in the point slice the relation was built from. The mapping is
-// fixed at construction and survives the index's block permutation.
-func (r *Relation) PointID(i int) int32 { return r.rel.Store().ID(i) }
+// position in the point slice the relation was built from, or the ID Insert
+// assigned. The mapping survives the index's block permutation.
+func (r *Relation) PointID(i int) int32 { return r.snapshot().store().ID(i) }
 
 // PointIDs returns the stable IDs of all points, parallel to Points().
 func (r *Relation) PointIDs() []int32 {
-	st := r.rel.Store()
+	st := r.snapshot().store()
 	out := make([]int32, st.Len())
 	copy(out, st.IDs)
 	return out
 }
 
-// PointByID returns the point with the given stable ID, or ok == false when
-// no such ID exists. The first call builds an O(n)-space inverse index;
-// later calls are O(1) and safe for concurrent use.
-func (r *Relation) PointByID(id int32) (p Point, ok bool) {
-	st := r.rel.Store()
-	r.byIDOnce.Do(func() {
-		inv := make([]int32, st.Len())
-		for i := range inv {
-			inv[i] = -1
-		}
-		for pos, pid := range st.IDs {
-			if pid >= 0 && int(pid) < len(inv) {
-				inv[pid] = int32(pos)
-			}
-		}
-		r.byID = inv
-	})
-	if id < 0 || int(id) >= len(r.byID) || r.byID[id] < 0 {
-		return Point{}, false
+// PointsWithIDs returns the live points and their stable IDs, index-aligned,
+// from one snapshot — the coherent form of calling Points and PointIDs under
+// concurrent mutation, where two separate calls could observe two different
+// snapshots and zip a point with another epoch's ID.
+func (r *Relation) PointsWithIDs() ([]Point, []int32) {
+	st := r.snapshot().store()
+	pts := make([]Point, st.Len())
+	ids := make([]int32, st.Len())
+	for i := range pts {
+		pts[i] = st.At(i)
 	}
-	return st.At(int(r.byID[id])), true
+	copy(ids, st.IDs)
+	return pts, ids
 }
 
-// Clone returns an independent handle over the same immutable index and
-// searcher pool. Every query entry point is goroutine-safe against a
-// shared *Relation (queries borrow pooled searchers internally), so
-// queries on a clone behave exactly like queries on the original; Clone is
-// retained for API continuity with the pre-concurrency versions of this
-// package, not for performance.
+// PointByID returns the point with the given stable ID, or ok == false when
+// no such ID exists (including IDs whose point was removed). The first call
+// on a snapshot builds an O(n)-space inverse index; later calls are O(1)
+// and safe for concurrent use. The inverse belongs to the snapshot, so a
+// mutation can never leave it stale: after Remove the ID resolves to
+// nothing, after Insert the new ID resolves immediately.
+func (r *Relation) PointByID(id int32) (p Point, ok bool) {
+	s := r.snapshot()
+	pos, ok := s.inverse()[id]
+	if !ok {
+		return Point{}, false
+	}
+	return s.store().At(int(pos)), true
+}
+
+// Clone returns another handle over the same logical relation: clones share
+// snapshots, the epoch and the write path, so a mutation through one handle
+// is visible through all of them. Every query entry point is
+// goroutine-safe against a shared *Relation (queries borrow pooled
+// searchers internally), so queries on a clone behave exactly like queries
+// on the original; Clone is retained for API continuity with the
+// pre-concurrency versions of this package, not for performance.
 func (r *Relation) Clone() *Relation {
-	return &Relation{name: r.name, kind: r.kind, rel: r.rel.Clone(), epoch: r.epoch}
+	return &Relation{name: r.name, kind: r.kind, d: r.d}
 }
 
 // Epoch implements Source: the data-version number of the snapshot. Clones
 // share it — the epoch names the data, not the handle.
-func (r *Relation) Epoch() uint64 { return r.epoch.Load() }
+func (r *Relation) Epoch() uint64 { return r.d.epoch.Load() }
 
 // Invalidate bumps the relation's epoch, making every cached result keyed
-// on the previous epoch unreachable. Relations are immutable today, so this
-// is an explicit hook (e.g. for a server swapping the dataset behind a
-// name); the ROADMAP's mutable-relation work will call it from the update
-// path.
-func (r *Relation) Invalidate() { r.epoch.Add(1) }
+// on the previous epoch unreachable. The mutation path (Insert, Remove,
+// Update) calls this automatically once per batch; the explicit hook
+// remains for callers that swap data behind a name out of band.
+func (r *Relation) Invalidate() { r.d.epoch.Add(1) }
 
 // KNNSelect returns the k points of the relation closest to the focal point
 // f (σ_{k,f}), in ascending (distance, X, Y) order. It errors on a nil
@@ -336,13 +440,13 @@ func (r *Relation) KNNSelect(f Point, k int, opts ...QueryOption) ([]Point, erro
 }
 
 // OutstandingSearchers returns the number of searcher handles currently out
-// of the relation's pool — a point-in-time snapshot for leak assertions and
-// load metrics. A relation with no query in flight reports 0, including
-// after cancelled, deadline-expired or panicked queries.
-func (r *Relation) OutstandingSearchers() int { return r.rel.Pool().Outstanding() }
+// of the current snapshot's pool — a point-in-time snapshot for leak
+// assertions and load metrics. A relation with no query in flight reports
+// 0, including after cancelled, deadline-expired or panicked queries.
+func (r *Relation) OutstandingSearchers() int { return r.snapshot().rel.Pool().Outstanding() }
 
 // execGroup implements Source.
-func (r *Relation) execGroup() shard.Group { return shard.SingleGroup(r.rel) }
+func (r *Relation) execGroup() shard.Group { return shard.SingleGroup(r.snapshot().rel) }
 
 // singleRelation implements Source.
 func (r *Relation) singleRelation() *Relation { return r }
@@ -368,15 +472,52 @@ func KNNJoin(outer, inner Source, k int, opts ...QueryOption) ([]Pair, error) {
 		if so == nil || si == nil {
 			return shard.Join(cfg.ctx, outer.execGroup(), inner.execGroup(), k, cfg.concurrency, cfg.stats), nil
 		}
+		// Resolve both sides' snapshots once, same-relation arguments to
+		// the same snapshot, so a concurrent mutation cannot split the
+		// query across two data versions.
+		co, ci := snapshotPair(so, si)
 		// The join only probes the inner relation's searcher; the outer side is
 		// scanned through its immutable index and needs no handle.
-		hi := acquireHandle(cfg.ctx, si.rel)
+		hi := acquireHandle(cfg.ctx, ci)
 		defer hi.Release()
 		if cfg.concurrency > 1 {
-			return core.KNNJoinParallel(so.rel, hi, k, cfg.concurrency, cfg.stats), nil
+			return core.KNNJoinParallel(co, hi, k, cfg.concurrency, cfg.stats), nil
 		}
-		return core.KNNJoin(so.rel, hi, k, cfg.stats), nil
+		return core.KNNJoin(co, hi, k, cfg.stats), nil
 	})
+}
+
+// snapshotPair resolves the snapshots of two single relations coherently:
+// each distinct logical relation is loaded exactly once, and both arguments
+// referring to the same relation (directly or via Clone) resolve to the
+// same snapshot.
+func snapshotPair(a, b *Relation) (*core.Relation, *core.Relation) {
+	ca := a.snapshot().rel
+	if b.d == a.d {
+		return ca, ca
+	}
+	return ca, b.snapshot().rel
+}
+
+// snapshotCores resolves the snapshots of a slice of single relations
+// coherently (see snapshotPair); rels[i] == nil yields nil.
+func snapshotCores(rels []*Relation) []*core.Relation {
+	out := make([]*core.Relation, len(rels))
+	for i, r := range rels {
+		if r == nil {
+			continue
+		}
+		for j := 0; j < i; j++ {
+			if rels[j] != nil && rels[j].d == r.d {
+				out[i] = out[j]
+				break
+			}
+		}
+		if out[i] == nil {
+			out[i] = r.snapshot().rel
+		}
+	}
+	return out
 }
 
 // checkK validates a k parameter; the returned error wraps ErrNonPositiveK.
