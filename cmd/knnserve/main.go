@@ -1,6 +1,6 @@
 // Command knnserve serves the twoknn query engine over HTTP/JSON: one named
-// dataset per -dataset flag (single or sharded relation), every query entry
-// point as a POST route — including the batched, result-cached
+// dataset per -dataset flag (single, sharded or remote relation), every
+// query entry point as a POST route — including the batched, result-cached
 // /v1/query/knn-select-batch — plus /metrics and /healthz. See the README's
 // "Serving" section for curl-able request examples.
 //
@@ -13,14 +13,26 @@
 //	    -shards 4 -shard-policy spatial -index grid \
 //	    -max-searchers 64 -max-inflight 256 -timeout 5s
 //
+// A remote dataset makes knnserve the coordinator of a knnshard fleet:
+//
+//	knnserve -dataset trips='remote:shards=http://h1:9101|http://h2:9101;http://h3:9101;http://h4:9101' \
+//	    -probe-timeout 2s -probe-retries 2 -hedge-after 20ms
+//
+// where ';' separates shards and '|' separates a shard's replica endpoints.
+// Probes travel under the robustness envelope (retries, hedging, breakers,
+// replica failover); an exhausted replica set fails the query closed with
+// 503 + Retry-After.
+//
 // Admission control: -max-inflight sheds excess per-dataset concurrency with
 // an immediate 429 + Retry-After (a dataset spec's max_inflight=N segment
 // overrides the bound for that one dataset; negative N disables its gate);
 // -max-searchers bounds each dataset's (or
 // each shard's) searcher pool, whose deadline-bounded waits shed as 429 via
 // the engine's ErrSearchersExhausted. -timeout is the per-request evaluation
-// budget (a request's timeout_ms can only shorten it); expiry returns 504.
-// SIGINT/SIGTERM drain in-flight requests and exit cleanly.
+// budget (a request's timeout_ms can only shorten it; a spec's timeout_ms=N /
+// max_timeout_ms=N segments set per-dataset budgets, retry_after_ms=N its
+// Retry-After hint); expiry returns 504. SIGINT/SIGTERM drain in-flight
+// requests and exit cleanly.
 package main
 
 import (
@@ -36,6 +48,8 @@ import (
 	"syscall"
 	"time"
 
+	twoknn "repro"
+	"repro/internal/dataload"
 	"repro/internal/server"
 )
 
@@ -52,6 +66,9 @@ type options struct {
 	timeout      time.Duration
 	maxInflight  int
 	retryAfter   time.Duration
+	probeTimeout time.Duration
+	probeRetries int
+	hedgeAfter   time.Duration
 }
 
 func main() {
@@ -69,6 +86,9 @@ func main() {
 	flag.DurationVar(&o.timeout, "timeout", 10*time.Second, "per-request evaluation budget")
 	flag.IntVar(&o.maxInflight, "max-inflight", 0, "max concurrent requests per dataset before shedding 429 (0 = no server-level gate)")
 	flag.DurationVar(&o.retryAfter, "retry-after", time.Second, "Retry-After hint on 429 responses")
+	flag.DurationVar(&o.probeTimeout, "probe-timeout", 0, "per-probe deadline against remote shard endpoints (0 = envelope default)")
+	flag.IntVar(&o.probeRetries, "probe-retries", 0, "retry budget per remote probe (0 = envelope default, negative disables retries)")
+	flag.DurationVar(&o.hedgeAfter, "hedge-after", 0, "base latency after which a remote probe hedges to another replica (0 = envelope default, negative disables hedging)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -79,8 +99,9 @@ func main() {
 	}
 }
 
-// newServer builds the Server with every -dataset registered.
-func newServer(o options) (*server.Server, error) {
+// newServer builds the Server with every -dataset registered; ctx bounds
+// the dial handshake of remote datasets.
+func newServer(ctx context.Context, o options) (*server.Server, error) {
 	if len(o.datasets) == 0 {
 		return nil, fmt.Errorf("at least one -dataset name=spec is required")
 	}
@@ -104,14 +125,32 @@ func newServer(o options) (*server.Server, error) {
 		MaxInflight:    o.maxInflight,
 		RetryAfter:     o.retryAfter,
 	})
+	rcfg := &twoknn.RemoteConfig{
+		ProbeTimeout: o.probeTimeout,
+		MaxRetries:   o.probeRetries,
+		HedgeAfter:   o.hedgeAfter,
+	}
 	for _, arg := range o.datasets {
-		name, spec, dopts, err := server.SplitDatasetArgOptions(arg)
+		var src twoknn.Source
+		name, shards, dopts, isRemote, err := server.SplitDatasetArgRemote(arg)
 		if err != nil {
 			return nil, err
 		}
-		src, err := server.BuildSource(name, spec, build)
-		if err != nil {
-			return nil, err
+		if isRemote {
+			src, err = twoknn.DialRemote(ctx, name, shards, rcfg)
+			if err != nil {
+				return nil, fmt.Errorf("dialing dataset %q: %w", name, err)
+			}
+		} else {
+			var spec dataload.Spec
+			name, spec, dopts, err = server.SplitDatasetArgOptions(arg)
+			if err != nil {
+				return nil, err
+			}
+			src, err = server.BuildSource(name, spec, build)
+			if err != nil {
+				return nil, err
+			}
 		}
 		if err := srv.RegisterWithOptions(name, src, dopts); err != nil {
 			return nil, err
@@ -121,7 +160,7 @@ func newServer(o options) (*server.Server, error) {
 }
 
 func run(ctx context.Context, o options, stdout io.Writer) error {
-	srv, err := newServer(o)
+	srv, err := newServer(ctx, o)
 	if err != nil {
 		return err
 	}

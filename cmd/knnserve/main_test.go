@@ -6,12 +6,15 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"regexp"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	twoknn "repro"
+	"repro/internal/dataload"
 	"repro/internal/server"
 )
 
@@ -20,14 +23,14 @@ func TestNewServerValidation(t *testing.T) {
 		return options{index: "grid", policy: "hash", timeout: time.Second, retryAfter: time.Second}
 	}
 	t.Run("requires a dataset", func(t *testing.T) {
-		if _, err := newServer(base()); err == nil || !strings.Contains(err.Error(), "-dataset") {
+		if _, err := newServer(context.Background(), base()); err == nil || !strings.Contains(err.Error(), "-dataset") {
 			t.Fatalf("err = %v, want a -dataset requirement", err)
 		}
 	})
 	t.Run("rejects bad spec", func(t *testing.T) {
 		o := base()
 		o.datasets = []string{"pts=warpdrive:n=5"}
-		if _, err := newServer(o); err == nil {
+		if _, err := newServer(context.Background(), o); err == nil {
 			t.Fatal("bad spec accepted")
 		}
 	})
@@ -35,14 +38,14 @@ func TestNewServerValidation(t *testing.T) {
 		o := base()
 		o.datasets = []string{"pts=uniform:n=100,seed=1"}
 		o.index = "btree"
-		if _, err := newServer(o); err == nil {
+		if _, err := newServer(context.Background(), o); err == nil {
 			t.Fatal("bad index accepted")
 		}
 	})
 	t.Run("rejects duplicate name", func(t *testing.T) {
 		o := base()
 		o.datasets = []string{"pts=uniform:n=100,seed=1", "pts=uniform:n=100,seed=2"}
-		if _, err := newServer(o); err == nil || !strings.Contains(err.Error(), "already registered") {
+		if _, err := newServer(context.Background(), o); err == nil || !strings.Contains(err.Error(), "already registered") {
 			t.Fatalf("err = %v, want duplicate-name rejection", err)
 		}
 	})
@@ -51,7 +54,7 @@ func TestNewServerValidation(t *testing.T) {
 		o.datasets = []string{"a=uniform:n=200,seed=1", "b=clustered:clusters=2,per=50,seed=2"}
 		o.shards = 2
 		o.policy = "spatial"
-		srv, err := newServer(o)
+		srv, err := newServer(context.Background(), o)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -183,5 +186,145 @@ func TestRunRejectsBadListen(t *testing.T) {
 	}
 	if err := run(context.Background(), o, io.Discard); err == nil {
 		t.Fatal("bad listen address accepted")
+	}
+}
+
+// TestRemoteDatasetFailoverE2E drives the full coordinator lifecycle over a
+// remote dataset: a 3-shard × 2-replica knnshard-protocol fleet behind a
+// remote: spec, a served differential battery against a local oracle
+// dataset over the same points, one replica killed mid-battery (a real
+// listener teardown, not an injected fault), and the requirement that
+// replica failover keeps every answer exact while /metrics records the
+// failovers.
+func TestRemoteDatasetFailoverE2E(t *testing.T) {
+	const spec = "uniform:n=900,seed=5"
+	sp, err := dataload.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := sp.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const shards, replicas = 3, 2
+	servers := make([][]*httptest.Server, shards)
+	specParts := make([]string, shards)
+	for s := 0; s < shards; s++ {
+		h, err := twoknn.NewShardHandler("mesh", pts, s, shards, twoknn.WithBlockCapacity(16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var urls []string
+		for r := 0; r < replicas; r++ {
+			ep := httptest.NewServer(h)
+			t.Cleanup(ep.Close)
+			servers[s] = append(servers[s], ep)
+			urls = append(urls, ep.URL)
+		}
+		specParts[s] = strings.Join(urls, "|")
+	}
+	o := options{
+		listen: "127.0.0.1:0",
+		datasets: []string{
+			"mesh=remote:shards=" + strings.Join(specParts, ";") + ",retry_after_ms=2000",
+			"oracle=" + spec,
+		},
+		index:        "grid",
+		policy:       "hash",
+		timeout:      10 * time.Second,
+		retryAfter:   time.Second,
+		probeTimeout: 2 * time.Second,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, o, &out) }()
+
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator never announced its address; output:\n%s", out.String())
+		}
+		if m := listenLine.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	query := func(dataset string, k int) server.QueryResponse {
+		t.Helper()
+		body, err := server.EncodeRequest(&server.KNNSelectRequest{
+			Dataset: dataset, F: server.PointArg{X: 5000, Y: 5000}, K: k,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(base+"/v1/query/knn-select", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var q server.QueryResponse
+		if err := json.NewDecoder(resp.Body).Decode(&q); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("dataset %s k=%d: status %d", dataset, k, resp.StatusCode)
+		}
+		return q
+	}
+	battery := func(ks ...int) {
+		t.Helper()
+		for _, k := range ks {
+			got, want := query("mesh", k), query("oracle", k)
+			g, _ := json.Marshal(got.Points)
+			w, _ := json.Marshal(want.Points)
+			if string(g) != string(w) {
+				t.Fatalf("k=%d: remote answer diverged from oracle:\nremote: %s\noracle: %s", k, g, w)
+			}
+		}
+	}
+
+	battery(1, 5, 12)
+
+	// Kill shard 1's preferred replica for real: the coordinator must fail
+	// over to the surviving replica without surfacing an error.
+	servers[1][0].Close()
+	battery(3, 9, 25)
+
+	mr, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mx server.MetricsResponse
+	if err := json.NewDecoder(mr.Body).Decode(&mx); err != nil {
+		t.Fatal(err)
+	}
+	mr.Body.Close()
+	dm, ok := mx.Datasets["mesh"]
+	if !ok || dm.Shards != shards || len(dm.Remote) != shards {
+		t.Fatalf("mesh metrics: ok=%v %+v", ok, dm)
+	}
+	var failovers int64
+	for _, sh := range dm.Remote {
+		failovers += sh.Failovers
+	}
+	if failovers == 0 {
+		t.Error("no failovers recorded after killing a replica")
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v on shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not drain after cancellation")
 	}
 }

@@ -1,0 +1,200 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	twoknn "repro"
+	"repro/internal/dataload"
+)
+
+func TestNewHandlerValidation(t *testing.T) {
+	base := func() options {
+		return options{data: "uniform:n=200,seed=3", index: "grid", policy: "hash", shards: 2}
+	}
+	t.Run("requires data", func(t *testing.T) {
+		o := base()
+		o.data = ""
+		if _, err := newHandler(o); err == nil || !strings.Contains(err.Error(), "-data") {
+			t.Fatalf("err = %v, want a -data requirement", err)
+		}
+	})
+	t.Run("rejects bad spec", func(t *testing.T) {
+		o := base()
+		o.data = "warpdrive:n=5"
+		if _, err := newHandler(o); err == nil {
+			t.Fatal("bad spec accepted")
+		}
+	})
+	t.Run("rejects bad index", func(t *testing.T) {
+		o := base()
+		o.index = "btree"
+		if _, err := newHandler(o); err == nil {
+			t.Fatal("bad index accepted")
+		}
+	})
+	t.Run("rejects shard out of range", func(t *testing.T) {
+		o := base()
+		o.shard = 2
+		if _, err := newHandler(o); err == nil {
+			t.Fatal("shard index == shard count accepted")
+		}
+	})
+	t.Run("builds a valid shard", func(t *testing.T) {
+		o := base()
+		o.shard = 1
+		o.policy = "spatial"
+		o.blockCap = 16
+		o.maxSearchers = 4
+		if _, err := newHandler(o); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// syncBuffer makes run's stdout readable while the server goroutine writes.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenLine = regexp.MustCompile(`listening on (http://[^ \n]+)`)
+
+// startShard runs one knnshard process-equivalent on an ephemeral port and
+// returns its base URL.
+func startShard(t *testing.T, ctx context.Context, o options) string {
+	t.Helper()
+	o.listen = "127.0.0.1:0"
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, o, &out) }()
+	t.Cleanup(func() {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("shard %d: run returned %v", o.shard, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Errorf("shard %d: run did not drain after cancellation", o.shard)
+		}
+	})
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := listenLine.FindStringSubmatch(out.String()); m != nil {
+			return m[1]
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard %d never announced its address; output:\n%s", o.shard, out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestShardFleetServesExactAnswers is the binary-level e2e: a 2-shard fleet
+// over real TCP, dialed by the coordinator client, must answer kNN queries
+// byte-identically to a single local relation over the same dataset spec.
+func TestShardFleetServesExactAnswers(t *testing.T) {
+	const spec = "uniform:n=600,seed=21"
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	urls := make([][]string, 2)
+	for s := 0; s < 2; s++ {
+		o := options{
+			name: "pts", data: spec, shard: s, shards: 2,
+			index: "grid", policy: "hash", blockCap: 16,
+		}
+		urls[s] = []string{startShard(t, ctx, o)}
+	}
+
+	// The shard's own health and identity endpoints respond.
+	hr, err := http.Get(urls[0][0] + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, hr.Body)
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", hr.StatusCode)
+	}
+	ir, err := http.Get(urls[0][0] + "/shard/v1/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info struct {
+		Name   string `json:"name"`
+		Shard  int    `json:"shard"`
+		Shards int    `json:"shards"`
+	}
+	if err := json.NewDecoder(ir.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	ir.Body.Close()
+	if info.Name != "pts" || info.Shard != 0 || info.Shards != 2 {
+		t.Fatalf("info = %+v", info)
+	}
+
+	rr, err := twoknn.DialRemote(ctx, "pts", urls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sp, err := dataload.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := sp.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := twoknn.NewRelation("pts", pts, twoknn.WithBlockCapacity(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Len() != local.Len() {
+		t.Fatalf("remote Len %d, local %d", rr.Len(), local.Len())
+	}
+
+	for _, f := range []twoknn.Point{{X: 5000, Y: 5000}, {X: 100, Y: 9500}} {
+		for _, k := range []int{1, 7, 23} {
+			got, err := twoknn.KNNSelect(rr, f, k)
+			if err != nil {
+				t.Fatalf("remote KNNSelect(%v, %d): %v", f, k, err)
+			}
+			want, err := twoknn.KNNSelect(local, f, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("KNNSelect(%v, %d): %d vs %d points", f, k, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("KNNSelect(%v, %d)[%d]: remote %v, local %v", f, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+
+	cancel() // SIGINT/SIGTERM path; the t.Cleanup callbacks assert clean drains
+}

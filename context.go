@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/remote"
 )
 
 // This file is the package's robustness layer: context-aware cancellation
@@ -98,18 +99,36 @@ func WithContext(ctx context.Context) QueryOption {
 // runQuery is the recover boundary between the engine's panic-based fault
 // unwinding and the public error-returning API. It fails fast on an
 // already-expired context, then runs fn, converting a cooperative
-// cancellation unwind (fault.Cancel) into an ErrQueryCanceled chain and any
-// other panic into a *QueryPanicError — an isolated worker panic
-// (fault.Panic) keeps the stack captured at its origin goroutine, a panic
-// on the calling goroutine captures the stack here, where the unwound
-// frames are still live below the recovering defer.
+// cancellation unwind (fault.Cancel) into an ErrQueryCanceled chain, an
+// evaluation failure (fault.Fail — e.g. an exhausted remote replica set)
+// into its typed error verbatim, and any other panic into a
+// *QueryPanicError — an isolated worker panic (fault.Panic) keeps the
+// stack captured at its origin goroutine, a panic on the calling goroutine
+// captures the stack here, where the unwound frames are still live below
+// the recovering defer.
+//
+// Under WithPartialResults it also wires the degradation channel: a
+// remote.Collector rides the query context into the remote probers, and a
+// clean return with recorded shard failures comes back as the (exact over
+// the reachable shards) result plus a *PartialResultError.
 func runQuery[T any](cfg *queryConfig, fn func() (T, error)) (out T, err error) {
+	var coll *remote.Collector
+	if cfg.partial {
+		coll = remote.NewCollector()
+		ctx := cfg.ctx
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		cfg.ctx = remote.WithCollector(ctx, coll)
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			var zero T
 			switch f := r.(type) {
 			case *fault.Cancel:
 				out, err = zero, cancelErr(f.Err)
+			case *fault.Fail:
+				out, err = zero, f.Err
 			case *fault.Panic:
 				out, err = zero, &QueryPanicError{Value: f.Value, Stack: f.Stack}
 			default:
@@ -123,7 +142,13 @@ func runQuery[T any](cfg *queryConfig, fn func() (T, error)) (out T, err error) 
 			return zero, cancelErr(e)
 		}
 	}
-	return fn()
+	out, err = fn()
+	if err == nil && coll != nil {
+		if missing := coll.Missing(); len(missing) > 0 {
+			err = &PartialResultError{Missing: missing, Errs: coll.Errors()}
+		}
+	}
+	return out, err
 }
 
 // cancelErr wraps a cancellation cause into the public error chain:

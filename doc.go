@@ -157,8 +157,11 @@
 // The error taxonomy above maps directly onto statuses: a bounded pool's
 // ErrSearchersExhausted (and the server's own per-dataset inflight gate)
 // sheds load as 429 with a Retry-After hint; an expired request budget —
-// min of the server's -timeout and the request's timeout_ms, flowed into
-// the engine via WithContext — surfaces ErrQueryCanceled as 504; an
+// the server's -timeout, a dataset's timeout_ms/max_timeout_ms spec
+// segments and the request's own timeout_ms resolved by the min rule,
+// flowed into the engine via WithContext — surfaces ErrQueryCanceled as
+// 504; a remote dataset's shard unreachable through its whole replica set
+// (ErrShardUnavailable) is 503 with a Retry-After hint; an
 // isolated *QueryPanicError returns 500 with the process still serving;
 // ErrNilRelation (unknown dataset) and ErrNonPositiveK are 400s. Request
 // decoding is strict (unknown fields and trailing bytes are rejected) and
@@ -227,6 +230,39 @@
 // locality.Neighborhood returned by a Searcher is owned by that searcher
 // and valid only until its next query — retain it across queries with
 // Clone. That rule is what makes the pool handles allocation-free.
+//
+// # Distribution
+//
+// The scatter/gather seam crosses process boundaries. DialRemote connects
+// to a fleet of shard servers (cmd/knnshard, each serving one shard's
+// candidate-generation contract over an HTTP/JSON probe protocol) and
+// returns a *RemoteRelation — a Source accepted by every query entry
+// point. The coordinator-side merge, MINDIST-ordered shard skip and
+// Block-Marking thresholds are the same code as the in-process sharded
+// path; squared distances and coordinates cross the wire as shortest
+// round-trip JSON float64s, so remote answers are byte-identical to local
+// ones, and Block-Marking's exclusions double as network-transfer pruning.
+// Every shard process loads the full dataset spec and partitions locally
+// with the same deterministic policy, so stable IDs remain global input
+// positions with no shard-assignment service.
+//
+// Each remote probe travels under a robustness envelope configured by
+// RemoteConfig: a per-probe deadline, bounded retries with exponential
+// backoff and jitter, a hedged second request once the probe outlives the
+// fleet's observed latency quantile, a per-endpoint circuit breaker
+// (closed/open/half-open with probe-through), and failover across a
+// shard's replica endpoints in breaker-aware order. By default an
+// unreachable shard fails the query closed — exact or nothing — with an
+// error wrapping ErrShardUnavailable; WithPartialResults opts a query into
+// graceful degradation instead, returning the reachable shards' exact
+// answer alongside a *PartialResultError naming the missing shards.
+// RemoteRelation.RemoteStats snapshots the per-endpoint
+// attempt/retry/hedge/breaker/failover counters that the serving layer
+// republishes on /metrics. The differential batteries hold every query
+// shape byte-identical across in-process, loopback-transport and
+// multi-process deployments, including under injected faults (the
+// internal/fault hooks DropProbe, DelayProbe, ResetConn and
+// CorruptResponse) with replicas standing in.
 //
 // # Performance notes
 //

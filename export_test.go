@@ -1,0 +1,14 @@
+package twoknn
+
+import (
+	"context"
+
+	"repro/internal/remote"
+)
+
+// DialRemoteTransports exposes dialRemoteTransports to the external test
+// package, which drives the differential oracle over loopback transports
+// (no sockets) as one of the three execution layouts.
+func DialRemoteTransports(ctx context.Context, name string, tps [][]remote.ShardTransport, cfg *RemoteConfig) (*RemoteRelation, error) {
+	return dialRemoteTransports(ctx, name, tps, cfg)
+}

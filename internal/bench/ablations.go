@@ -29,7 +29,7 @@ import (
 // parallel join, the concurrent-serving contention sweep, and the
 // columnar-layout scan comparison. They run through the same harness as
 // the figures.
-var Ablations = []Experiment{ablPreprocess, ablIndexKinds, ablParallel, ablContention, ablLayout, ablKernel, ablShards, ablCancel, ablBatch, ablCache, ablMutate}
+var Ablations = []Experiment{ablPreprocess, ablIndexKinds, ablParallel, ablContention, ablLayout, ablKernel, ablShards, ablCancel, ablBatch, ablCache, ablMutate, ablDist}
 
 // ParallelExperiments are the concurrency-focused subset run by
 // `knnbench -parallel` (the BENCH_PR2.json trajectory).

@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/geom"
+	"repro/internal/index"
+	"repro/internal/index/grid"
+	"repro/internal/remote"
+	"repro/internal/shard"
+	"repro/internal/stats"
+)
+
+// --- Ablation: remote scatter/gather vs the in-process layouts ---
+
+// ablDist prices the PR 10 process boundary: the same kNN-select stream
+// (16 focals, k=10) runs over the in-process sharded group, over loopback
+// transports (the ShardTransport seam with zero serialization), over real
+// HTTP/JSON endpoints, and over the same HTTP fleet with one artificially
+// slow shard (injected per-probe latency) — the straggler cost the
+// robustness envelope's hedging exists to bound. Per-case cardinality
+// agreement across all four plans doubles as a wire-exactness check at
+// benchmark scale.
+var ablDist = Experiment{
+	ID:     "abl-dist",
+	Title:  "remote scatter/gather: kNN-select stream over in-process shards vs loopback vs HTTP transports (k=10, BerlinMOD)",
+	XLabel: "shards",
+	Expect: "identical result cardinality on every transport; loopback tracks in-process, HTTP adds per-probe wire cost, a slow shard dominates the stream latency",
+	Cases: func(scale Scale) []Case {
+		n := 20000
+		if scale == ScalePaper {
+			n = 100000
+		}
+		pts := BerlinMODPoints("fig19-outer", n)
+
+		// The query stream: a fixed diagonal of focals across the region.
+		focals := make([]geom.Point, 16)
+		for i := range focals {
+			focals[i] = geom.Point{X: 500 + 600*float64(i), Y: 9500 - 600*float64(i)}
+		}
+		stream := func(g shard.Group) func(c *stats.Counters) int {
+			return func(c *stats.Counters) int {
+				total := 0
+				for _, f := range focals {
+					total += len(shard.Select(nil, g, f, kDefault, c))
+				}
+				return total
+			}
+		}
+
+		build := func(st *geom.PointStore) (index.Index, error) {
+			if st.Len() == 0 {
+				return grid.NewFromStore(st, grid.Options{TargetPerCell: DefaultPerCell, Bounds: Bounds})
+			}
+			return grid.NewFromStore(st, grid.Options{TargetPerCell: DefaultPerCell})
+		}
+
+		var cases []Case
+		for _, s := range ShardCounts {
+			rel, err := shard.New(pts, s, shard.PolicyHash, 0, build)
+			if err != nil {
+				panic(fmt.Sprintf("bench: building sharded relation: %v", err)) // fixed config; cannot fail
+			}
+
+			// One ShardServer per shard backs both remote transports; the
+			// HTTP plan serves it over a real socket.
+			servers := make([]*remote.ShardServer, s)
+			loops := make([][]remote.ShardTransport, s)
+			https := make([][]remote.ShardTransport, s)
+			var slowEndpoint string
+			for i := 0; i < s; i++ {
+				srv := remote.NewShardServer(rel.Shard(i), remote.ShardServerConfig{
+					Name: "abl-dist", Shard: i, Shards: s, Index: "grid",
+				})
+				servers[i] = srv
+				loops[i] = []remote.ShardTransport{remote.NewLoopback(srv, "")}
+				hs := httptest.NewServer(srv)
+				https[i] = []remote.ShardTransport{remote.NewHTTPTransport(hs.URL, nil)}
+				if i == 0 {
+					slowEndpoint = hs.URL
+				}
+			}
+			dial := func(tps [][]remote.ShardTransport) shard.Group {
+				members, err := remote.Dial(context.Background(), tps, remote.Options{})
+				if err != nil {
+					panic(fmt.Sprintf("bench: dialing remote group: %v", err)) // in-process endpoints; cannot fail
+				}
+				return remote.NewGroup(members, nil)
+			}
+			inproc, loopback, http := rel.Group(), dial(loops), dial(https)
+
+			cases = append(cases, Case{
+				X: fmt.Sprintf("%d", s),
+				Plans: []Plan{
+					{Name: "in-process", Run: stream(inproc)},
+					{Name: "loopback", Run: stream(loopback)},
+					{Name: "http", Run: stream(http)},
+					{Name: "http-slow1", Run: func(c *stats.Counters) int {
+						// Shard 0 answers 2ms late on every probe: the
+						// straggler profile of an overloaded replica.
+						fault.Arm(&fault.Injector{DelayProbe: func(ep string) time.Duration {
+							if ep == slowEndpoint {
+								return 2 * time.Millisecond
+							}
+							return 0
+						}})
+						defer fault.Disarm()
+						return stream(http)(c)
+					}},
+				},
+			})
+		}
+		return cases
+	},
+}

@@ -39,40 +39,56 @@ type Panic struct {
 	Stack []byte
 }
 
+// Fail is the panic payload of a non-cancellation evaluation failure — a
+// remote shard whose replica set is exhausted, for example. Unlike *Cancel
+// it does not mean "the caller gave up", and unlike *Panic it is not a bug:
+// the public API layer recovers the payload and returns Err as the query's
+// error verbatim (the fault site is expected to have built a typed,
+// wrapped error chain).
+type Fail struct{ Err error }
+
 // WrapPanic normalizes a recovered value for cross-goroutine transport:
-// engine payloads (*Cancel, *Panic) pass through, anything else — a real
-// bug or an injected crash — is wrapped into *Panic with the current
+// engine payloads (*Cancel, *Fail, *Panic) pass through, anything else — a
+// real bug or an injected crash — is wrapped into *Panic with the current
 // goroutine's stack, so the trace points at the fault, not at the re-panic.
 func WrapPanic(r any) any {
 	switch r.(type) {
-	case *Cancel, *Panic:
+	case *Cancel, *Fail, *Panic:
 		return r
 	}
 	return &Panic{Value: r, Stack: debug.Stack()}
 }
 
 // Slot collects the first fault of a worker crew for re-panicking on the
-// caller's goroutine. *Panic outranks *Cancel: when one worker hits a real
-// crash while another merely observes the (consequent) cancellation, the
-// crash must surface rather than be masked.
+// caller's goroutine. Payloads rank *Panic > *Fail > *Cancel: when one
+// worker hits a real crash while another merely observes the (consequent)
+// cancellation or a dead shard, the crash must surface rather than be
+// masked, and a shard failure outranks the cancellations it caused.
 type Slot struct {
 	mu  sync.Mutex
 	val any
 }
 
+// rank orders fault payloads for Slot replacement.
+func rank(r any) int {
+	switch r.(type) {
+	case *Panic:
+		return 2
+	case *Fail:
+		return 1
+	default: // *Cancel
+		return 0
+	}
+}
+
 // Store records r (pass values through WrapPanic first). The first fault
-// wins, except that a *Panic replaces a previously stored *Cancel.
+// wins among equals; a higher-ranked payload (*Panic > *Fail > *Cancel)
+// replaces a lower-ranked one.
 func (s *Slot) Store(r any) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.val == nil {
+	if s.val == nil || rank(r) > rank(s.val) {
 		s.val = r
-		return
-	}
-	if _, held := s.val.(*Cancel); held {
-		if _, incoming := r.(*Cancel); !incoming {
-			s.val = r
-		}
 	}
 }
 
@@ -100,6 +116,31 @@ type Injector struct {
 
 	// PoolAcquire fires when a context-aware pool acquisition starts.
 	PoolAcquire func()
+
+	// The network fault class, keyed by the remote endpoint an attempt is
+	// about to hit (its URL, or the loopback transport's synthetic name).
+	// Hooks fire inside the robustness envelope — before retries and
+	// failover are decided — so an injected fault exercises the same
+	// recovery path a real network fault would.
+
+	// DropProbe reports whether to drop the attempt outright (the request
+	// never reaches the shard; surfaces as a transient connection error).
+	DropProbe func(endpoint string) bool
+
+	// DelayProbe returns an extra latency to impose on the attempt before
+	// it is sent; zero means none. The delay honors the attempt's context,
+	// so a deadline can expire mid-delay exactly like a stalled network.
+	DelayProbe func(endpoint string) time.Duration
+
+	// ResetConn reports whether to fail the attempt after it was sent
+	// (the shard did the work; the response never arrived — surfaces as a
+	// transient connection-reset error).
+	ResetConn func(endpoint string) bool
+
+	// CorruptResponse reports whether to corrupt the attempt's decoded
+	// response (surfaces as a malformed-response transient error via the
+	// envelope's validation).
+	CorruptResponse func(endpoint string) bool
 }
 
 var (
@@ -155,6 +196,42 @@ func OnPoolAcquire() {
 	inj.PoolAcquire()
 }
 
+// OnDropProbe invokes the DropProbe hook. Call only when Armed.
+func OnDropProbe(endpoint string) bool {
+	inj := injector.Load()
+	if inj == nil || inj.DropProbe == nil {
+		return false
+	}
+	return inj.DropProbe(endpoint)
+}
+
+// OnDelayProbe invokes the DelayProbe hook. Call only when Armed.
+func OnDelayProbe(endpoint string) time.Duration {
+	inj := injector.Load()
+	if inj == nil || inj.DelayProbe == nil {
+		return 0
+	}
+	return inj.DelayProbe(endpoint)
+}
+
+// OnResetConn invokes the ResetConn hook. Call only when Armed.
+func OnResetConn(endpoint string) bool {
+	inj := injector.Load()
+	if inj == nil || inj.ResetConn == nil {
+		return false
+	}
+	return inj.ResetConn(endpoint)
+}
+
+// OnCorruptResponse invokes the CorruptResponse hook. Call only when Armed.
+func OnCorruptResponse(endpoint string) bool {
+	inj := injector.Load()
+	if inj == nil || inj.CorruptResponse == nil {
+		return false
+	}
+	return inj.CorruptResponse(endpoint)
+}
+
 // CancelAfterBlocks arms an injector that invokes cancel on the n-th
 // checkpoint (and every one after, making the scenario robust to exact
 // checkpoint counts shifting with data layout).
@@ -183,5 +260,31 @@ func SlowShardProbe(s int, delay time.Duration) {
 		if probed == s {
 			time.Sleep(delay)
 		}
+	}})
+}
+
+// DropEndpoint arms an injector that drops every probe attempt against the
+// given endpoint — the "dead replica" of the chaos tests: the shard never
+// sees the request and the envelope fails over.
+func DropEndpoint(endpoint string) {
+	Arm(&Injector{DropProbe: func(ep string) bool { return ep == endpoint }})
+}
+
+// ResetEndpoint arms an injector that resets every probe attempt against the
+// given endpoint after the shard served it — the mid-query connection reset
+// of the chaos tests.
+func ResetEndpoint(endpoint string) {
+	Arm(&Injector{ResetConn: func(ep string) bool { return ep == endpoint }})
+}
+
+// SlowEndpoint arms an injector that imposes delay on every probe attempt
+// against the given endpoint — the slow remote shard of the chaos tests,
+// wide enough to trip deadlines or hedging depending on the query budget.
+func SlowEndpoint(endpoint string, delay time.Duration) {
+	Arm(&Injector{DelayProbe: func(ep string) time.Duration {
+		if ep == endpoint {
+			return delay
+		}
+		return 0
 	}})
 }

@@ -1,0 +1,125 @@
+package remote
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// String names the state for metrics.
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a per-endpoint circuit breaker. Closed: requests flow, and
+// `threshold` consecutive transient failures trip it open. Open: requests
+// are skipped (the replica set fails over past the endpoint) until
+// `cooldown` elapses, when the breaker admits a single probe-through
+// attempt (half-open). That attempt's outcome closes the circuit or
+// re-opens it for another cooldown.
+//
+// All methods are safe for concurrent use; the probe-through admission is
+// exclusive (at most one in-flight half-open attempt).
+type breaker struct {
+	mu        sync.Mutex
+	state     breakerState
+	failures  int       // consecutive transient failures while closed
+	openedAt  time.Time // when the circuit last tripped
+	inFlight  bool      // a half-open probe-through is out
+	threshold int
+	cooldown  time.Duration
+	trips     int64 // lifetime closed→open transitions
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a request may be sent. In the open state it flips
+// to half-open after the cooldown and admits exactly one probe-through.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Since(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.inFlight = true
+		return true
+	default: // half-open
+		if b.inFlight {
+			return false
+		}
+		b.inFlight = true
+		return true
+	}
+}
+
+// onSuccess records a successful request, closing the circuit.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.inFlight = false
+}
+
+// onFailure records a failed request. A failed probe-through re-opens the
+// circuit immediately; in the closed state `threshold` consecutive failures
+// trip it.
+func (b *breaker) onFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.trip()
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.trip()
+		}
+	}
+	b.inFlight = false
+}
+
+// trip opens the circuit (mu held).
+func (b *breaker) trip() {
+	b.state = breakerOpen
+	b.openedAt = time.Now()
+	b.failures = 0
+	b.trips++
+}
+
+// cooling reports (without side effects) that the circuit is open and its
+// cooldown has not yet elapsed — the failover ordering predicate.
+func (b *breaker) cooling() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == breakerOpen && time.Since(b.openedAt) < b.cooldown
+}
+
+// snapshot returns the state and lifetime trip count for metrics.
+func (b *breaker) snapshot() (breakerState, int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.trips
+}

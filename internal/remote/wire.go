@@ -1,0 +1,217 @@
+// Package remote lifts the scatter/gather layer onto multi-process layouts:
+// it implements the shard.Member / shard.Prober transport seam over an
+// HTTP/JSON shard-probe protocol, with a robustness envelope — per-probe
+// deadlines, bounded retries with jittered exponential backoff, hedged
+// second requests, per-endpoint circuit breakers, and replica failover —
+// between the coordinator and each shard process.
+//
+// # Exactness over the wire
+//
+// The protocol ships candidate sets, not answers: each probe returns the
+// shard-local top-k as stable point IDs, coordinates, and squared distances.
+// Go's encoding/json formats float64 with strconv's shortest round-trip
+// representation, so coordinates and squared distances cross the wire
+// bit-exactly; the client rebuilds Dists as math.Sqrt(dSq) — precisely the
+// computation the in-process searcher performs (locality's extractInto) —
+// and the coordinator's k-way merge recomputes squared distances from
+// coordinates exactly as it does for in-process shards. Remote results are
+// therefore byte-identical to in-process execution, which the differential
+// oracle at the module root enforces across layouts and under injected
+// faults.
+//
+// # Protocol
+//
+// A shard process (cmd/knnshard) serves one shard's candidate-generation
+// contract:
+//
+//	POST /shard/v1/neighborhood         {x,y,k}             → probe response
+//	POST /shard/v1/neighborhood-within  {x,y,k,threshold_sq} → probe response
+//	POST /shard/v1/count-closer         {x,y,k,threshold_sq} → {count}
+//	GET  /shard/v1/info                 shard identity, cardinality, bounds
+//	GET  /shard/v1/blocks               outer-side block headers (MBR, count)
+//	GET  /shard/v1/block?i=N            one block's points (lazy outer fetch)
+//	GET  /healthz                       liveness
+//	GET  /metrics                       per-op counters + searcher stats
+//
+// Block headers let the coordinator run Block-Marking as a network-transfer
+// prune: a marked non-contributing block's points are never fetched.
+package remote
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/locality"
+)
+
+// Protocol version prefix of every route. Bump on incompatible changes; the
+// coordinator rejects shards whose /shard/v1/info is absent or malformed.
+const pathPrefix = "/shard/v1"
+
+// Op names one probe operation of the candidate-generation contract.
+type Op int
+
+const (
+	// OpNeighborhood is the shard-local top-k probe.
+	OpNeighborhood Op = iota
+
+	// OpWithin is the threshold-clipped top-k probe.
+	OpWithin
+
+	// OpCount is the conservative strictly-closer count.
+	OpCount
+)
+
+// String returns the op's route suffix.
+func (o Op) String() string {
+	switch o {
+	case OpWithin:
+		return "neighborhood-within"
+	case OpCount:
+		return "count-closer"
+	default:
+		return "neighborhood"
+	}
+}
+
+// ProbeRequest is the body of every probe POST. ThresholdSq is ignored by
+// OpNeighborhood.
+type ProbeRequest struct {
+	X           float64 `json:"x"`
+	Y           float64 `json:"y"`
+	K           int     `json:"k"`
+	ThresholdSq float64 `json:"threshold_sq,omitempty"`
+}
+
+// WireStats is the per-probe operation-counter delta the shard recorded
+// while serving the request, folded into the coordinator's per-shard
+// counters so WithStats accounts identically across layouts.
+type WireStats struct {
+	Neighborhoods  int64 `json:"neighborhoods,omitempty"`
+	BlocksScanned  int64 `json:"blocks_scanned,omitempty"`
+	PointsCompared int64 `json:"points_compared,omitempty"`
+	BlocksPruned   int64 `json:"blocks_pruned,omitempty"`
+	OuterSkipped   int64 `json:"outer_skipped,omitempty"`
+}
+
+// ProbeResponse carries a probe's candidate set: parallel arrays of stable
+// point IDs, coordinates, and squared distances in the shard-local result
+// order (ascending (distance, X, Y)). For OpCount only Count is set.
+type ProbeResponse struct {
+	IDs   []int32   `json:"ids,omitempty"`
+	Xs    []float64 `json:"xs,omitempty"`
+	Ys    []float64 `json:"ys,omitempty"`
+	DSqs  []float64 `json:"d_sqs,omitempty"`
+	Count int       `json:"count,omitempty"`
+	Stats WireStats `json:"stats,omitempty"`
+}
+
+// validate rejects structurally broken responses (truncated arrays, negative
+// counts) so corruption surfaces as a transient envelope error — retried and
+// failed over — rather than as a wrong answer.
+func (r *ProbeResponse) validate(op Op) error {
+	if op == OpCount {
+		if r.Count < 0 {
+			return fmt.Errorf("negative count %d", r.Count)
+		}
+		return nil
+	}
+	n := len(r.IDs)
+	if len(r.Xs) != n || len(r.Ys) != n || len(r.DSqs) != n {
+		return fmt.Errorf("ragged candidate arrays: ids=%d xs=%d ys=%d dsqs=%d",
+			n, len(r.Xs), len(r.Ys), len(r.DSqs))
+	}
+	return nil
+}
+
+// fillNeighborhood rebuilds the shard-local neighborhood from the wire
+// arrays into nb, reusing its buffers. Dists[i] = Sqrt(DSqs[i]) is exactly
+// the in-process searcher's computation, so the rebuilt neighborhood is
+// byte-identical to a local probe's.
+func (r *ProbeResponse) fillNeighborhood(center geom.Point, nb *locality.Neighborhood) {
+	nb.Center = center
+	nb.Points = nb.Points[:0]
+	nb.Dists = nb.Dists[:0]
+	for i := range r.IDs {
+		nb.Points = append(nb.Points, geom.Point{X: r.Xs[i], Y: r.Ys[i]})
+		nb.Dists = append(nb.Dists, math.Sqrt(r.DSqs[i]))
+	}
+}
+
+// WireRect is a bounds rectangle on the wire.
+type WireRect struct {
+	MinX float64 `json:"min_x"`
+	MinY float64 `json:"min_y"`
+	MaxX float64 `json:"max_x"`
+	MaxY float64 `json:"max_y"`
+}
+
+func rectToWire(r geom.Rect) WireRect {
+	return WireRect{MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY}
+}
+
+func (w WireRect) rect() geom.Rect {
+	return geom.Rect{MinX: w.MinX, MinY: w.MinY, MaxX: w.MaxX, MaxY: w.MaxY}
+}
+
+// Info is a shard process's identity card (GET /shard/v1/info): what it
+// holds and where it believes it sits in the partition. The coordinator
+// validates Shard/Shards against its own layout at dial time, so a
+// mis-wired replica set fails fast instead of merging wrong candidates.
+type Info struct {
+	// Name is the serving dataset's name (diagnostic only).
+	Name string `json:"name"`
+
+	// Shard and Shards are this process's shard index and the total shard
+	// count of the partition it was built from. Shards == 0 means the
+	// process does not know the layout (a standalone shard).
+	Shard  int `json:"shard"`
+	Shards int `json:"shards"`
+
+	// Len is the shard's cardinality; Bounds its index bounds (the
+	// coordinator's MINDIST shard-skip key).
+	Len    int      `json:"len"`
+	Bounds WireRect `json:"bounds"`
+
+	// Index names the index family; Epoch is the shard's snapshot epoch.
+	Index string `json:"index"`
+	Epoch uint64 `json:"epoch"`
+
+	// Blocks is the shard's outer-side block count.
+	Blocks int `json:"blocks"`
+}
+
+// BlockHeader describes one outer-side block without its points: MBR and
+// count — everything Block-Marking needs to mark it non-contributing.
+type BlockHeader struct {
+	Span  WireRect `json:"span"`
+	Count int      `json:"count"`
+}
+
+// BlocksResponse is GET /shard/v1/blocks.
+type BlocksResponse struct {
+	Blocks []BlockHeader `json:"blocks"`
+}
+
+// BlockPointsResponse is GET /shard/v1/block?i=N: one block's points with
+// their stable IDs, in index span order.
+type BlockPointsResponse struct {
+	IDs []int32   `json:"ids"`
+	Xs  []float64 `json:"xs"`
+	Ys  []float64 `json:"ys"`
+}
+
+// validate rejects ragged block-point arrays.
+func (r *BlockPointsResponse) validate() error {
+	if len(r.Xs) != len(r.IDs) || len(r.Ys) != len(r.IDs) {
+		return fmt.Errorf("ragged block arrays: ids=%d xs=%d ys=%d",
+			len(r.IDs), len(r.Xs), len(r.Ys))
+	}
+	return nil
+}
+
+// wireError is the JSON error body of non-200 responses.
+type wireError struct {
+	Error string `json:"error"`
+}

@@ -66,10 +66,15 @@ func SplitDatasetArg(s string) (name string, spec dataload.Spec, err error) {
 }
 
 // SplitDatasetArgOptions is SplitDatasetArg plus the serving-side options
-// the spec grammar carries beyond dataload's vocabulary: a "max_inflight=N"
-// segment anywhere in the comma-separated option list overrides the
-// server-wide admission bound for this dataset (N > 0 bounds it, N < 0
-// disables the gate), e.g. "trips=berlinmod:n=20000,seed=1,max_inflight=8".
+// the spec grammar carries beyond dataload's vocabulary, recognized as
+// segments anywhere in the comma-separated option list:
+//
+//	max_inflight=N     per-dataset admission bound (N < 0 disables the gate)
+//	timeout_ms=N       default evaluation budget for requests without one
+//	max_timeout_ms=N   hard cap on any request's budget against this dataset
+//	retry_after_ms=N   Retry-After hint on this dataset's 429/503 responses
+//
+// e.g. "trips=berlinmod:n=20000,seed=1,max_inflight=8,max_timeout_ms=500".
 func SplitDatasetArgOptions(s string) (name string, spec dataload.Spec, opts DatasetOptions, err error) {
 	name, rest, ok := strings.Cut(s, "=")
 	if !ok || name == "" {
@@ -96,20 +101,83 @@ func extractDatasetOptions(spec string) (string, DatasetOptions, error) {
 	if i := strings.IndexByte(spec, ':'); i >= 0 {
 		head, rest = spec[:i+1], spec[i+1:]
 	}
+	ms := func(key, v string) (int64, error) {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n <= 0 {
+			return 0, fmt.Errorf("%s %q is not a positive integer", key, v)
+		}
+		return n, nil
+	}
 	segs := strings.Split(rest, ",")
 	kept := segs[:0]
 	for _, seg := range segs {
-		if v, ok := strings.CutPrefix(seg, "max_inflight="); ok {
-			n, err := strconv.Atoi(v)
-			if err != nil || n == 0 {
+		var err error
+		switch {
+		case strings.HasPrefix(seg, "max_inflight="):
+			v := seg[len("max_inflight="):]
+			n, aerr := strconv.Atoi(v)
+			if aerr != nil || n == 0 {
 				return "", DatasetOptions{}, fmt.Errorf("max_inflight %q is not a non-zero integer", v)
 			}
 			opts.MaxInflight = n
-			continue
+		case strings.HasPrefix(seg, "timeout_ms="):
+			opts.DefaultTimeoutMS, err = ms("timeout_ms", seg[len("timeout_ms="):])
+		case strings.HasPrefix(seg, "max_timeout_ms="):
+			opts.MaxTimeoutMS, err = ms("max_timeout_ms", seg[len("max_timeout_ms="):])
+		case strings.HasPrefix(seg, "retry_after_ms="):
+			opts.RetryAfterMS, err = ms("retry_after_ms", seg[len("retry_after_ms="):])
+		default:
+			kept = append(kept, seg)
 		}
-		kept = append(kept, seg)
+		if err != nil {
+			return "", DatasetOptions{}, err
+		}
+	}
+	if opts.DefaultTimeoutMS > 0 && opts.MaxTimeoutMS > 0 && opts.DefaultTimeoutMS > opts.MaxTimeoutMS {
+		return "", DatasetOptions{}, fmt.Errorf("timeout_ms %d exceeds max_timeout_ms %d",
+			opts.DefaultTimeoutMS, opts.MaxTimeoutMS)
 	}
 	return head + strings.Join(kept, ","), opts, nil
+}
+
+// SplitDatasetArgRemote recognizes the remote dataset form of a -dataset
+// flag value,
+//
+//	name=remote:shards=URL[|URL...][;URL[|URL...]...][,option...]
+//
+// where ';' separates shards and '|' separates a shard's replica endpoints
+// (preferred first). The serving-side option segments of
+// SplitDatasetArgOptions apply unchanged after the shard list. ok reports
+// whether s is a remote spec at all; a non-remote spec returns ok=false
+// with no error so callers fall through to the dataload grammar.
+func SplitDatasetArgRemote(s string) (name string, shards [][]string, opts DatasetOptions, ok bool, err error) {
+	name, rest, found := strings.Cut(s, "=")
+	if !found || name == "" || !strings.HasPrefix(rest, "remote:") {
+		return "", nil, DatasetOptions{}, false, nil
+	}
+	rest, opts, err = extractDatasetOptions(rest)
+	if err != nil {
+		return "", nil, DatasetOptions{}, true, fmt.Errorf("dataset %q: %w", name, err)
+	}
+	body := strings.TrimPrefix(rest, "remote:")
+	list, found := strings.CutPrefix(body, "shards=")
+	if !found {
+		return "", nil, DatasetOptions{}, true, fmt.Errorf("dataset %q: remote spec %q wants remote:shards=URL;URL;...", name, body)
+	}
+	for i, shardSeg := range strings.Split(list, ";") {
+		var replicas []string
+		for _, u := range strings.Split(shardSeg, "|") {
+			if u == "" {
+				continue
+			}
+			replicas = append(replicas, u)
+		}
+		if len(replicas) == 0 {
+			return "", nil, DatasetOptions{}, true, fmt.Errorf("dataset %q: shard %d has no endpoints", name, i)
+		}
+		shards = append(shards, replicas)
+	}
+	return name, shards, opts, true, nil
 }
 
 // ParseIndexKind parses an index-kind flag value.

@@ -323,7 +323,7 @@ func (s *Server) serveMutation(w http.ResponseWriter, r *http.Request, route str
 	}
 	release, ok := admit(d)
 	if !ok {
-		s.shed(w, m, fmt.Errorf("server: dataset admission gate full"))
+		s.shed(w, m, s.retryAfterFor(d), fmt.Errorf("server: dataset admission gate full"))
 		return
 	}
 	defer release()

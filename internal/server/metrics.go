@@ -13,13 +13,14 @@ import (
 // routeMetrics are one route's request counters, bumped atomically by the
 // serving path and snapshotted by /metrics.
 type routeMetrics struct {
-	requests   atomic.Int64 // every request that reached the route
-	ok         atomic.Int64 // 200
-	badRequest atomic.Int64 // 400 (malformed JSON, unknown dataset, k<=0)
-	shed       atomic.Int64 // 429 (admission gate or bounded-pool shed)
-	deadline   atomic.Int64 // 504 (deadline expired mid-query)
-	panics     atomic.Int64 // 500 from an isolated worker panic
-	internal   atomic.Int64 // 500, anything else
+	requests    atomic.Int64 // every request that reached the route
+	ok          atomic.Int64 // 200
+	badRequest  atomic.Int64 // 400 (malformed JSON, unknown dataset, k<=0)
+	shed        atomic.Int64 // 429 (admission gate or bounded-pool shed)
+	deadline    atomic.Int64 // 504 (deadline expired mid-query)
+	unavailable atomic.Int64 // 503 (remote shard's replica set exhausted)
+	panics      atomic.Int64 // 500 from an isolated worker panic
+	internal    atomic.Int64 // 500, anything else
 }
 
 type metrics struct {
@@ -47,13 +48,14 @@ func (m *metrics) route(name string) *routeMetrics {
 
 // RouteMetrics is one route's counters on the /metrics wire.
 type RouteMetrics struct {
-	Requests   int64 `json:"requests"`
-	OK         int64 `json:"ok"`
-	BadRequest int64 `json:"bad_request"`
-	Shed       int64 `json:"shed"`
-	Deadline   int64 `json:"deadline"`
-	Panic      int64 `json:"panic"`
-	Internal   int64 `json:"internal"`
+	Requests    int64 `json:"requests"`
+	OK          int64 `json:"ok"`
+	BadRequest  int64 `json:"bad_request"`
+	Shed        int64 `json:"shed"`
+	Deadline    int64 `json:"deadline"`
+	Unavailable int64 `json:"unavailable"`
+	Panic       int64 `json:"panic"`
+	Internal    int64 `json:"internal"`
 }
 
 // ShardMetrics is one shard's slice of a sharded dataset on the /metrics
@@ -105,6 +107,12 @@ type DatasetMetrics struct {
 	// ShardStats is the per-shard lifetime counter snapshot of a sharded
 	// dataset (partition-balance signal), absent for single relations.
 	ShardStats []ShardMetrics `json:"shard_stats,omitempty"`
+
+	// Remote is the transport-envelope counter snapshot of a remote
+	// dataset — per shard and per endpoint: attempts, retries, hedges and
+	// hedge wins, breaker state and trips, failovers and exhaustions —
+	// absent for in-process sources.
+	Remote []twoknn.RemoteShardStats `json:"remote,omitempty"`
 }
 
 // MetricsResponse is the GET /metrics body.
@@ -165,6 +173,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			for i, sh := range perShard {
 				dm.ShardStats[i] = ShardMetrics{Shard: sh.Shard, Points: sh.Points, Ops: sh.Ops}
 			}
+		case *twoknn.RemoteRelation:
+			// Searcher pools live in the shard processes; what the
+			// coordinator owns is the transport envelope, surfaced whole.
+			dm.Shards = r.NumShards()
+			perShard, _ := r.Snapshot()
+			dm.ShardStats = make([]ShardMetrics, len(perShard))
+			for i, sh := range perShard {
+				dm.ShardStats[i] = ShardMetrics{Shard: sh.Shard, Points: sh.Points, Ops: sh.Ops}
+			}
+			dm.Remote = r.RemoteStats()
 		}
 		resp.Datasets[d.name] = dm
 	}
@@ -172,13 +190,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.metrics.mu.Lock()
 	for name, rm := range s.metrics.routes {
 		resp.Routes[name] = RouteMetrics{
-			Requests:   rm.requests.Load(),
-			OK:         rm.ok.Load(),
-			BadRequest: rm.badRequest.Load(),
-			Shed:       rm.shed.Load(),
-			Deadline:   rm.deadline.Load(),
-			Panic:      rm.panics.Load(),
-			Internal:   rm.internal.Load(),
+			Requests:    rm.requests.Load(),
+			OK:          rm.ok.Load(),
+			BadRequest:  rm.badRequest.Load(),
+			Shed:        rm.shed.Load(),
+			Deadline:    rm.deadline.Load(),
+			Unavailable: rm.unavailable.Load(),
+			Panic:       rm.panics.Load(),
+			Internal:    rm.internal.Load(),
 		}
 	}
 	s.metrics.mu.Unlock()

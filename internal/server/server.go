@@ -1,9 +1,9 @@
 // Package server is the HTTP/JSON query front-end of the twoknn engine: it
-// holds one query source (single or sharded relation) per named dataset and
-// routes every public entry point — including the batched kNN-select, whose
-// route adds an epoch-keyed result cache and single-flight request
-// coalescing — through typed request/response structs that carry stable
-// int32 point IDs plus coordinates.
+// holds one query source (single, sharded or remote relation) per named
+// dataset and routes every public entry point — including the batched
+// kNN-select, whose route adds an epoch-keyed result cache and single-flight
+// request coalescing — through typed request/response structs that carry
+// stable int32 point IDs plus coordinates.
 //
 // The wire layer adds nothing to the answer — the differential battery in
 // server_test.go holds every route byte-identical (after canonical sort) to
@@ -12,6 +12,7 @@
 //
 //	ErrSearchersExhausted  → 429 + Retry-After   (bounded pool shed load)
 //	ErrQueryCanceled       → 504                 (deadline expired mid-query)
+//	ErrShardUnavailable    → 503 + Retry-After   (remote replica set exhausted)
 //	*QueryPanicError       → 500                 (worker panic, process lives)
 //	ErrNilRelation, ErrNonPositiveK, malformed JSON → 400
 //
@@ -19,8 +20,11 @@
 // sheds excess requests with an immediate 429 (never queueing them), and
 // underneath it a dataset built with twoknn.WithMaxSearchers sheds via the
 // engine's own bounded-pool deadline path. Every request runs under a
-// context deadline of min(server budget, client timeout_ms), so no query
-// outlives its caller's patience.
+// context deadline resolved per dataset: the ceiling is the server budget
+// lowered by every involved dataset's MaxTimeoutMS, and within it the
+// request's timeout_ms (or, absent one, the smallest involved dataset's
+// DefaultTimeoutMS) picks the actual deadline — so no query outlives its
+// caller's patience or its dataset's latency contract.
 package server
 
 import (
@@ -76,6 +80,16 @@ type dataset struct {
 	// gate admits at most cap(gate) concurrent requests when non-nil;
 	// TryAcquire semantics — a full gate sheds, never queues.
 	gate chan struct{}
+
+	// defaultTimeout, when positive, is this dataset's evaluation budget for
+	// requests that carry no timeout_ms; maxTimeout, when positive, caps any
+	// request's budget (even an explicit timeout_ms cannot exceed it);
+	// retryAfter, when positive, overrides the server-wide Retry-After hint
+	// on shed (429) and shard-unavailable (503) responses touching this
+	// dataset.
+	defaultTimeout time.Duration
+	maxTimeout     time.Duration
+	retryAfter     time.Duration
 
 	// table is the current render table; stale the moment src's epoch moves
 	// past its tag, and rebuilt lazily by render(). Never nil after Register.
@@ -159,6 +173,11 @@ func (d *dataset) render() *renderTable {
 		t = newRenderTable(epoch, pts, ids)
 	case *twoknn.ShardedRelation:
 		t = newRenderTable(epoch, r.Points(), r.PointIDs())
+	case *twoknn.RemoteRelation:
+		// Fetched once through the transport envelope and cached by the
+		// relation; an unreachable shard leaves an empty table (rows then
+		// render with ID -1) rather than failing the registration.
+		t = newRenderTable(epoch, r.Points(), r.PointIDs())
 	default: // Register rejects other source types
 		t = newRenderTable(epoch, nil, nil)
 	}
@@ -236,6 +255,24 @@ type DatasetOptions struct {
 	// CacheCapacity bounds the dataset's batch result cache in entries;
 	// zero selects the qcache default.
 	CacheCapacity int
+
+	// DefaultTimeoutMS, when positive, is the evaluation budget (in
+	// milliseconds) for requests against this dataset that carry no
+	// timeout_ms of their own; zero inherits the server's DefaultTimeout.
+	// The spec grammar sets it via "timeout_ms=N".
+	DefaultTimeoutMS int64
+
+	// MaxTimeoutMS, when positive, caps every request's budget against this
+	// dataset in milliseconds — an explicit request timeout_ms cannot
+	// exceed it (nor can the server default). The spec grammar sets it via
+	// "max_timeout_ms=N".
+	MaxTimeoutMS int64
+
+	// RetryAfterMS, when positive, overrides the server-wide Retry-After
+	// hint (in milliseconds, rounded up to whole seconds on the wire) on
+	// 429 shed and 503 shard-unavailable responses touching this dataset.
+	// The spec grammar sets it via "retry_after_ms=N".
+	RetryAfterMS int64
 }
 
 // Register adds src under name, building the stable-ID mapping for response
@@ -254,12 +291,26 @@ func (s *Server) RegisterWithOptions(name string, src twoknn.Source, o DatasetOp
 	}
 
 	switch src.(type) {
-	case *twoknn.Relation, *twoknn.ShardedRelation:
+	case *twoknn.Relation, *twoknn.ShardedRelation, *twoknn.RemoteRelation:
 	default:
 		return fmt.Errorf("server: dataset %q has unsupported source type %T", name, src)
 	}
+	if o.DefaultTimeoutMS < 0 || o.MaxTimeoutMS < 0 || o.RetryAfterMS < 0 {
+		return fmt.Errorf("server: dataset %q: negative timeout/retry-after override", name)
+	}
+	if o.DefaultTimeoutMS > 0 && o.MaxTimeoutMS > 0 && o.DefaultTimeoutMS > o.MaxTimeoutMS {
+		return fmt.Errorf("server: dataset %q: timeout_ms %d exceeds max_timeout_ms %d",
+			name, o.DefaultTimeoutMS, o.MaxTimeoutMS)
+	}
 
-	d := &dataset{name: name, src: src, cache: qcache.New(o.CacheCapacity)}
+	d := &dataset{
+		name:           name,
+		src:            src,
+		cache:          qcache.New(o.CacheCapacity),
+		defaultTimeout: time.Duration(o.DefaultTimeoutMS) * time.Millisecond,
+		maxTimeout:     time.Duration(o.MaxTimeoutMS) * time.Millisecond,
+		retryAfter:     time.Duration(o.RetryAfterMS) * time.Millisecond,
+	}
 	d.render() // build the initial table eagerly, off the serving path
 	inflight := s.cfg.MaxInflight
 	if o.MaxInflight != 0 {
@@ -380,25 +431,65 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, route string, req
 
 	release, ok := admit(datasets...)
 	if !ok {
-		s.shed(w, m, fmt.Errorf("server: dataset admission gate full"))
+		s.shed(w, m, s.retryAfterFor(datasets...), fmt.Errorf("server: dataset admission gate full"))
 		return
 	}
 	defer release()
 
-	budget := s.cfg.DefaultTimeout
-	if t := timeoutOf(req); t > 0 && time.Duration(t)*time.Millisecond < budget {
-		budget = time.Duration(t) * time.Millisecond
-	}
-	ctx, cancel := context.WithTimeout(r.Context(), budget)
+	ctx, cancel := context.WithTimeout(r.Context(), s.budgetFor(datasets, timeoutOf(req)))
 	defer cancel()
 
 	resp, err := run(ctx)
 	if err != nil {
-		s.writeQueryError(w, m, err)
+		s.writeQueryError(w, m, s.retryAfterFor(datasets...), err)
 		return
 	}
 	m.ok.Add(1)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// budgetFor resolves a request's evaluation budget against its datasets'
+// latency contracts. The ceiling is the server's DefaultTimeout lowered by
+// every involved dataset's MaxTimeout; within that ceiling the request's
+// own timeout_ms wins when present, and otherwise the smallest involved
+// dataset DefaultTimeout (falling back to the ceiling itself). A request
+// can therefore always shorten its budget but never escape a dataset's cap.
+func (s *Server) budgetFor(ds []*dataset, reqTimeoutMS int64) time.Duration {
+	ceiling := s.cfg.DefaultTimeout
+	for _, d := range ds {
+		if d != nil && d.maxTimeout > 0 && d.maxTimeout < ceiling {
+			ceiling = d.maxTimeout
+		}
+	}
+	want := ceiling
+	if reqTimeoutMS > 0 {
+		want = time.Duration(reqTimeoutMS) * time.Millisecond
+	} else {
+		for _, d := range ds {
+			if d != nil && d.defaultTimeout > 0 && d.defaultTimeout < want {
+				want = d.defaultTimeout
+			}
+		}
+	}
+	if want < ceiling {
+		return want
+	}
+	return ceiling
+}
+
+// retryAfterFor resolves the Retry-After hint for a response touching ds:
+// the smallest positive per-dataset override, else the server-wide setting.
+func (s *Server) retryAfterFor(ds ...*dataset) time.Duration {
+	ra := time.Duration(0)
+	for _, d := range ds {
+		if d != nil && d.retryAfter > 0 && (ra == 0 || d.retryAfter < ra) {
+			ra = d.retryAfter
+		}
+	}
+	if ra == 0 {
+		ra = s.cfg.RetryAfter
+	}
+	return ra
 }
 
 // timeoutOf extracts the embedded Common.TimeoutMS.
@@ -462,24 +553,36 @@ func (s *Server) singleFlight(ctx context.Context, key string, compute func(cont
 }
 
 // shed writes the 429 shed-load response with its Retry-After hint.
-func (s *Server) shed(w http.ResponseWriter, m *routeMetrics, err error) {
+func (s *Server) shed(w http.ResponseWriter, m *routeMetrics, retryAfter time.Duration, err error) {
 	m.shed.Add(1)
-	secs := int64((s.cfg.RetryAfter + time.Second - 1) / time.Second)
-	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	w.Header().Set("Retry-After", retryAfterSeconds(retryAfter))
 	writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: err.Error(), Code: "shed_load"})
+}
+
+// retryAfterSeconds renders a Retry-After duration as whole seconds,
+// rounded up (the header's granularity).
+func retryAfterSeconds(d time.Duration) string {
+	return strconv.FormatInt(int64((d+time.Second-1)/time.Second), 10)
 }
 
 // writeQueryError maps the engine's typed error taxonomy onto HTTP statuses.
 // Order matters: a bounded-pool shed error chains both ErrSearchersExhausted
 // and ErrQueryCanceled, and the more specific shed-load mapping wins.
-func (s *Server) writeQueryError(w http.ResponseWriter, m *routeMetrics, err error) {
+func (s *Server) writeQueryError(w http.ResponseWriter, m *routeMetrics, retryAfter time.Duration, err error) {
 	var panicErr *twoknn.QueryPanicError
 	switch {
 	case errors.Is(err, twoknn.ErrSearchersExhausted):
-		s.shed(w, m, err)
+		s.shed(w, m, retryAfter, err)
 	case errors.Is(err, twoknn.ErrQueryCanceled):
 		m.deadline.Add(1)
 		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Error: err.Error(), Code: "deadline"})
+	case errors.Is(err, twoknn.ErrShardUnavailable):
+		// A remote dataset's replica set is exhausted: the answer cannot be
+		// exact, so the coordinator fails closed with 503 and invites a
+		// retry once replicas recover or breakers half-open.
+		m.unavailable.Add(1)
+		w.Header().Set("Retry-After", retryAfterSeconds(retryAfter))
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error(), Code: "shard_unavailable"})
 	case errors.As(err, &panicErr):
 		m.panics.Add(1)
 		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error(), Code: "panic"})

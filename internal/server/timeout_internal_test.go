@@ -1,0 +1,150 @@
+package server
+
+// Unit coverage for the per-dataset serving envelope added alongside remote
+// datasets: the budget resolution rule, the Retry-After override, and the
+// spec-grammar segments that configure both (plus the remote shard-list
+// grammar itself).
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	twoknn "repro"
+	"repro/internal/dataload"
+)
+
+func ds(def, max, retry time.Duration) *dataset {
+	return &dataset{defaultTimeout: def, maxTimeout: max, retryAfter: retry}
+}
+
+func TestBudgetFor(t *testing.T) {
+	s := New(Config{DefaultTimeout: 10 * time.Second})
+	cases := []struct {
+		name  string
+		ds    []*dataset
+		reqMS int64
+		want  time.Duration
+	}{
+		{"server default", []*dataset{ds(0, 0, 0)}, 0, 10 * time.Second},
+		{"request shortens", []*dataset{ds(0, 0, 0)}, 250, 250 * time.Millisecond},
+		{"request cannot extend", []*dataset{ds(0, 0, 0)}, 60_000, 10 * time.Second},
+		{"dataset default applies without request timeout", []*dataset{ds(2*time.Second, 0, 0)}, 0, 2 * time.Second},
+		{"request overrides dataset default", []*dataset{ds(2*time.Second, 0, 0)}, 5000, 5 * time.Second},
+		{"max caps the request", []*dataset{ds(0, time.Second, 0)}, 5000, time.Second},
+		{"max caps the server default", []*dataset{ds(0, time.Second, 0)}, 0, time.Second},
+		{"smallest involved default wins", []*dataset{ds(3*time.Second, 0, 0), ds(2*time.Second, 0, 0)}, 0, 2 * time.Second},
+		{"smallest involved max wins", []*dataset{ds(0, 4*time.Second, 0), ds(0, time.Second, 0)}, 9000, time.Second},
+		{"nil datasets are skipped", []*dataset{nil, ds(0, 0, 0)}, 0, 10 * time.Second},
+	}
+	for _, tc := range cases {
+		if got := s.budgetFor(tc.ds, tc.reqMS); got != tc.want {
+			t.Errorf("%s: budget %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestRetryAfterFor(t *testing.T) {
+	s := New(Config{RetryAfter: 3 * time.Second})
+	if got := s.retryAfterFor(ds(0, 0, 0)); got != 3*time.Second {
+		t.Errorf("no override: %v", got)
+	}
+	if got := s.retryAfterFor(ds(0, 0, 7*time.Second)); got != 7*time.Second {
+		t.Errorf("override: %v", got)
+	}
+	if got := s.retryAfterFor(ds(0, 0, 7*time.Second), nil, ds(0, 0, 2*time.Second)); got != 2*time.Second {
+		t.Errorf("smallest override wins: %v", got)
+	}
+	if got := retryAfterSeconds(1500 * time.Millisecond); got != "2" {
+		t.Errorf("retryAfterSeconds rounds up: %q", got)
+	}
+}
+
+func TestSplitDatasetArgTimeoutGrammar(t *testing.T) {
+	name, spec, opts, err := SplitDatasetArgOptions(
+		"trips=uniform:n=100,timeout_ms=500,seed=1,max_timeout_ms=2000,retry_after_ms=7000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "trips" || spec.N != 100 || spec.Seed != 1 {
+		t.Fatalf("name=%q spec=%+v", name, spec)
+	}
+	if opts.DefaultTimeoutMS != 500 || opts.MaxTimeoutMS != 2000 || opts.RetryAfterMS != 7000 {
+		t.Fatalf("opts=%+v", opts)
+	}
+
+	for _, bad := range []string{
+		"trips=uniform:n=100,timeout_ms=0",
+		"trips=uniform:n=100,timeout_ms=-5",
+		"trips=uniform:n=100,max_timeout_ms=soon",
+		"trips=uniform:n=100,retry_after_ms=",
+		"trips=uniform:n=100,timeout_ms=2000,max_timeout_ms=500", // default above the cap
+	} {
+		if _, _, _, err := SplitDatasetArgOptions(bad); err == nil {
+			t.Errorf("%q: expected an error", bad)
+		}
+	}
+}
+
+func TestSplitDatasetArgRemote(t *testing.T) {
+	name, shards, opts, ok, err := SplitDatasetArgRemote(
+		"mesh=remote:shards=http://a:1|http://b:1;http://c:1,timeout_ms=500,max_inflight=4")
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if name != "mesh" {
+		t.Errorf("name = %q", name)
+	}
+	if len(shards) != 2 || len(shards[0]) != 2 || shards[0][0] != "http://a:1" ||
+		shards[0][1] != "http://b:1" || shards[1][0] != "http://c:1" {
+		t.Errorf("shards = %v", shards)
+	}
+	if opts.DefaultTimeoutMS != 500 || opts.MaxInflight != 4 {
+		t.Errorf("opts = %+v", opts)
+	}
+
+	// Non-remote specs fall through without error.
+	if _, _, _, ok, err := SplitDatasetArgRemote("trips=uniform:n=100,seed=1"); ok || err != nil {
+		t.Errorf("non-remote spec: ok=%v err=%v", ok, err)
+	}
+
+	for _, bad := range []string{
+		"mesh=remote:replicas=http://a:1",    // not shards=
+		"mesh=remote:shards=http://a:1;;",    // empty shard
+		"mesh=remote:shards=x,timeout_ms=no", // bad option segment
+	} {
+		if _, _, _, ok, err := SplitDatasetArgRemote(bad); !ok || err == nil {
+			t.Errorf("%q: ok=%v err=%v, want a remote-spec error", bad, ok, err)
+		}
+	}
+}
+
+func TestRegisterRejectsBadTimeoutOptions(t *testing.T) {
+	sp, err := dataload.Parse("uniform:n=50,seed=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := sp.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := twoknn.NewRelation("pts", pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{})
+	if err := s.RegisterWithOptions("neg", rel, DatasetOptions{DefaultTimeoutMS: -1}); err == nil {
+		t.Error("negative timeout accepted")
+	}
+	if err := s.RegisterWithOptions("inverted", rel, DatasetOptions{DefaultTimeoutMS: 500, MaxTimeoutMS: 100}); err == nil ||
+		!strings.Contains(err.Error(), "exceeds") {
+		t.Errorf("default above cap: err = %v", err)
+	}
+	if err := s.RegisterWithOptions("good", rel, DatasetOptions{DefaultTimeoutMS: 100, MaxTimeoutMS: 500, RetryAfterMS: 2000}); err != nil {
+		t.Errorf("valid options rejected: %v", err)
+	}
+	d := s.lookup("good")
+	if d.defaultTimeout != 100*time.Millisecond || d.maxTimeout != 500*time.Millisecond || d.retryAfter != 2*time.Second {
+		t.Errorf("resolved durations: %+v", d)
+	}
+}

@@ -35,19 +35,44 @@ func (b *batchResults) appendNbr(nb *locality.Neighborhood) {
 // runShards runs the batched driver once per shard, copying each shard's
 // local per-query neighborhoods out of the driver arena. thresholdsSq nil
 // selects kNN mode, non-nil the within-threshold mode (see batch.Driver).
+//
+// The batched driver is a local-scan optimization (sorted focal groups over
+// one shard's blocks); remote members take the per-focal probe path through
+// the same candidate contract instead, which is byte-identical by
+// construction — each per-focal call is exactly the sequential sharded
+// probe the batched local path is held equal to.
 func runShards(pr *probe, d *batch.Driver, focals []geom.Point, k int, thresholdsSq []float64) []batchResults {
 	out := make([]batchResults, len(pr.handles))
 	for s, h := range pr.handles {
 		if fault.Armed() {
 			fault.OnShardProbe(s)
 		}
+		out[s].off = append(out[s].off, 0)
+		lh := h.Local()
+		if lh == nil {
+			for i, f := range focals {
+				if thresholdsSq != nil && thresholdsSq[i] < 0 {
+					// Short-circuited query: empty span, like the local
+					// driver's negative-threshold contract.
+					out[s].off = append(out[s].off, len(out[s].pts))
+					continue
+				}
+				var nbr *locality.Neighborhood
+				if thresholdsSq == nil {
+					nbr = h.Neighborhood(f, k, pr.deltas[s])
+				} else {
+					nbr = h.NeighborhoodWithinSq(f, k, thresholdsSq[i], pr.deltas[s])
+				}
+				out[s].appendNbr(nbr)
+			}
+			continue
+		}
 		var res []locality.Neighborhood
 		if thresholdsSq == nil {
-			res = d.KNNSelect(h, focals, k, pr.deltas[s])
+			res = d.KNNSelect(lh, focals, k, pr.deltas[s])
 		} else {
-			res = d.SelectWithinSq(h, focals, k, thresholdsSq, pr.deltas[s])
+			res = d.SelectWithinSq(lh, focals, k, thresholdsSq, pr.deltas[s])
 		}
-		out[s].off = append(out[s].off, 0)
 		for i := range res {
 			out[s].appendNbr(&res[i])
 		}

@@ -9,7 +9,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/geom"
-	"repro/internal/index"
 	"repro/internal/kernel"
 	"repro/internal/stats"
 )
@@ -37,21 +36,30 @@ import (
 // parallel driver: worker 0 blocks until it holds a full probe, the rest
 // stand down if any inner shard's pool is at capacity.
 
-// unit is one claimable piece of outer-side work: a shard index block (point
-// joins), a chunk of an explicit point list (select-outer-join), or a chunk
-// of first-join pairs (chained joins).
+// unit is one claimable piece of outer-side work: a shard block (point
+// joins; local span or remote header with lazy fetch), a chunk of an
+// explicit point list (select-outer-join), or a chunk of first-join pairs
+// (chained joins).
 type unit struct {
-	blk   *index.Block
+	blk   OuterBlock
 	pts   []geom.Point
 	pairs []core.Pair
 }
 
-// eachPoint calls fn for every point of a block- or point-list unit.
+// eachPoint calls fn for every point of a block- or point-list unit. Remote
+// block points are fetched here — after the Block-Marking prune had its
+// chance to discard the block on its header alone.
 func (u unit) eachPoint(fn func(p geom.Point)) {
-	if u.blk != nil {
-		xs, ys := u.blk.XYs()
+	if u.blk.Local != nil {
+		xs, ys := u.blk.Local.XYs()
 		for i := range xs {
 			fn(geom.Point{X: xs[i], Y: ys[i]})
+		}
+		return
+	}
+	if u.blk.Fetch != nil {
+		for _, p := range u.blk.Fetch() {
+			fn(p)
 		}
 		return
 	}
@@ -62,10 +70,10 @@ func (u unit) eachPoint(fn func(p geom.Point)) {
 
 // blockUnits lists every block of every shard of g, in shard-then-block
 // order.
-func blockUnits(g Group) []unit {
+func blockUnits(ctx context.Context, g Group) []unit {
 	var units []unit
-	for _, s := range g.shards {
-		for _, b := range s.Ix.Blocks() {
+	for _, m := range g.members {
+		for _, b := range m.OuterBlocks(ctx) {
 			units = append(units, unit{blk: b})
 		}
 	}
@@ -315,7 +323,7 @@ func Join(ctx context.Context, outer, inner Group, k, workers int, c *stats.Coun
 // (B-component grouping, chunked fan-out) and sort only their final
 // triples, so sorting the intermediate pair sets would be wasted work.
 func join(ctx context.Context, outer, inner Group, k, workers int, c *stats.Counters) []core.Pair {
-	return scatter(ctx, blockUnits(outer), inner, workers, c,
+	return scatter(ctx, blockUnits(ctx, outer), inner, workers, c,
 		func(pr *probe, ctr *stats.Counters) emitFn[core.Pair] {
 			return func(u unit, dst []core.Pair) []core.Pair {
 				u.eachPoint(func(e1 geom.Point) {
@@ -348,10 +356,10 @@ func SelectInnerJoin(ctx context.Context, outer, inner Group, f geom.Point, kJoi
 		selXs, selYs = geom.FlatXYs(sel)
 	}
 
-	out := scatter(ctx, blockUnits(outer), inner, workers, c,
+	out := scatter(ctx, blockUnits(ctx, outer), inner, workers, c,
 		func(pr *probe, ctr *stats.Counters) emitFn[core.Pair] {
 			return func(u unit, dst []core.Pair) []core.Pair {
-				if strat == StrategyBlockMarking && u.blk != nil {
+				if strat == StrategyBlockMarking && u.blk.isBlock() {
 					if u.blk.Count() == 0 {
 						return dst
 					}
@@ -427,10 +435,10 @@ func RangeJoin(ctx context.Context, outer, inner Group, rng geom.Rect, kJoin int
 	if kJoin <= 0 {
 		return nil
 	}
-	out := scatter(ctx, blockUnits(outer), inner, workers, c,
+	out := scatter(ctx, blockUnits(ctx, outer), inner, workers, c,
 		func(pr *probe, ctr *stats.Counters) emitFn[core.Pair] {
 			return func(u unit, dst []core.Pair) []core.Pair {
-				if strat == StrategyBlockMarking && u.blk != nil {
+				if strat == StrategyBlockMarking && u.blk.isBlock() {
 					if u.blk.Count() == 0 {
 						return dst
 					}

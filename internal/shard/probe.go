@@ -4,7 +4,6 @@ import (
 	"context"
 	"math"
 
-	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/locality"
@@ -23,7 +22,7 @@ import (
 // no shared cache lines.
 type probe struct {
 	g       Group
-	handles []*core.Relation
+	handles []Prober
 	deltas  []*stats.Counters
 	nbrs    []*locality.Neighborhood
 	cursors []int
@@ -49,12 +48,12 @@ type probe struct {
 // a query that could not assemble its probe holds nothing.
 func acquire(ctx context.Context, g Group) *probe {
 	pr := newProbe(g)
-	for i, s := range g.shards {
+	for i, m := range g.members {
 		if ctx == nil {
-			pr.handles[i] = s.Acquire()
+			pr.handles[i] = m.Acquire()
 			continue
 		}
-		h, err := s.AcquireCtx(ctx)
+		h, err := m.AcquireCtx(ctx)
 		if err != nil {
 			for _, held := range pr.handles[:i] {
 				held.Release()
@@ -73,15 +72,15 @@ func acquire(ctx context.Context, g Group) *probe {
 // checkpoint the same context as worker 0.
 func tryAcquire(ctx context.Context, g Group) (pr *probe, ok bool) {
 	pr = newProbe(g)
-	for i, s := range g.shards {
-		h, err := s.TryAcquire()
+	for i, m := range g.members {
+		h, err := m.TryAcquire()
 		if err != nil {
 			for _, held := range pr.handles[:i] {
 				held.Release()
 			}
 			return nil, false
 		}
-		h.S.Bind(ctx)
+		h.Bind(ctx)
 		pr.handles[i] = h
 	}
 	return pr, true
@@ -93,10 +92,10 @@ func tryAcquire(ctx context.Context, g Group) (pr *probe, ok bool) {
 func (pr *probe) checkpoint() { pr.handles[0].Checkpoint() }
 
 func newProbe(g Group) *probe {
-	n := len(g.shards)
+	n := len(g.members)
 	pr := &probe{
 		g:       g,
-		handles: make([]*core.Relation, n),
+		handles: make([]Prober, n),
 		deltas:  make([]*stats.Counters, n),
 		nbrs:    make([]*locality.Neighborhood, n),
 		cursors: make([]int, n),
@@ -142,7 +141,7 @@ func (pr *probe) neighborhood(p geom.Point, k int) *locality.Neighborhood {
 		if fault.Armed() {
 			fault.OnShardProbe(0)
 		}
-		return pr.handles[0].S.Neighborhood(p, k, pr.deltas[0])
+		return pr.handles[0].Neighborhood(p, k, pr.deltas[0])
 	}
 	limit := pr.probeOrder(p)
 	for _, s := range pr.order {
@@ -153,7 +152,7 @@ func (pr *probe) neighborhood(p geom.Point, k int) *locality.Neighborhood {
 		if fault.Armed() {
 			fault.OnShardProbe(s)
 		}
-		nbr := pr.handles[s].S.Neighborhood(p, k, pr.deltas[s])
+		nbr := pr.handles[s].Neighborhood(p, k, pr.deltas[s])
 		pr.nbrs[s] = nbr
 		if len(nbr.Points) == k {
 			if b := nbr.Points[k-1].DistSq(p); b < limit {
@@ -169,7 +168,7 @@ func (pr *probe) neighborhood(p geom.Point, k int) *locality.Neighborhood {
 // the initial skip limit.
 func (pr *probe) probeOrder(p geom.Point) float64 {
 	for s, h := range pr.handles {
-		pr.minSqs[s] = h.Ix.Bounds().MinDistSq(p)
+		pr.minSqs[s] = h.Bounds().MinDistSq(p)
 		pr.order[s] = s
 	}
 	for i := 1; i < len(pr.order); i++ {
@@ -193,7 +192,7 @@ func (pr *probe) neighborhoodWithinSq(p geom.Point, k int, thresholdSq float64) 
 		if fault.Armed() {
 			fault.OnShardProbe(0)
 		}
-		return pr.handles[0].S.NeighborhoodWithinSq(p, k, thresholdSq, pr.deltas[0])
+		return pr.handles[0].NeighborhoodWithinSq(p, k, thresholdSq, pr.deltas[0])
 	}
 	pr.probeOrder(p)
 	limit := thresholdSq // blocks past the threshold are never admitted
@@ -205,7 +204,7 @@ func (pr *probe) neighborhoodWithinSq(p geom.Point, k int, thresholdSq float64) 
 		if fault.Armed() {
 			fault.OnShardProbe(s)
 		}
-		nbr := pr.handles[s].S.NeighborhoodWithinSq(p, k, thresholdSq, pr.deltas[s])
+		nbr := pr.handles[s].NeighborhoodWithinSq(p, k, thresholdSq, pr.deltas[s])
 		pr.nbrs[s] = nbr
 		if len(nbr.Points) == k {
 			if b := nbr.Points[k-1].DistSq(p); b < limit {
@@ -271,7 +270,7 @@ func (pr *probe) merge(p geom.Point, k int) *locality.Neighborhood {
 func (pr *probe) countStrictlyCloser(p geom.Point, k int, thresholdSq float64) int {
 	total := 0
 	for s, h := range pr.handles {
-		total += h.S.CountStrictlyCloser(p, k, thresholdSq, pr.deltas[s])
+		total += h.CountStrictlyCloser(p, k, thresholdSq, pr.deltas[s])
 		if total >= k {
 			break
 		}

@@ -78,6 +78,7 @@ type Build func(st *geom.PointStore) (index.Index, error)
 // ShardedRelation.Snapshot).
 type Relation struct {
 	shards   []*core.Relation
+	members  []Member
 	counters []*stats.Counters
 	policy   Policy
 	n        int
@@ -95,6 +96,7 @@ func New(pts []geom.Point, nShards int, policy Policy, maxSearchers int, build B
 	stores := Partition(pts, nShards, policy)
 	r := &Relation{
 		shards:   make([]*core.Relation, nShards),
+		members:  make([]Member, nShards),
 		counters: make([]*stats.Counters, nShards),
 		policy:   policy,
 		n:        len(pts),
@@ -109,6 +111,7 @@ func New(pts []geom.Point, nShards int, policy Policy, maxSearchers int, build B
 		} else {
 			r.shards[i] = core.NewRelation(ix)
 		}
+		r.members[i] = LocalMember(r.shards[i])
 		r.counters[i] = new(stats.Counters)
 	}
 	return r, nil
@@ -146,32 +149,39 @@ func (r *Relation) Bounds() geom.Rect {
 // Group returns the relation's execution group for the scatter/gather
 // drivers.
 func (r *Relation) Group() Group {
-	return Group{shards: r.shards, counters: r.counters}
+	return Group{members: r.members, counters: r.counters}
 }
 
 // Group is the executable view of one logical relation for the
-// scatter/gather drivers: an ordered list of sub-relations (a single
-// un-sharded relation is a one-element group) plus optional per-shard
-// lifetime counters to account probes against.
+// scatter/gather drivers: an ordered list of members (a single un-sharded
+// relation is a one-element group; members may be in-process or remote —
+// see Member) plus optional per-shard lifetime counters to account probes
+// against.
 type Group struct {
-	shards   []*core.Relation
+	members  []Member
 	counters []*stats.Counters
 }
 
 // SingleGroup wraps one core.Relation as a one-shard group, so the drivers
 // accept sharded and un-sharded operands uniformly (queries may mix them).
 func SingleGroup(rel *core.Relation) Group {
-	return Group{shards: []*core.Relation{rel}}
+	return Group{members: []Member{LocalMember(rel)}}
+}
+
+// MemberGroup builds a group over explicit members (the remote layer's
+// entry). counters may be nil, or one lifetime counter per member.
+func MemberGroup(members []Member, counters []*stats.Counters) Group {
+	return Group{members: members, counters: counters}
 }
 
 // NumShards returns the group's shard count.
-func (g Group) NumShards() int { return len(g.shards) }
+func (g Group) NumShards() int { return len(g.members) }
 
 // Len returns the group's total cardinality.
 func (g Group) Len() int {
 	n := 0
-	for _, s := range g.shards {
-		n += s.Len()
+	for _, m := range g.members {
+		n += m.Len()
 	}
 	return n
 }

@@ -174,6 +174,7 @@ type queryConfig struct {
 	ctx               context.Context
 	stats             *Stats
 	explain           *string
+	partial           bool
 }
 
 func applyOptions(opts []QueryOption) queryConfig {
